@@ -1,0 +1,55 @@
+//! Benchmarks the heuristic siting search (paper §III-D: execution time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greencloud_bench::{world, REPRO_SEED};
+use greencloud_climate::profiles::ProfileConfig;
+use greencloud_core::anneal::{anneal, AnnealOptions};
+use greencloud_core::candidate::CandidateSite;
+use greencloud_core::filter::filter_candidates;
+use greencloud_core::framework::{PlacementInput, StorageMode, TechMix};
+use greencloud_cost::params::CostParams;
+use std::hint::black_box;
+
+fn anneal_benches(c: &mut Criterion) {
+    let params = CostParams::default();
+    let input = PlacementInput {
+        total_capacity_mw: 50.0,
+        min_green_fraction: 0.5,
+        tech: TechMix::Both,
+        storage: StorageMode::NetMetering,
+        ..PlacementInput::default()
+    };
+    let opts = AnnealOptions {
+        iterations: 8,
+        chains: 1,
+        patience: 8,
+        seed: REPRO_SEED,
+        ..AnnealOptions::default()
+    };
+
+    let mut group = c.benchmark_group("heuristic_siting");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(20));
+    for &n_candidates in &[8usize, 16] {
+        let w = world(n_candidates.max(30));
+        let all = CandidateSite::build_all(&w, &ProfileConfig::coarse());
+        let kept = filter_candidates(&params, &input, &all, n_candidates);
+        let filtered: Vec<CandidateSite> = kept.iter().map(|&i| all[i].clone()).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_candidates),
+            &filtered,
+            |b, cands| {
+                b.iter(|| black_box(anneal(&params, &input, cands, &opts).expect("feasible")))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = anneal_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Benchmarks the LP substrate: single-site and network siting LPs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greencloud_bench::anchor_candidates;
+use greencloud_core::formulation::build_network_lp;
+use greencloud_core::framework::{PlacementInput, SizeClass, StorageMode, TechMix};
+use greencloud_cost::params::CostParams;
+use std::hint::black_box;
+
+fn lp_benches(c: &mut Criterion) {
+    let cands = anchor_candidates();
+    let params = CostParams::default();
+
+    let single = PlacementInput {
+        total_capacity_mw: 25.0,
+        min_green_fraction: 0.5,
+        min_availability: 0.0,
+        tech: TechMix::WindOnly,
+        storage: StorageMode::NetMetering,
+        ..PlacementInput::default()
+    };
+    c.bench_function("single_site_lp_96_slots", |b| {
+        b.iter(|| {
+            let lp = build_network_lp(&params, &single, &[(&cands[3], SizeClass::Large)]);
+            black_box(lp.solve().expect("solvable"))
+        })
+    });
+
+    let network = PlacementInput {
+        total_capacity_mw: 50.0,
+        min_green_fraction: 0.5,
+        tech: TechMix::Both,
+        storage: StorageMode::NetMetering,
+        ..PlacementInput::default()
+    };
+    c.bench_function("three_site_network_lp_96_slots", |b| {
+        b.iter(|| {
+            let lp = build_network_lp(
+                &params,
+                &network,
+                &[
+                    (&cands[3], SizeClass::Large),
+                    (&cands[4], SizeClass::Large),
+                    (&cands[7], SizeClass::Large),
+                ],
+            );
+            black_box(lp.solve().expect("solvable"))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500));
+    targets = lp_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Benchmarks the GreenNebula migration-schedule computation (§V-C).
+//!
+//! The paper reports 240–780 ms per 48-hour schedule on 2 GHz hardware for
+//! 50–200 MW of IT power; this bench regenerates the comparable numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greencloud_bench::REPRO_SEED;
+use greencloud_climate::catalog::WorldCatalog;
+use greencloud_energy::profile::EnergyProfile;
+use greencloud_energy::pue::PueModel;
+use greencloud_nebula::emulation::EmulationConfig;
+use greencloud_nebula::scheduler::{Scheduler, SchedulerConfig, SiteState};
+use std::hint::black_box;
+
+fn states(load_mw: f64) -> Vec<SiteState> {
+    let w = WorldCatalog::anchors_only(REPRO_SEED);
+    let cfg = EmulationConfig::default();
+    cfg.sites
+        .iter()
+        .enumerate()
+        .map(|(i, site)| {
+            let loc = w.find(&site.location_name).expect("anchor");
+            let tmy = w.tmy(loc.id);
+            let p = EnergyProfile::from_tmy_hourly(
+                &tmy,
+                &Default::default(),
+                &Default::default(),
+                &PueModel::new(),
+            );
+            SiteState {
+                green_forecast_mw: (0..48)
+                    .map(|h| p.alpha[4080 + h] * site.solar_mw + p.beta[4080 + h] * site.wind_mw)
+                    .collect(),
+                pue_forecast: (0..48).map(|h| p.pue[4080 + h]).collect(),
+                current_load_mw: if i == 0 { load_mw } else { 0.0 },
+                capacity_mw: load_mw,
+            }
+        })
+        .collect()
+}
+
+fn scheduler_benches(c: &mut Criterion) {
+    let sched = Scheduler::new(SchedulerConfig::default());
+    let mut group = c.benchmark_group("schedule_48h_3dc");
+    for &load in &[50.0f64, 200.0] {
+        let s = states(load);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{load}MW")),
+            &s,
+            |b, s| b.iter(|| black_box(sched.plan(s).expect("plan"))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500));
+    targets = scheduler_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Shared helpers for the reproduction harness and the Criterion benches.
+
+#![warn(missing_docs)]
+
+use greencloud_climate::catalog::WorldCatalog;
+use greencloud_climate::profiles::ProfileConfig;
+use greencloud_core::anneal::AnnealOptions;
+use greencloud_core::candidate::CandidateSite;
+use greencloud_core::framework::{PlacementInput, StorageMode, TechMix};
+use greencloud_core::tool::{PlacementTool, ToolOptions};
+use greencloud_cost::params::CostParams;
+
+/// The workspace-wide deterministic seed for reproduction runs.
+pub const REPRO_SEED: u64 = 20140701;
+
+/// Builds the standard reproduction world.
+pub fn world(locations: usize) -> WorldCatalog {
+    WorldCatalog::synthetic(locations.max(8), REPRO_SEED)
+}
+
+/// Standard tool options for reproduction runs (coarse but deterministic).
+pub fn tool_options(fast: bool) -> ToolOptions {
+    ToolOptions {
+        profile: if fast {
+            ProfileConfig::coarse()
+        } else {
+            ProfileConfig::default()
+        },
+        filter_keep: if fast { 7 } else { 14 },
+        anneal: AnnealOptions {
+            iterations: if fast { 18 } else { 60 },
+            chains: if fast { 2 } else { 4 },
+            patience: if fast { 14 } else { 45 },
+            seed: REPRO_SEED,
+            ..AnnealOptions::default()
+        },
+        build_threads: 8,
+    }
+}
+
+/// Builds a ready placement tool over `locations` synthetic sites.
+pub fn tool(locations: usize, fast: bool) -> PlacementTool {
+    PlacementTool::new(&world(locations), CostParams::default(), tool_options(fast))
+}
+
+/// The sweep inputs used by Figs. 8–12: green fractions × technology.
+pub fn sweep_inputs(storage: StorageMode) -> Vec<(f64, TechMix, PlacementInput)> {
+    let mut out = Vec::new();
+    for &g in &[0.0, 0.25, 0.50, 0.75, 1.0] {
+        for &tech in &[TechMix::WindOnly, TechMix::SolarOnly, TechMix::Both] {
+            let input = PlacementInput {
+                storage,
+                ..PlacementInput::default()
+            }
+            .with_green(g, tech);
+            out.push((g, tech, input));
+        }
+    }
+    out
+}
+
+/// Builds the candidates of the anchors-only world on the coarse clock
+/// (used by benches).
+pub fn anchor_candidates() -> Vec<CandidateSite> {
+    let w = WorldCatalog::anchors_only(REPRO_SEED);
+    CandidateSite::build_all(&w, &ProfileConfig::coarse())
+}
+
+/// Pretty technology label.
+pub fn tech_label(t: TechMix) -> &'static str {
+    match t {
+        TechMix::BrownOnly => "brown",
+        TechMix::WindOnly => "wind",
+        TechMix::SolarOnly => "solar",
+        TechMix::Both => "wind+solar",
+    }
+}

@@ -1,0 +1,37 @@
+//! Synthetic meteorological and economic data for green-datacenter siting.
+//!
+//! The paper instantiates its framework with US-DoE Typical Meteorological
+//! Year (TMY) files for 1373 world locations, plus per-location land prices,
+//! grid-electricity prices, and distances to power plants and network
+//! backbones. None of those datasets ship with this repository, so this
+//! crate synthesizes statistically equivalent ones, deterministically from a
+//! seed:
+//!
+//! * [`solar`] — solar geometry and clear-sky irradiance.
+//! * [`weather`] — stochastic hourly weather (temperature, cloud cover,
+//!   wind, pressure) with realistic diurnal/seasonal/autocorrelation
+//!   structure; [`weather::Tmy`] is one synthetic year.
+//! * [`catalog`] — a world catalog of locations ([`catalog::WorldCatalog`])
+//!   including the paper's named anchor sites (Table II/III) with their
+//!   published attributes.
+//! * [`economics`] — land/electricity prices and infrastructure distances.
+//! * [`profiles`] — representative-day compression of a TMY year into
+//!   weighted time slots for the optimization.
+//! * [`geo`] — coordinates, distances, time zones.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod economics;
+pub mod geo;
+pub mod profiles;
+pub mod solar;
+pub mod weather;
+
+pub use catalog::{Location, LocationId, WorldCatalog};
+pub use geo::LatLon;
+pub use profiles::{ProfileConfig, WeatherProfile, WeatherSlot};
+pub use weather::{ClimateParams, Tmy};
+
+/// Hours in the synthetic year used throughout the workspace.
+pub const HOURS_PER_YEAR: usize = 8760;

@@ -1,0 +1,134 @@
+//! Solar geometry and clear-sky irradiance.
+//!
+//! The synthetic TMY needs physically plausible solar input: zero at night,
+//! peaking at solar noon, modulated by season and latitude. We use the
+//! standard Cooper declination formula and the Haurwitz clear-sky model
+//! (global horizontal irradiance as a function of the solar zenith angle),
+//! which is accurate to a few percent — far inside the noise introduced by
+//! the stochastic cloud process layered on top.
+
+/// Solar constant adjusted to ground-level clear-sky peak (Haurwitz), W/m².
+pub const HAURWITZ_PEAK: f64 = 1098.0;
+
+/// Solar declination in radians for a day of year (1..=365), Cooper (1969).
+pub fn declination(day_of_year: f64) -> f64 {
+    (23.45f64).to_radians() * ((360.0 / 365.0) * (284.0 + day_of_year)).to_radians().sin()
+}
+
+/// Hour angle in radians for local solar time in hours (0..24); zero at
+/// solar noon, negative in the morning.
+pub fn hour_angle(solar_time_h: f64) -> f64 {
+    ((solar_time_h - 12.0) * 15.0).to_radians()
+}
+
+/// Cosine of the solar zenith angle for latitude (degrees), day of year, and
+/// local solar time (hours). Clamped at 0 below the horizon.
+pub fn cos_zenith(lat_deg: f64, day_of_year: f64, solar_time_h: f64) -> f64 {
+    let phi = lat_deg.to_radians();
+    let delta = declination(day_of_year);
+    let h = hour_angle(solar_time_h);
+    (phi.sin() * delta.sin() + phi.cos() * delta.cos() * h.cos()).max(0.0)
+}
+
+/// Clear-sky global horizontal irradiance (W/m²), Haurwitz (1945).
+pub fn clear_sky_ghi(cos_zenith: f64) -> f64 {
+    if cos_zenith <= 0.0 {
+        0.0
+    } else {
+        HAURWITZ_PEAK * cos_zenith * (-0.057 / cos_zenith).exp()
+    }
+}
+
+/// Cloud attenuation of clear-sky GHI, Kasten & Czeplak (1980):
+/// `GHI = GHI_clear · (1 − 0.75·n^3.4)` with cloud fraction `n ∈ [0, 1]`.
+pub fn cloud_attenuation(cloud_fraction: f64) -> f64 {
+    let n = cloud_fraction.clamp(0.0, 1.0);
+    1.0 - 0.75 * n.powf(3.4)
+}
+
+/// Daylight duration in hours for a latitude and day of year.
+pub fn day_length_hours(lat_deg: f64, day_of_year: f64) -> f64 {
+    let phi = lat_deg.to_radians();
+    let delta = declination(day_of_year);
+    let cos_h0 = -phi.tan() * delta.tan();
+    if cos_h0 <= -1.0 {
+        24.0 // polar day
+    } else if cos_h0 >= 1.0 {
+        0.0 // polar night
+    } else {
+        2.0 * cos_h0.acos().to_degrees() / 15.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declination_extremes() {
+        // Summer solstice ~ +23.45°, winter ~ −23.45°.
+        let summer = declination(172.0).to_degrees();
+        let winter = declination(355.0).to_degrees();
+        assert!((summer - 23.45).abs() < 0.5, "summer {summer}");
+        assert!((winter + 23.45).abs() < 0.5, "winter {winter}");
+    }
+
+    #[test]
+    fn equinox_day_length_is_twelve_hours_everywhere() {
+        for lat in [-60.0, -30.0, 0.0, 30.0, 60.0] {
+            let d = day_length_hours(lat, 80.0); // ~Mar 21
+            assert!((d - 12.0).abs() < 0.3, "lat {lat}: {d}");
+        }
+    }
+
+    #[test]
+    fn polar_night_and_day() {
+        assert_eq!(day_length_hours(80.0, 355.0), 0.0);
+        assert_eq!(day_length_hours(80.0, 172.0), 24.0);
+    }
+
+    #[test]
+    fn night_has_zero_irradiance() {
+        let cz = cos_zenith(40.0, 100.0, 0.0); // midnight
+        assert_eq!(cz, 0.0);
+        assert_eq!(clear_sky_ghi(cz), 0.0);
+    }
+
+    #[test]
+    fn noon_peaks_at_low_latitude() {
+        let eq = clear_sky_ghi(cos_zenith(0.0, 80.0, 12.0));
+        let mid = clear_sky_ghi(cos_zenith(45.0, 80.0, 12.0));
+        let high = clear_sky_ghi(cos_zenith(70.0, 80.0, 12.0));
+        assert!(eq > mid && mid > high, "{eq} {mid} {high}");
+        assert!(eq > 950.0 && eq < HAURWITZ_PEAK);
+    }
+
+    #[test]
+    fn cloud_attenuation_bounds() {
+        assert_eq!(cloud_attenuation(0.0), 1.0);
+        assert!((cloud_attenuation(1.0) - 0.25).abs() < 1e-12);
+        for i in 0..=10 {
+            let n = i as f64 / 10.0;
+            let a = cloud_attenuation(n);
+            assert!((0.25..=1.0).contains(&a));
+        }
+        // Out-of-range input is clamped, not propagated.
+        assert_eq!(cloud_attenuation(-1.0), 1.0);
+        assert!((cloud_attenuation(2.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn morning_symmetry_around_noon() {
+        let am = cos_zenith(35.0, 120.0, 9.0);
+        let pm = cos_zenith(35.0, 120.0, 15.0);
+        assert!((am - pm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn southern_hemisphere_summer_in_january() {
+        // Harare (17.8°S): January noon sun is higher than July noon sun.
+        let jan = cos_zenith(-17.8, 15.0, 12.0);
+        let jul = cos_zenith(-17.8, 196.0, 12.0);
+        assert!(jan > jul);
+    }
+}

@@ -1,0 +1,401 @@
+//! Parallel simulated-annealing search over sitings (paper §II-C, step 3).
+//!
+//! A *siting* is a set of `(candidate index, size class)` pairs. Each siting
+//! is evaluated by compiling and solving its LP ([`crate::formulation`]);
+//! the SA explores neighbours by adding, removing, swapping, and resizing
+//! datacenters. Multiple chains run on separate threads with different
+//! move-weight profiles and periodically synchronize on the shared
+//! incumbent, as the paper describes. Evaluations are memoized: distinct
+//! chains frequently propose the same siting.
+
+use crate::availability::min_datacenters;
+use crate::candidate::CandidateSite;
+use crate::formulation::{build_network_lp, NetworkDispatch};
+use crate::framework::{PlacementInput, SizeClass};
+use greencloud_cost::params::CostParams;
+use greencloud_lp::{SimplexOptions, SolveError};
+use parking_lot::Mutex;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// One siting: sorted, de-duplicated `(candidate index, size class)` pairs.
+pub type Siting = Vec<(usize, SizeClass)>;
+
+/// Tuning of the simulated-annealing search.
+#[derive(Debug, Clone)]
+pub struct AnnealOptions {
+    /// Iterations per chain.
+    pub iterations: usize,
+    /// Number of parallel chains.
+    pub chains: usize,
+    /// Initial temperature as a fraction of the initial cost.
+    pub initial_temp_frac: f64,
+    /// Geometric cooling factor per iteration.
+    pub cooling: f64,
+    /// Stop a chain after this many iterations without global improvement.
+    pub patience: usize,
+    /// Largest number of datacenters to consider.
+    pub max_sites: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Options for the LP subproblems.
+    pub lp: SimplexOptions,
+}
+
+impl Default for AnnealOptions {
+    fn default() -> Self {
+        Self {
+            iterations: 120,
+            chains: 4,
+            initial_temp_frac: 0.05,
+            cooling: 0.96,
+            patience: 50,
+            max_sites: 16,
+            seed: 0xA11EA1,
+            lp: SimplexOptions::default(),
+        }
+    }
+}
+
+/// Result of the annealing search.
+#[derive(Debug, Clone)]
+pub struct AnnealResult {
+    /// The best siting found.
+    pub siting: Siting,
+    /// Its LP optimum (sizing, dispatch, cost).
+    pub dispatch: NetworkDispatch,
+    /// Total LP evaluations across all chains (cache misses).
+    pub evaluations: usize,
+}
+
+struct Shared {
+    best: Mutex<Option<(f64, Siting, NetworkDispatch)>>,
+    cache: Mutex<HashMap<Siting, Option<f64>>>,
+    evals: Mutex<usize>,
+}
+
+/// Runs the search. `candidates` should already be pre-filtered (cheapest
+/// first — the first `n_min` seed the initial siting).
+///
+/// # Errors
+///
+/// Returns [`SolveError::Infeasible`] when no explored siting satisfies the
+/// constraints.
+pub fn anneal(
+    params: &CostParams,
+    input: &PlacementInput,
+    candidates: &[CandidateSite],
+    options: &AnnealOptions,
+) -> Result<AnnealResult, SolveError> {
+    input.validate().map_err(SolveError::InvalidModel)?;
+    let n_min = min_datacenters(input.min_availability, input.dc_availability);
+    if candidates.len() < n_min {
+        return Err(SolveError::InvalidModel(format!(
+            "need at least {n_min} candidates for the availability target"
+        )));
+    }
+    let shared = Shared {
+        best: Mutex::new(None),
+        cache: Mutex::new(HashMap::new()),
+        evals: Mutex::new(0),
+    };
+
+    let class_for = |count: usize| -> SizeClass {
+        // A network split across `count` sites: large class whenever the
+        // per-site max power crosses the 10 MW threshold.
+        let per_site = input.total_capacity_mw / count as f64 * 1.1;
+        if per_site > 9.0 {
+            SizeClass::Large
+        } else {
+            SizeClass::Small
+        }
+    };
+    let initial: Siting = (0..n_min).map(|i| (i, class_for(n_min))).collect();
+
+    let chains = options.chains.max(1);
+    crossbeam::thread::scope(|scope| {
+        for chain in 0..chains {
+            let shared = &shared;
+            let initial = initial.clone();
+            scope.spawn(move |_| {
+                run_chain(
+                    params,
+                    input,
+                    candidates,
+                    options,
+                    chain,
+                    initial,
+                    shared,
+                    n_min,
+                );
+            });
+        }
+    })
+    .expect("annealing threads never panic");
+
+    let best = shared.best.into_inner();
+    let evaluations = *shared.evals.lock();
+    match best {
+        Some((_, siting, dispatch)) => Ok(AnnealResult {
+            siting,
+            dispatch,
+            evaluations,
+        }),
+        None => Err(SolveError::Infeasible),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_chain(
+    params: &CostParams,
+    input: &PlacementInput,
+    candidates: &[CandidateSite],
+    options: &AnnealOptions,
+    chain: usize,
+    initial: Siting,
+    shared: &Shared,
+    n_min: usize,
+) {
+    let mut rng = ChaCha8Rng::seed_from_u64(options.seed.wrapping_add(chain as u64 * 0x9E37));
+    let mut current = initial;
+    let mut current_cost = match evaluate(params, input, candidates, &current, options, shared) {
+        Some(c) => c,
+        None => f64::INFINITY,
+    };
+    let mut temp = if current_cost.is_finite() {
+        current_cost * options.initial_temp_frac
+    } else {
+        1e6
+    };
+    let max_sites = options.max_sites.min(candidates.len());
+    let mut since_improvement = 0usize;
+
+    // Chains differ in how eagerly they add/remove/swap (the paper's
+    // "different neighbor generation approaches").
+    let (w_add, w_remove, w_swap) = match chain % 4 {
+        0 => (0.3, 0.2, 0.3),
+        1 => (0.1, 0.35, 0.35),
+        2 => (0.35, 0.1, 0.35),
+        _ => (0.2, 0.2, 0.4),
+    };
+
+    for iter in 0..options.iterations {
+        // Periodic synchronization: adopt the global best.
+        if iter % 8 == 7 {
+            if let Some((bc, bs, _)) = shared.best.lock().as_ref() {
+                if *bc < current_cost {
+                    current_cost = *bc;
+                    current = bs.clone();
+                }
+            }
+        }
+
+        let mut neighbour = current.clone();
+        let roll: f64 = rng.gen();
+        if roll < w_add && neighbour.len() < max_sites {
+            // Add a random unsited candidate.
+            let unsited: Vec<usize> = (0..candidates.len())
+                .filter(|i| !neighbour.iter().any(|(c, _)| c == i))
+                .collect();
+            if let Some(&pick) = pick_random(&mut rng, &unsited) {
+                let class = if rng.gen_bool(0.5) {
+                    SizeClass::Large
+                } else {
+                    SizeClass::Small
+                };
+                neighbour.push((pick, class));
+            }
+        } else if roll < w_add + w_remove && neighbour.len() > n_min {
+            let k = rng.gen_range(0..neighbour.len());
+            neighbour.remove(k);
+        } else if roll < w_add + w_remove + w_swap {
+            // Swap a sited candidate for an unsited one (keeps the class).
+            let unsited: Vec<usize> = (0..candidates.len())
+                .filter(|i| !neighbour.iter().any(|(c, _)| c == i))
+                .collect();
+            if let (Some(&pick), true) = (pick_random(&mut rng, &unsited), !neighbour.is_empty()) {
+                let k = rng.gen_range(0..neighbour.len());
+                neighbour[k].0 = pick;
+            }
+        } else if !neighbour.is_empty() {
+            // Resize: toggle the size class of one datacenter.
+            let k = rng.gen_range(0..neighbour.len());
+            neighbour[k].1 = match neighbour[k].1 {
+                SizeClass::Small => SizeClass::Large,
+                SizeClass::Large => SizeClass::Small,
+            };
+        }
+        neighbour.sort_unstable();
+        neighbour.dedup_by_key(|p| p.0);
+        if neighbour.len() < n_min || neighbour == current {
+            continue;
+        }
+
+        let cost = match evaluate(params, input, candidates, &neighbour, options, shared) {
+            Some(c) => c,
+            None => continue,
+        };
+        let accept = cost < current_cost || {
+            let delta = cost - current_cost;
+            temp > 0.0 && rng.gen::<f64>() < (-delta / temp).exp()
+        };
+        if accept {
+            current = neighbour;
+            current_cost = cost;
+        }
+        temp *= options.cooling;
+
+        let improved = shared
+            .best
+            .lock()
+            .as_ref()
+            .map_or(false, |(bc, _, _)| cost < *bc);
+        if improved {
+            since_improvement = 0;
+        } else {
+            since_improvement += 1;
+            if since_improvement > options.patience {
+                break;
+            }
+        }
+    }
+}
+
+fn pick_random<'a, R: Rng>(rng: &mut R, xs: &'a [usize]) -> Option<&'a usize> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(&xs[rng.gen_range(0..xs.len())])
+    }
+}
+
+/// Evaluates a siting (memoized); updates the shared best on improvement.
+fn evaluate(
+    params: &CostParams,
+    input: &PlacementInput,
+    candidates: &[CandidateSite],
+    siting: &Siting,
+    options: &AnnealOptions,
+    shared: &Shared,
+) -> Option<f64> {
+    if let Some(hit) = shared.cache.lock().get(siting) {
+        return *hit;
+    }
+    let sites: Vec<(&CandidateSite, SizeClass)> = siting
+        .iter()
+        .map(|&(i, class)| (&candidates[i], class))
+        .collect();
+    let lp = build_network_lp(params, input, &sites);
+    *shared.evals.lock() += 1;
+    let outcome = match lp.solve_with(options.lp.clone()) {
+        Ok(dispatch) => {
+            let cost = dispatch.monthly_cost;
+            let mut best = shared.best.lock();
+            let better = best.as_ref().map_or(true, |(bc, _, _)| cost < *bc);
+            if better {
+                *best = Some((cost, siting.clone(), dispatch));
+            }
+            Some(cost)
+        }
+        Err(_) => None,
+    };
+    shared.cache.lock().insert(siting.clone(), outcome);
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::filter_candidates;
+    use crate::framework::{StorageMode, TechMix};
+    use greencloud_climate::catalog::WorldCatalog;
+    use greencloud_climate::profiles::ProfileConfig;
+
+    fn quick_options() -> AnnealOptions {
+        AnnealOptions {
+            iterations: 25,
+            chains: 2,
+            patience: 20,
+            seed: 7,
+            ..AnnealOptions::default()
+        }
+    }
+
+    #[test]
+    fn finds_a_feasible_brown_network() {
+        let w = WorldCatalog::anchors_only(5);
+        let cands = CandidateSite::build_all(&w, &ProfileConfig::coarse());
+        let input = PlacementInput {
+            total_capacity_mw: 20.0,
+            min_green_fraction: 0.0,
+            tech: TechMix::BrownOnly,
+            ..PlacementInput::default()
+        };
+        let kept = filter_candidates(&CostParams::default(), &input, &cands, 5);
+        let filtered: Vec<CandidateSite> = kept.iter().map(|&i| cands[i].clone()).collect();
+        let r = anneal(&CostParams::default(), &input, &filtered, &quick_options()).expect("finds");
+        assert!(r.siting.len() >= 2, "availability demands ≥2 DCs");
+        assert!(r.dispatch.monthly_cost > 1e6);
+        assert!(r.dispatch.total_capacity_mw >= 20.0 - 1e-6);
+        assert!(r.evaluations > 0);
+    }
+
+    #[test]
+    fn green_requirement_finds_windy_site() {
+        let w = WorldCatalog::anchors_only(5);
+        let cands = CandidateSite::build_all(&w, &ProfileConfig::coarse());
+        let input = PlacementInput {
+            total_capacity_mw: 20.0,
+            min_green_fraction: 0.5,
+            tech: TechMix::Both,
+            storage: StorageMode::NetMetering,
+            ..PlacementInput::default()
+        };
+        let r = anneal(&CostParams::default(), &input, &cands, &quick_options()).expect("finds");
+        assert!(r.dispatch.green_fraction >= 0.5 - 1e-6);
+        // Some green plant must exist.
+        let plant: f64 = r
+            .dispatch
+            .sites
+            .iter()
+            .map(|s| s.solar_mw + s.wind_mw)
+            .sum();
+        assert!(plant > 1.0, "plants {plant}");
+    }
+
+    #[test]
+    fn infeasible_when_capacity_unreachable() {
+        let w = WorldCatalog::anchors_only(5);
+        let mut cands = CandidateSite::build_all(&w, &ProfileConfig::coarse());
+        for c in &mut cands {
+            c.econ.near_plant_cap_kw = 100.0; // 25 kW of brown available
+        }
+        let input = PlacementInput {
+            total_capacity_mw: 500.0,
+            min_green_fraction: 0.0,
+            tech: TechMix::BrownOnly,
+            ..PlacementInput::default()
+        };
+        let err = anneal(&CostParams::default(), &input, &cands, &quick_options()).unwrap_err();
+        assert_eq!(err, SolveError::Infeasible);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let w = WorldCatalog::anchors_only(5);
+        let cands = CandidateSite::build_all(&w, &ProfileConfig::coarse());
+        let input = PlacementInput {
+            total_capacity_mw: 20.0,
+            min_green_fraction: 0.0,
+            tech: TechMix::BrownOnly,
+            ..PlacementInput::default()
+        };
+        let mut opts = quick_options();
+        opts.chains = 1;
+        let a = anneal(&CostParams::default(), &input, &cands, &opts).unwrap();
+        let b = anneal(&CostParams::default(), &input, &cands, &opts).unwrap();
+        assert_eq!(a.siting, b.siting);
+        assert!((a.dispatch.monthly_cost - b.dispatch.monthly_cost).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,115 @@
+//! Datacenter-network availability.
+//!
+//! The paper models the probability that at least one of `n` datacenters is
+//! up as `Σ_{i=0}^{n−1} C(n,i)·a^{n−i}·(1−a)^i = 1 − (1−a)^n`, and requires
+//! it to exceed the provider's target. This lower-bounds the number of
+//! sites; the survivability rule ("the failure of n−1 datacenters leaves
+//! S/n servers") is enforced inside the LP as a per-site capacity floor.
+
+/// Availability of a network of `n` datacenters, each independently
+/// available with probability `a` (probability at least one is up).
+pub fn network_availability(n: usize, a: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&a), "availability must be in [0,1]");
+    1.0 - (1.0 - a).powi(n as i32)
+}
+
+/// The smallest number of datacenters whose network availability reaches
+/// `min_availability` when each has availability `a`.
+///
+/// # Panics
+///
+/// Panics if `a == 0` while `min_availability > 0` (unreachable target) or
+/// arguments are outside `[0, 1)`.
+pub fn min_datacenters(min_availability: f64, a: f64) -> usize {
+    assert!((0.0..1.0).contains(&min_availability));
+    assert!((0.0..1.0).contains(&a));
+    if min_availability == 0.0 {
+        return 1;
+    }
+    assert!(a > 0.0, "cannot reach positive availability with dead datacenters");
+    // 1 − (1−a)^n ≥ target  ⇔  n ≥ ln(1−target) / ln(1−a)
+    let n = ((1.0 - min_availability).ln() / (1.0 - a).ln()).ceil() as usize;
+    n.max(1)
+}
+
+/// Availabilities of the Uptime Institute tiers cited by the paper.
+pub mod tiers {
+    /// Tier I: single power/cooling path.
+    pub const TIER_I: f64 = 0.9967;
+    /// Tier II.
+    pub const TIER_II: f64 = 0.9974;
+    /// Tier III.
+    pub const TIER_III: f64 = 0.9998;
+    /// Tier IV: fully redundant paths.
+    pub const TIER_IV: f64 = 0.99995;
+    /// The near-Tier-III figure the paper's studies assume (from its
+    /// ref [25]).
+    pub const PAPER_DEFAULT: f64 = 0.99827;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_base_case_needs_two_datacenters() {
+        // 99.827% per DC, 99.999% target → 2 DCs (matches the paper's
+        // two-datacenter solutions).
+        assert_eq!(min_datacenters(0.99999, tiers::PAPER_DEFAULT), 2);
+    }
+
+    #[test]
+    fn formula_matches_binomial_sum() {
+        // Cross-check 1−(1−a)^n against the explicit binomial sum.
+        fn binomial(n: u64, k: u64) -> f64 {
+            (0..k).fold(1.0, |acc, i| acc * (n - i) as f64 / (i + 1) as f64)
+        }
+        for n in 1..=5usize {
+            for &a in &[0.9, 0.99, 0.999] {
+                let direct = network_availability(n, a);
+                let sum: f64 = (0..n as u64)
+                    .map(|i| {
+                        binomial(n as u64, i) * a.powi(n as i32 - i as i32) * (1.0 - a).powi(i as i32)
+                    })
+                    .sum();
+                assert!((direct - sum).abs() < 1e-12, "n={n} a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_datacenters_raise_availability() {
+        let a = tiers::TIER_I;
+        let mut prev = 0.0;
+        for n in 1..6 {
+            let v = network_availability(n, a);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn requirements_scale_with_tier() {
+        // Lower-tier datacenters need more replicas for five nines.
+        assert!(min_datacenters(0.99999, tiers::TIER_I) >= 2);
+        assert!(min_datacenters(0.99999, tiers::TIER_I) >= min_datacenters(0.99999, tiers::TIER_IV));
+        assert_eq!(min_datacenters(0.99999, tiers::TIER_IV), 2);
+    }
+
+    #[test]
+    fn single_dc_suffices_for_lax_targets() {
+        assert_eq!(min_datacenters(0.99, tiers::TIER_III), 1);
+        assert_eq!(min_datacenters(0.0, tiers::TIER_I), 1);
+    }
+
+    #[test]
+    fn min_is_actually_minimal() {
+        for &(target, a) in &[(0.99999, 0.99827), (0.9999999, 0.9967), (0.999, 0.99)] {
+            let n = min_datacenters(target, a);
+            assert!(network_availability(n, a) >= target);
+            if n > 1 {
+                assert!(network_availability(n - 1, a) < target);
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Per-location precomputation shared by every solver path.
+
+use greencloud_climate::catalog::{Location, LocationId, WorldCatalog};
+use greencloud_climate::economics::Economics;
+use greencloud_climate::geo::LatLon;
+use greencloud_climate::profiles::{ProfileConfig, WeatherProfile};
+use greencloud_energy::capacity_factor::CapacityFactors;
+use greencloud_energy::profile::EnergyProfile;
+use serde::{Deserialize, Serialize};
+
+/// A candidate location with everything the optimizer needs: economics,
+/// slot-level energy coefficients, and annual statistics.
+///
+/// Building a candidate synthesizes and aggregates the location's TMY year,
+/// which costs a few milliseconds; candidates are therefore built once and
+/// shared across the thousands of LP evaluations of the heuristic search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CandidateSite {
+    /// Catalog identity.
+    pub id: LocationId,
+    /// Human-readable name.
+    pub name: String,
+    /// Geographic position.
+    pub position: LatLon,
+    /// Economic attributes.
+    pub econ: Economics,
+    /// α/β/PUE on the shared representative-day slot clock.
+    pub profile: EnergyProfile,
+    /// Annual capacity factors and PUE statistics over the full TMY year.
+    pub annual: CapacityFactors,
+}
+
+impl CandidateSite {
+    /// Builds the candidate for `id` using the shared profile configuration.
+    pub fn build(catalog: &WorldCatalog, id: LocationId, config: &ProfileConfig) -> Self {
+        let loc: &Location = catalog.get(id);
+        let tmy = catalog.tmy(id);
+        let weather = WeatherProfile::from_tmy(&tmy, config);
+        let profile = EnergyProfile::from_weather_default(&weather);
+        let annual = CapacityFactors::with_default_models(&tmy);
+        CandidateSite {
+            id,
+            name: loc.name.clone(),
+            position: loc.position,
+            econ: loc.econ.clone(),
+            profile,
+            annual,
+        }
+    }
+
+    /// Builds candidates for every location in the catalog.
+    pub fn build_all(catalog: &WorldCatalog, config: &ProfileConfig) -> Vec<Self> {
+        catalog
+            .iter()
+            .map(|l| Self::build(catalog, l.id, config))
+            .collect()
+    }
+
+    /// The max-PUE used to size the electrical/cooling plant.
+    pub fn max_pue(&self) -> f64 {
+        self.annual.max_pue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greencloud_climate::catalog::WorldCatalog;
+
+    #[test]
+    fn build_produces_consistent_slots() {
+        let w = WorldCatalog::anchors_only(3);
+        let cfg = ProfileConfig::coarse();
+        let c = CandidateSite::build(&w, LocationId(0), &cfg);
+        assert_eq!(c.profile.len(), cfg.num_slots());
+        assert!(c.max_pue() >= 1.05);
+        assert_eq!(c.name, "Kiev, Ukraine");
+    }
+
+    #[test]
+    fn build_all_covers_catalog() {
+        let w = WorldCatalog::anchors_only(3);
+        let all = CandidateSite::build_all(&w, &ProfileConfig::coarse());
+        assert_eq!(all.len(), w.len());
+        // Shared slot clock: all candidates have identical slot counts and
+        // weights.
+        for c in &all {
+            assert_eq!(c.profile.len(), all[0].profile.len());
+            assert_eq!(c.profile.weight_hours, all[0].profile.weight_hours);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! The heuristic's location pre-filter (paper §II-C, step 1).
+//!
+//! Evaluating a candidate siting requires an LP solve; doing that for all
+//! 1373 locations is what makes the raw MILP intractable. The paper first
+//! scores every location with cheap closed-form cost estimates for a few
+//! common configurations (brown-only, 50% solar, 50% wind) and keeps only
+//! the promising ones. We reproduce that: the estimate prices one MW of
+//! compute capacity plus the green plant needed to hit the requested green
+//! fraction on *annual averages* (ignoring storage dynamics), which is
+//! exactly the fidelity the filter needs.
+
+use crate::candidate::CandidateSite;
+use crate::formulation::UnitCosts;
+use crate::framework::{PlacementInput, SizeClass, TechMix};
+use greencloud_cost::params::CostParams;
+
+/// Months per year.
+const MONTHS: f64 = 12.0;
+
+/// Closed-form estimate of the monthly cost per MW of compute capacity at a
+/// site, for a given technology and green fraction, assuming a datacenter of
+/// `assumed_dc_mw` for amortizing the fixed connection cost.
+pub fn estimate_cost_per_mw(
+    params: &CostParams,
+    site: &CandidateSite,
+    tech: TechMix,
+    green_fraction: f64,
+    assumed_dc_mw: f64,
+) -> f64 {
+    let uc = UnitCosts::compute(params, site, SizeClass::Large);
+    let mean_pue = site.annual.mean_pue;
+    let price_mwh = site.econ.elec_usd_per_kwh * 1000.0;
+    // Annual average electrical demand of 1 MW of compute.
+    let demand_avg_mw = mean_pue;
+    let energy_month_full = demand_avg_mw * 8760.0 / MONTHS * price_mwh;
+
+    let mut cost = uc.capacity_mw + uc.connection / assumed_dc_mw;
+    match tech {
+        TechMix::BrownOnly => cost += energy_month_full,
+        TechMix::WindOnly => {
+            let cf = site.annual.wind.max(1e-4);
+            let plant_mw = green_fraction * demand_avg_mw / cf;
+            cost += plant_mw * uc.wind_mw + energy_month_full * (1.0 - green_fraction);
+        }
+        TechMix::SolarOnly => {
+            let cf = site.annual.solar.max(1e-4);
+            let plant_mw = green_fraction * demand_avg_mw / cf;
+            cost += plant_mw * uc.solar_mw + energy_month_full * (1.0 - green_fraction);
+        }
+        TechMix::Both => {
+            let wind =
+                estimate_cost_per_mw(params, site, TechMix::WindOnly, green_fraction, assumed_dc_mw);
+            let solar =
+                estimate_cost_per_mw(params, site, TechMix::SolarOnly, green_fraction, assumed_dc_mw);
+            return wind.min(solar);
+        }
+    }
+    cost
+}
+
+/// Scores every candidate and returns the indices of the `keep` cheapest,
+/// cheapest first.
+///
+/// The score of a location is its best estimate across the configurations
+/// relevant to `input` (the paper uses "some common configurations").
+pub fn filter_candidates(
+    params: &CostParams,
+    input: &PlacementInput,
+    candidates: &[CandidateSite],
+    keep: usize,
+) -> Vec<usize> {
+    let assumed = (input.total_capacity_mw / 2.0).max(1.0);
+    let g = input.min_green_fraction;
+    let mut scored: Vec<(usize, f64)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let score = match input.tech {
+                TechMix::BrownOnly => {
+                    estimate_cost_per_mw(params, c, TechMix::BrownOnly, 0.0, assumed)
+                }
+                tech => estimate_cost_per_mw(params, c, tech, g.max(0.25), assumed),
+            };
+            (i, score)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
+    scored.truncate(keep.max(1));
+    scored.into_iter().map(|(i, _)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::StorageMode;
+    use greencloud_climate::catalog::WorldCatalog;
+    use greencloud_climate::profiles::ProfileConfig;
+
+    fn candidates() -> Vec<CandidateSite> {
+        let w = WorldCatalog::synthetic(40, 21);
+        CandidateSite::build_all(&w, &ProfileConfig::coarse())
+    }
+
+    #[test]
+    fn wind_filter_prefers_windy_sites() {
+        let cands = candidates();
+        let input = PlacementInput {
+            tech: TechMix::WindOnly,
+            min_green_fraction: 0.5,
+            storage: StorageMode::NetMetering,
+            ..PlacementInput::default()
+        };
+        let kept = filter_candidates(&CostParams::default(), &input, &cands, 10);
+        assert_eq!(kept.len(), 10);
+        // The surviving set must be meaningfully windier than the world
+        // average (Mount Washington itself may lose to synthetic windy
+        // sites with cheaper land — its Table II land price is $947/m²).
+        let avg_all: f64 =
+            cands.iter().map(|c| c.annual.wind).sum::<f64>() / cands.len() as f64;
+        let avg_kept: f64 =
+            kept.iter().map(|&i| cands[i].annual.wind).sum::<f64>() / kept.len() as f64;
+        assert!(
+            avg_kept > avg_all * 1.3,
+            "kept wind CF {avg_kept:.3} vs world {avg_all:.3}"
+        );
+    }
+
+    #[test]
+    fn filter_orders_by_score() {
+        let cands = candidates();
+        let input = PlacementInput {
+            tech: TechMix::BrownOnly,
+            min_green_fraction: 0.0,
+            ..PlacementInput::default()
+        };
+        let params = CostParams::default();
+        let kept = filter_candidates(&params, &input, &cands, 15);
+        let scores: Vec<f64> = kept
+            .iter()
+            .map(|&i| estimate_cost_per_mw(&params, &cands[i], TechMix::BrownOnly, 0.0, 25.0))
+            .collect();
+        for w in scores.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9, "not sorted: {scores:?}");
+        }
+    }
+
+    #[test]
+    fn keep_is_clamped_to_at_least_one() {
+        let cands = candidates();
+        let input = PlacementInput::default();
+        let kept = filter_candidates(&CostParams::default(), &input, &cands, 0);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn both_takes_cheaper_technology() {
+        let cands = candidates();
+        let params = CostParams::default();
+        for c in cands.iter().take(10) {
+            let both = estimate_cost_per_mw(&params, c, TechMix::Both, 0.5, 25.0);
+            let wind = estimate_cost_per_mw(&params, c, TechMix::WindOnly, 0.5, 25.0);
+            let solar = estimate_cost_per_mw(&params, c, TechMix::SolarOnly, 0.5, 25.0);
+            assert!((both - wind.min(solar)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,910 @@
+//! Compiles the paper's Fig. 1 optimization into an LP for a fixed siting.
+//!
+//! The heuristic solver fixes which locations host a datacenter (`at(d)`)
+//! and each datacenter's construction size class; what remains — sizing the
+//! datacenters, plants, and batteries, and dispatching energy over the
+//! representative-day slots — is the linear program built here.
+//!
+//! Per site *d* and slot *t* (slot weight `w` hours/year, Δ = 1 h):
+//!
+//! ```text
+//! balance:    g + bd + nd + brown = (comp + mig)·PUE(d,t)
+//! production: g + bc + np ≤ α(d,t)·solar + β(d,t)·wind
+//! battery:    blevel_t = blevel_{t−1} + eff·bc − bd   (cyclic per day)
+//!             blevel_t ≤ batt_cap
+//! net meter:  Σ w·nd ≤ Σ w·np                         (annual true-up)
+//! credit:     credited ≤ credit·Σ w·np·price,  credited ≤ payable
+//! migration:  mig_t ≥ θ·(comp_{t−1} − comp_t)         (cyclic per day)
+//! capacity:   comp + mig ≤ capacity
+//! demand:     Σ_d comp ≥ totalCapacity                 (every slot)
+//! green:      Σ w·(g + bd + nd) ≥ minGreen·Σ w·PUE·(comp + mig)
+//! brown cap:  brown ≤ nearPlantCap·F                   (variable bound)
+//! redundancy: capacity_d ≥ (Σ capacity)/n              (n = #sites ≥ 2)
+//! ```
+//!
+//! relative to the paper's literal Fig. 1 this is the *strict* green
+//! accounting (production splits into used + stored + spilled; spilled
+//! energy earns no green credit) and disallows net-metering cash-out —
+//! both documented in `DESIGN.md`.
+
+use crate::candidate::CandidateSite;
+use crate::framework::{PlacementInput, SizeClass, StorageMode};
+use greencloud_cost::finance::{land_monthly_cost, monthly_cost};
+use greencloud_cost::params::CostParams;
+use greencloud_lp::{Model, Sense, SimplexOptions, Solution, SolveError, VarId};
+use serde::{Deserialize, Serialize};
+
+/// Months per year (energy flows are annual; costs are reported monthly).
+const MONTHS: f64 = 12.0;
+
+/// Variable handles for one site.
+#[derive(Debug, Clone)]
+struct SiteVars {
+    capacity: VarId,
+    solar: VarId,
+    wind: VarId,
+    batt: Option<VarId>,
+    credited: Option<VarId>,
+    comp: Vec<VarId>,
+    mig: Option<Vec<VarId>>,
+    green_used: Vec<VarId>,
+    brown: Vec<VarId>,
+    batt_charge: Option<Vec<VarId>>,
+    batt_discharge: Option<Vec<VarId>>,
+    batt_level: Option<Vec<VarId>>,
+    nm_push: Option<Vec<VarId>>,
+    nm_draw: Option<Vec<VarId>>,
+}
+
+/// Monthly unit costs ($/month per MW or per MWh) for one site.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitCosts {
+    /// Per MW of compute capacity: building + IT + land + bandwidth.
+    pub capacity_mw: f64,
+    /// Per MW of installed solar: plant + land.
+    pub solar_mw: f64,
+    /// Per MW of installed wind: plant + land.
+    pub wind_mw: f64,
+    /// Per MWh of battery bank.
+    pub batt_mwh: f64,
+    /// Fixed monthly cost of connecting the site (`CAP_ind`).
+    pub connection: f64,
+}
+
+impl UnitCosts {
+    /// Computes the site's unit costs under the Table I model.
+    pub fn compute(params: &CostParams, site: &CandidateSite, class: SizeClass) -> Self {
+        let rate = params.interest_rate;
+        let dc_y = params.dc_lifetime_years;
+        let max_pue = site.max_pue();
+        let price_w = match class {
+            SizeClass::Small => params.price_build_dc_small_per_w,
+            SizeClass::Large => params.price_build_dc_large_per_w,
+        };
+        // Per MW of compute capacity (1 MW = 1000 kW = 1e6 W of IT load).
+        let building = monthly_cost(max_pue * 1e6 * price_w, rate, dc_y, dc_y);
+        let servers = params.num_servers(1000.0);
+        let switches = servers / params.servers_per_switch;
+        let it = monthly_cost(
+            servers * params.price_server + switches * params.price_switch,
+            rate,
+            params.it_lifetime_years,
+            params.it_lifetime_years,
+        );
+        let land_dc = land_monthly_cost(
+            1000.0 * params.area_dc_m2_per_kw * site.econ.land_usd_per_m2,
+            rate,
+            dc_y,
+        );
+        let bandwidth = servers * params.price_bw_per_server_month;
+
+        let solar = monthly_cost(
+            1e6 * params.price_build_solar_per_w,
+            rate,
+            dc_y,
+            params.plant_amortization_years,
+        ) + land_monthly_cost(
+            1000.0 * params.area_solar_m2_per_kw * site.econ.land_usd_per_m2,
+            rate,
+            dc_y,
+        );
+        let wind = monthly_cost(
+            1e6 * params.price_build_wind_per_w,
+            rate,
+            dc_y,
+            params.plant_amortization_years,
+        ) + land_monthly_cost(
+            1000.0 * params.area_wind_m2_per_kw * site.econ.land_usd_per_m2,
+            rate,
+            dc_y,
+        );
+        let batt = monthly_cost(
+            1000.0 * params.price_batt_per_kwh,
+            rate,
+            params.batt_lifetime_years,
+            params.batt_lifetime_years,
+        );
+        let connection = monthly_cost(
+            site.econ.dist_power_km * params.cost_line_pow_per_km
+                + site.econ.dist_network_km * params.cost_line_net_per_km,
+            rate,
+            dc_y,
+            dc_y,
+        );
+        UnitCosts {
+            capacity_mw: building + it + land_dc + bandwidth,
+            solar_mw: solar,
+            wind_mw: wind,
+            batt_mwh: batt,
+            connection,
+        }
+    }
+}
+
+/// The compiled LP for a fixed siting, ready to solve.
+#[derive(Debug)]
+pub struct NetworkLp {
+    model: Model,
+    vars: Vec<SiteVars>,
+    unit_costs: Vec<UnitCosts>,
+    num_slots: usize,
+    input: PlacementInput,
+    price_mwh: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+/// Per-site sizing and dispatch extracted from the LP optimum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteDispatch {
+    /// Compute capacity, MW.
+    pub capacity_mw: f64,
+    /// Installed solar, MW.
+    pub solar_mw: f64,
+    /// Installed wind, MW.
+    pub wind_mw: f64,
+    /// Battery bank, MWh.
+    pub batt_mwh: f64,
+    /// Compute power hosted per slot, MW.
+    pub comp_mw: Vec<f64>,
+    /// Migration power overhead per slot, MW.
+    pub mig_mw: Vec<f64>,
+    /// Green power used directly per slot, MW.
+    pub green_used_mw: Vec<f64>,
+    /// Brown power drawn per slot, MW.
+    pub brown_mw: Vec<f64>,
+    /// Net-metering pushes per slot, MW (empty unless net metering).
+    pub nm_push_mw: Vec<f64>,
+    /// Net-metering draws per slot, MW (empty unless net metering).
+    pub nm_draw_mw: Vec<f64>,
+    /// Battery charge per slot, MW (empty unless batteries).
+    pub batt_charge_mw: Vec<f64>,
+    /// Battery discharge per slot, MW (empty unless batteries).
+    pub batt_discharge_mw: Vec<f64>,
+    /// Net monthly energy cost after credits, $.
+    pub energy_cost_month: f64,
+    /// Annual green energy counted toward the requirement, MWh.
+    pub green_mwh_yr: f64,
+    /// Annual energy demand (IT + migration, PUE-scaled), MWh.
+    pub demand_mwh_yr: f64,
+    /// Annual brown energy purchased, MWh.
+    pub brown_mwh_yr: f64,
+}
+
+/// The LP optimum for a fixed siting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkDispatch {
+    /// Total monthly cost, $ (the paper's `TotalCost` for this siting).
+    pub monthly_cost: f64,
+    /// Per-site results, in the order the sites were given.
+    pub sites: Vec<SiteDispatch>,
+    /// Achieved green-energy fraction over the year.
+    pub green_fraction: f64,
+    /// Total provisioned compute capacity, MW (Figs. 11/12).
+    pub total_capacity_mw: f64,
+    /// Simplex iterations spent.
+    pub iterations: usize,
+}
+
+/// Builds the LP for `sites` under `input`.
+///
+/// # Panics
+///
+/// Panics if `sites` is empty, the input fails validation, or the sites do
+/// not share one slot clock.
+pub fn build_network_lp(
+    params: &CostParams,
+    input: &PlacementInput,
+    sites: &[(&CandidateSite, SizeClass)],
+) -> NetworkLp {
+    assert!(!sites.is_empty(), "need at least one site");
+    input.validate().expect("invalid placement input");
+    let num_slots = sites[0].0.profile.len();
+    for (s, _) in sites {
+        assert_eq!(s.profile.len(), num_slots, "sites must share a slot clock");
+    }
+    let n = sites.len();
+    let theta = input.migration_fraction;
+
+    let mut model = Model::new();
+    let mut vars = Vec::with_capacity(n);
+    let mut unit_costs = Vec::with_capacity(n);
+    let mut price_mwh = Vec::with_capacity(n);
+    let weights = sites[0].0.profile.weight_hours.clone();
+
+    for (si, (site, class)) in sites.iter().enumerate() {
+        let uc = UnitCosts::compute(params, site, *class);
+        let max_pue = site.max_pue();
+        let p_mwh = site.econ.elec_usd_per_kwh * 1000.0;
+
+        // --- sizing variables -------------------------------------------
+        let (cap_lb, cap_ub) = match class {
+            SizeClass::Small => (0.0, 10.0 / max_pue),
+            SizeClass::Large => (10.0 / max_pue, f64::INFINITY),
+        };
+        let capacity = model.add_var(format!("cap[{si}]"), cap_lb, cap_ub, uc.capacity_mw);
+        let solar_ub = if input.tech.allows_solar() {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        let wind_ub = if input.tech.allows_wind() {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        let solar = model.add_var(format!("solar[{si}]"), 0.0, solar_ub, uc.solar_mw);
+        let wind = model.add_var(format!("wind[{si}]"), 0.0, wind_ub, uc.wind_mw);
+        let batt = match input.storage {
+            StorageMode::Batteries => Some(model.add_var(
+                format!("batt[{si}]"),
+                0.0,
+                f64::INFINITY,
+                uc.batt_mwh,
+            )),
+            _ => None,
+        };
+
+        // --- per-slot variables ------------------------------------------
+        let brown_cap_mw = site.econ.near_plant_cap_kw / 1000.0 * params.brown_cap_fraction;
+        let mut comp = Vec::with_capacity(num_slots);
+        let mut green_used = Vec::with_capacity(num_slots);
+        let mut brown = Vec::with_capacity(num_slots);
+        for t in 0..num_slots {
+            comp.push(model.add_var(format!("comp[{si},{t}]"), 0.0, f64::INFINITY, 0.0));
+            green_used.push(model.add_var(format!("g[{si},{t}]"), 0.0, f64::INFINITY, 0.0));
+            // Brown power is priced per MWh of annual energy, reported
+            // monthly: coefficient = price · w_t / 12.
+            brown.push(model.add_var(
+                format!("brown[{si},{t}]"),
+                0.0,
+                brown_cap_mw,
+                p_mwh * weights[t] / MONTHS,
+            ));
+        }
+        let mig = if theta > 0.0 {
+            Some(
+                (0..num_slots)
+                    .map(|t| model.add_var(format!("mig[{si},{t}]"), 0.0, f64::INFINITY, 0.0))
+                    .collect::<Vec<_>>(),
+            )
+        } else {
+            None
+        };
+        let (batt_charge, batt_discharge, batt_level) =
+            if matches!(input.storage, StorageMode::Batteries) {
+                let bc = (0..num_slots)
+                    .map(|t| model.add_var(format!("bc[{si},{t}]"), 0.0, f64::INFINITY, 0.0))
+                    .collect::<Vec<_>>();
+                let bd = (0..num_slots)
+                    .map(|t| model.add_var(format!("bd[{si},{t}]"), 0.0, f64::INFINITY, 0.0))
+                    .collect::<Vec<_>>();
+                let bl = (0..num_slots)
+                    .map(|t| model.add_var(format!("bl[{si},{t}]"), 0.0, f64::INFINITY, 0.0))
+                    .collect::<Vec<_>>();
+                (Some(bc), Some(bd), Some(bl))
+            } else {
+                (None, None, None)
+            };
+        let (nm_push, nm_draw, credited) = if matches!(input.storage, StorageMode::NetMetering) {
+            let np = (0..num_slots)
+                .map(|t| model.add_var(format!("np[{si},{t}]"), 0.0, f64::INFINITY, 0.0))
+                .collect::<Vec<_>>();
+            // Draws are billed at retail like brown energy.
+            let nd = (0..num_slots)
+                .map(|t| {
+                    model.add_var(
+                        format!("nd[{si},{t}]"),
+                        0.0,
+                        f64::INFINITY,
+                        p_mwh * weights[t] / MONTHS,
+                    )
+                })
+                .collect::<Vec<_>>();
+            // Credit revenue: maximized by the solver, bounded by the two
+            // no-cash-out rows added below.
+            let cr = model.add_var(format!("credited[{si}]"), 0.0, f64::INFINITY, -1.0);
+            (Some(np), Some(nd), Some(cr))
+        } else {
+            (None, None, None)
+        };
+
+        model.add_obj_offset(uc.connection);
+        price_mwh.push(p_mwh);
+        unit_costs.push(uc);
+        vars.push(SiteVars {
+            capacity,
+            solar,
+            wind,
+            batt,
+            credited,
+            comp,
+            mig,
+            green_used,
+            brown,
+            batt_charge,
+            batt_discharge,
+            batt_level,
+            nm_push,
+            nm_draw,
+        });
+    }
+
+    // --- per-site, per-slot constraints -----------------------------------
+    let block_len = sites[0].0.profile.block_len;
+    for (si, (site, _)) in sites.iter().enumerate() {
+        let v = &vars[si];
+        let prof = &site.profile;
+        for t in 0..num_slots {
+            let pue = prof.pue[t];
+            // Load balance (equality): g + bd + nd + brown − pue·(comp+mig) = 0.
+            let mut terms = vec![
+                (v.green_used[t], 1.0),
+                (v.brown[t], 1.0),
+                (v.comp[t], -pue),
+            ];
+            if let Some(bd) = &v.batt_discharge {
+                terms.push((bd[t], 1.0));
+            }
+            if let Some(nd) = &v.nm_draw {
+                terms.push((nd[t], 1.0));
+            }
+            if let Some(m) = &v.mig {
+                terms.push((m[t], -pue));
+            }
+            model.add_con(format!("bal[{si},{t}]"), terms, Sense::Eq, 0.0);
+
+            // Production split: g + bc + np − α·solar − β·wind ≤ 0.
+            let mut terms = vec![
+                (v.green_used[t], 1.0),
+                (v.solar, -prof.alpha[t]),
+                (v.wind, -prof.beta[t]),
+            ];
+            if let Some(bc) = &v.batt_charge {
+                terms.push((bc[t], 1.0));
+            }
+            if let Some(np) = &v.nm_push {
+                terms.push((np[t], 1.0));
+            }
+            model.add_con(format!("prod[{si},{t}]"), terms, Sense::Le, 0.0);
+
+            // Capacity link: comp + mig − capacity ≤ 0.
+            let mut terms = vec![(v.comp[t], 1.0), (v.capacity, -1.0)];
+            if let Some(m) = &v.mig {
+                terms.push((m[t], 1.0));
+            }
+            model.add_con(format!("caplink[{si},{t}]"), terms, Sense::Le, 0.0);
+
+            // Migration floor: θ·comp_prev − θ·comp_t − mig_t ≤ 0, cyclic per
+            // dispatch block.
+            if let Some(m) = &v.mig {
+                let block = t / block_len;
+                let prev = if t % block_len == 0 {
+                    ((block + 1) * block_len).min(num_slots) - 1
+                } else {
+                    t - 1
+                };
+                if prev != t {
+                    model.add_con(
+                        format!("migfloor[{si},{t}]"),
+                        [(v.comp[prev], theta), (v.comp[t], -theta), (m[t], -1.0)],
+                        Sense::Le,
+                        0.0,
+                    );
+                }
+            }
+
+            // Battery dynamics (cyclic per block) and capacity.
+            if let (Some(bc), Some(bd), Some(bl), Some(bcap)) = (
+                &v.batt_charge,
+                &v.batt_discharge,
+                &v.batt_level,
+                v.batt,
+            ) {
+                let block = t / block_len;
+                let prev = if t % block_len == 0 {
+                    ((block + 1) * block_len).min(num_slots) - 1
+                } else {
+                    t - 1
+                };
+                let eff = params.batt_efficiency;
+                model.add_con(
+                    format!("battdyn[{si},{t}]"),
+                    [
+                        (bl[t], 1.0),
+                        (bl[prev], -1.0),
+                        (bc[t], -eff),
+                        (bd[t], 1.0),
+                    ],
+                    Sense::Eq,
+                    0.0,
+                );
+                model.add_con(
+                    format!("battcap[{si},{t}]"),
+                    [(bl[t], 1.0), (bcap, -1.0)],
+                    Sense::Le,
+                    0.0,
+                );
+            }
+        }
+
+        // Net-metering annual true-up: Σ w·nd − Σ w·np ≤ 0.
+        if let (Some(np), Some(nd)) = (&v.nm_push, &v.nm_draw) {
+            let mut terms = Vec::with_capacity(2 * num_slots);
+            for t in 0..num_slots {
+                terms.push((nd[t], weights[t]));
+                terms.push((np[t], -weights[t]));
+            }
+            model.add_con(format!("bank[{si}]"), terms, Sense::Le, 0.0);
+
+            // No cash-out: credited ≤ credit·Σ w·np·price/12 and
+            // credited ≤ payable = Σ w·(brown+nd)·price/12.
+            let cr = v.credited.expect("net metering implies credit var");
+            let p = price_mwh[si];
+            let mut terms = vec![(cr, 1.0)];
+            for t in 0..num_slots {
+                terms.push((np[t], -input.credit_net_meter * p * weights[t] / MONTHS));
+            }
+            model.add_con(format!("credit_push[{si}]"), terms, Sense::Le, 0.0);
+            let mut terms = vec![(cr, 1.0)];
+            for t in 0..num_slots {
+                terms.push((v.brown[t], -p * weights[t] / MONTHS));
+                terms.push((nd[t], -p * weights[t] / MONTHS));
+            }
+            model.add_con(format!("credit_pay[{si}]"), terms, Sense::Le, 0.0);
+        }
+    }
+
+    // --- network-level constraints ----------------------------------------
+    // Demand: Σ_d comp ≥ totalCapacity every slot.
+    for t in 0..num_slots {
+        model.add_con(
+            format!("demand[{t}]"),
+            vars.iter().map(|v| (v.comp[t], 1.0)),
+            Sense::Ge,
+            input.total_capacity_mw,
+        );
+    }
+
+    // Green fraction: Σ w·(g+bd+nd) − minGreen·Σ w·pue·(comp+mig) ≥ 0.
+    if input.min_green_fraction > 0.0 {
+        let mut terms = Vec::new();
+        for (si, (site, _)) in sites.iter().enumerate() {
+            let v = &vars[si];
+            for t in 0..num_slots {
+                let w = weights[t];
+                terms.push((v.green_used[t], w));
+                if let Some(bd) = &v.batt_discharge {
+                    terms.push((bd[t], w));
+                }
+                if let Some(nd) = &v.nm_draw {
+                    terms.push((nd[t], w));
+                }
+                let pue = site.profile.pue[t];
+                terms.push((v.comp[t], -input.min_green_fraction * pue * w));
+                if let Some(m) = &v.mig {
+                    terms.push((m[t], -input.min_green_fraction * pue * w));
+                }
+            }
+        }
+        model.add_con("green_fraction", terms, Sense::Ge, 0.0);
+    }
+
+    // Survivability: capacity_d ≥ (Σ capacity)/n for every site.
+    if n >= 2 {
+        for si in 0..n {
+            let terms = (0..n).map(|sj| {
+                let coeff = if sj == si {
+                    1.0 - 1.0 / n as f64
+                } else {
+                    -1.0 / n as f64
+                };
+                (vars[sj].capacity, coeff)
+            });
+            model.add_con(format!("redundancy[{si}]"), terms, Sense::Ge, 0.0);
+        }
+    }
+
+    NetworkLp {
+        model,
+        vars,
+        unit_costs,
+        num_slots,
+        input: input.clone(),
+        price_mwh,
+        weights,
+    }
+}
+
+impl NetworkLp {
+    /// Number of variables in the compiled model.
+    pub fn num_vars(&self) -> usize {
+        self.model.num_vars()
+    }
+
+    /// Number of constraints in the compiled model.
+    pub fn num_cons(&self) -> usize {
+        self.model.num_cons()
+    }
+
+    /// Read-only access to the underlying model (for diagnostics/tests).
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Solves the LP with default simplex options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the solver status; [`SolveError::Infeasible`] means this
+    /// siting cannot satisfy the requirements (e.g. not enough brown plant
+    /// capacity nearby, or an impossible green fraction).
+    pub fn solve(&self) -> Result<NetworkDispatch, SolveError> {
+        self.solve_with(SimplexOptions::default())
+    }
+
+    /// Solves with explicit simplex options.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetworkLp::solve`].
+    pub fn solve_with(&self, options: SimplexOptions) -> Result<NetworkDispatch, SolveError> {
+        let sol = self.model.solve_with(options)?;
+        Ok(self.extract(&sol))
+    }
+
+    fn extract(&self, sol: &Solution) -> NetworkDispatch {
+        let t_count = self.num_slots;
+        let mut sites = Vec::with_capacity(self.vars.len());
+        let mut green_num = 0.0;
+        let mut demand_den = 0.0;
+        let mut total_capacity = 0.0;
+
+        for (si, v) in self.vars.iter().enumerate() {
+            let take = |ids: &Vec<VarId>| -> Vec<f64> {
+                ids.iter().map(|&id| sol[id].max(0.0)).collect()
+            };
+            let comp_mw = take(&v.comp);
+            let mig_mw = v
+                .mig
+                .as_ref()
+                .map(take)
+                .unwrap_or_else(|| vec![0.0; t_count]);
+            let green_used_mw = take(&v.green_used);
+            let brown_mw = take(&v.brown);
+            let nm_push_mw = v.nm_push.as_ref().map(take).unwrap_or_default();
+            let nm_draw_mw = v.nm_draw.as_ref().map(take).unwrap_or_default();
+            let batt_charge_mw = v.batt_charge.as_ref().map(take).unwrap_or_default();
+            let batt_discharge_mw = v.batt_discharge.as_ref().map(take).unwrap_or_default();
+
+            let mut green_mwh = 0.0;
+            let mut demand_mwh = 0.0;
+            let mut brown_mwh = 0.0;
+            let mut drawn_mwh = 0.0;
+            let prof_pue = {
+                // PUE series is needed for demand accounting.
+                &sol.values // placeholder to satisfy borrow; replaced below
+            };
+            let _ = prof_pue;
+            for t in 0..t_count {
+                let w = self.weights[t];
+                let mut g = green_used_mw[t];
+                if !batt_discharge_mw.is_empty() {
+                    g += batt_discharge_mw[t];
+                }
+                if !nm_draw_mw.is_empty() {
+                    g += nm_draw_mw[t];
+                    drawn_mwh += nm_draw_mw[t] * w;
+                }
+                green_mwh += g * w;
+                brown_mwh += brown_mw[t] * w;
+                // demand = green + brown per the balance row.
+                demand_mwh += (g + brown_mw[t]) * w;
+            }
+            let credited = v.credited.map(|c| sol[c]).unwrap_or(0.0);
+            let energy_cost_month =
+                (brown_mwh + drawn_mwh) * self.price_mwh[si] / MONTHS - credited;
+
+            green_num += green_mwh;
+            demand_den += demand_mwh;
+            let capacity_mw = sol[v.capacity];
+            total_capacity += capacity_mw;
+
+            sites.push(SiteDispatch {
+                capacity_mw,
+                solar_mw: sol[v.solar],
+                wind_mw: sol[v.wind],
+                batt_mwh: v.batt.map(|b| sol[b]).unwrap_or(0.0),
+                comp_mw,
+                mig_mw,
+                green_used_mw,
+                brown_mw,
+                nm_push_mw,
+                nm_draw_mw,
+                batt_charge_mw,
+                batt_discharge_mw,
+                energy_cost_month,
+                green_mwh_yr: green_mwh,
+                demand_mwh_yr: demand_mwh,
+                brown_mwh_yr: brown_mwh,
+            });
+        }
+
+        NetworkDispatch {
+            monthly_cost: sol.objective,
+            sites,
+            green_fraction: if demand_den > 0.0 {
+                green_num / demand_den
+            } else {
+                1.0
+            },
+            total_capacity_mw: total_capacity,
+            iterations: sol.iterations,
+        }
+    }
+
+    /// The unit costs used for each site (order matches construction).
+    pub fn unit_costs(&self) -> &[UnitCosts] {
+        &self.unit_costs
+    }
+
+    /// The placement input this LP was built for.
+    pub fn input(&self) -> &PlacementInput {
+        &self.input
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::TechMix;
+    use greencloud_climate::catalog::WorldCatalog;
+    use greencloud_climate::profiles::ProfileConfig;
+
+    fn candidates() -> Vec<CandidateSite> {
+        let w = WorldCatalog::anchors_only(4);
+        CandidateSite::build_all(&w, &ProfileConfig::coarse())
+    }
+
+    fn brown_input() -> PlacementInput {
+        PlacementInput {
+            min_green_fraction: 0.0,
+            tech: TechMix::BrownOnly,
+            total_capacity_mw: 10.0,
+            ..PlacementInput::default()
+        }
+    }
+
+    #[test]
+    fn single_brown_site_sizes_exactly() {
+        let sites = candidates();
+        let kiev = &sites[0];
+        let lp = build_network_lp(
+            &CostParams::default(),
+            &brown_input(),
+            &[(kiev, SizeClass::Large)],
+        );
+        let d = lp.solve().expect("solvable");
+        // No migrations in a single-site network → capacity = demand.
+        assert!(
+            (d.sites[0].capacity_mw - 10.0).abs() < 1e-5,
+            "capacity {}",
+            d.sites[0].capacity_mw
+        );
+        assert!((d.total_capacity_mw - 10.0).abs() < 1e-5);
+        assert!(d.green_fraction < 1e-9);
+        assert!(d.monthly_cost > 1e6, "cost {}", d.monthly_cost);
+        // All power is brown and sized demand·pue.
+        for t in 0..kiev.profile.len() {
+            let expect = 10.0 * kiev.profile.pue[t];
+            assert!((d.sites[0].brown_mw[t] - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn two_sites_split_equally_by_redundancy() {
+        let sites = candidates();
+        let lp = build_network_lp(
+            &CostParams::default(),
+            &brown_input(),
+            &[(&sites[0], SizeClass::Large), (&sites[7], SizeClass::Large)],
+        );
+        let d = lp.solve().expect("solvable");
+        // capacity_d ≥ total/2 for both → equal split.
+        assert!(
+            (d.sites[0].capacity_mw - d.sites[1].capacity_mw).abs() < 1e-5,
+            "{} vs {}",
+            d.sites[0].capacity_mw,
+            d.sites[1].capacity_mw
+        );
+        assert!(d.total_capacity_mw >= 10.0 - 1e-6);
+    }
+
+    #[test]
+    fn wind_site_reaches_high_green_fraction_with_net_metering() {
+        let sites = candidates();
+        let mw = sites
+            .iter()
+            .find(|s| s.name.contains("Mount Washington"))
+            .unwrap();
+        let input = PlacementInput {
+            total_capacity_mw: 10.0,
+            min_green_fraction: 0.8,
+            tech: TechMix::WindOnly,
+            storage: StorageMode::NetMetering,
+            ..PlacementInput::default()
+        };
+        let lp = build_network_lp(&CostParams::default(), &input, &[(mw, SizeClass::Large)]);
+        let d = lp.solve().expect("feasible");
+        assert!(
+            d.green_fraction >= 0.8 - 1e-6,
+            "green fraction {}",
+            d.green_fraction
+        );
+        assert!(d.sites[0].wind_mw > 5.0, "wind {}", d.sites[0].wind_mw);
+        assert_eq!(d.sites[0].solar_mw, 0.0);
+    }
+
+    #[test]
+    fn no_storage_is_costlier_than_net_metering_at_high_green() {
+        let sites = candidates();
+        let harare = sites.iter().find(|s| s.name.contains("Harare")).unwrap();
+        let base = PlacementInput {
+            total_capacity_mw: 5.0,
+            min_green_fraction: 0.9,
+            tech: TechMix::SolarOnly,
+            storage: StorageMode::NetMetering,
+            ..PlacementInput::default()
+        };
+        let with_nm = build_network_lp(&CostParams::default(), &base, &[(harare, SizeClass::Small)])
+            .solve()
+            .expect("net metering feasible");
+        let no_storage = PlacementInput {
+            storage: StorageMode::None,
+            ..base
+        };
+        let lp = build_network_lp(
+            &CostParams::default(),
+            &no_storage,
+            &[(harare, SizeClass::Small)],
+        );
+        match lp.solve() {
+            // A single solar site cannot be >90% green without storage
+            // (nights!), so infeasible is the expected outcome…
+            Err(SolveError::Infeasible) => {}
+            // …but if slot weights make it feasible, it must cost more.
+            Ok(d) => assert!(d.monthly_cost > with_nm.monthly_cost),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn batteries_enable_overnight_solar() {
+        let sites = candidates();
+        let nairobi = sites.iter().find(|s| s.name.contains("Nairobi")).unwrap();
+        let input = PlacementInput {
+            total_capacity_mw: 5.0,
+            min_green_fraction: 0.9,
+            tech: TechMix::SolarOnly,
+            storage: StorageMode::Batteries,
+            ..PlacementInput::default()
+        };
+        let lp = build_network_lp(&CostParams::default(), &input, &[(nairobi, SizeClass::Small)]);
+        let d = lp.solve().expect("batteries make 90% solar feasible");
+        assert!(d.sites[0].batt_mwh > 1.0, "batteries {}", d.sites[0].batt_mwh);
+        assert!(d.green_fraction >= 0.9 - 1e-6);
+    }
+
+    #[test]
+    fn migration_overhead_raises_cost() {
+        let sites = candidates();
+        let pair = [
+            (&sites[5], SizeClass::Large), // Mexico City
+            (&sites[6], SizeClass::Large), // Guam
+        ];
+        let base = PlacementInput {
+            total_capacity_mw: 10.0,
+            min_green_fraction: 0.9,
+            tech: TechMix::SolarOnly,
+            storage: StorageMode::None,
+            migration_fraction: 1.0,
+            ..PlacementInput::default()
+        };
+        let full = build_network_lp(&CostParams::default(), &base, &pair)
+            .solve()
+            .expect("two time zones make no-storage solar feasible");
+        let free = PlacementInput {
+            migration_fraction: 0.0,
+            ..base
+        };
+        let cheap = build_network_lp(&CostParams::default(), &free, &pair)
+            .solve()
+            .expect("free migration solves too");
+        assert!(
+            full.monthly_cost >= cheap.monthly_cost - 1.0,
+            "θ=1 {} vs θ=0 {}",
+            full.monthly_cost,
+            cheap.monthly_cost
+        );
+    }
+
+    #[test]
+    fn credit_never_exceeds_payable() {
+        // A windy site told to be 100% green: with full credit its energy
+        // bill must floor at zero, never go negative.
+        let sites = candidates();
+        let mw = sites
+            .iter()
+            .find(|s| s.name.contains("Mount Washington"))
+            .unwrap();
+        let input = PlacementInput {
+            total_capacity_mw: 10.0,
+            min_green_fraction: 1.0,
+            tech: TechMix::WindOnly,
+            storage: StorageMode::NetMetering,
+            ..PlacementInput::default()
+        };
+        let lp = build_network_lp(&CostParams::default(), &input, &[(mw, SizeClass::Large)]);
+        let d = lp.solve().expect("feasible");
+        assert!(
+            d.sites[0].energy_cost_month >= -1e-6,
+            "energy cost {}",
+            d.sites[0].energy_cost_month
+        );
+    }
+
+    #[test]
+    fn infeasible_when_brown_capped_and_no_green_allowed() {
+        let mut sites = candidates();
+        // Choke the brown plant: 1 MW nearby cap × 25% = 0.25 MW available.
+        sites[0].econ.near_plant_cap_kw = 1000.0;
+        let input = PlacementInput {
+            total_capacity_mw: 10.0,
+            ..brown_input()
+        };
+        let lp = build_network_lp(
+            &CostParams::default(),
+            &input,
+            &[(&sites[0], SizeClass::Large)],
+        );
+        assert_eq!(lp.solve().unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn lp_solution_is_feasible_by_independent_check() {
+        let sites = candidates();
+        let input = PlacementInput {
+            total_capacity_mw: 10.0,
+            min_green_fraction: 0.5,
+            tech: TechMix::Both,
+            storage: StorageMode::NetMetering,
+            ..PlacementInput::default()
+        };
+        let lp = build_network_lp(
+            &CostParams::default(),
+            &input,
+            &[(&sites[3], SizeClass::Large), (&sites[4], SizeClass::Large)],
+        );
+        let sol = lp.model().solve().expect("solve");
+        greencloud_lp::validate::assert_feasible(lp.model(), &sol.values, 1e-6);
+    }
+}

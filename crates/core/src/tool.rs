@@ -1,0 +1,230 @@
+//! The end-to-end placement tool (paper §III).
+//!
+//! Wraps the full pipeline: build candidates from a world catalog
+//! (parallelized — each candidate synthesizes a TMY year), pre-filter,
+//! anneal, and assemble the reported solution. Also exposes the
+//! single-location provisioning solve used by the paper's Fig. 6 cost-CDF
+//! study.
+
+use crate::anneal::{anneal, AnnealOptions};
+use crate::candidate::CandidateSite;
+use crate::filter::filter_candidates;
+use crate::formulation::build_network_lp;
+use crate::framework::{PlacementInput, SizeClass};
+use crate::solution::PlacementSolution;
+use greencloud_climate::catalog::{LocationId, WorldCatalog};
+use greencloud_climate::profiles::ProfileConfig;
+use greencloud_cost::params::CostParams;
+use greencloud_lp::SolveError;
+
+/// Configuration of the placement tool.
+#[derive(Debug, Clone)]
+pub struct ToolOptions {
+    /// Representative-day profile shared by all candidates.
+    pub profile: ProfileConfig,
+    /// How many locations survive the pre-filter.
+    pub filter_keep: usize,
+    /// Simulated-annealing search options.
+    pub anneal: AnnealOptions,
+    /// Threads used to build candidates.
+    pub build_threads: usize,
+}
+
+impl Default for ToolOptions {
+    fn default() -> Self {
+        Self {
+            profile: ProfileConfig::default(),
+            filter_keep: 20,
+            anneal: AnnealOptions::default(),
+            build_threads: 4,
+        }
+    }
+}
+
+/// The siting and provisioning tool.
+#[derive(Debug)]
+pub struct PlacementTool {
+    params: CostParams,
+    candidates: Vec<CandidateSite>,
+    options: ToolOptions,
+}
+
+impl PlacementTool {
+    /// Builds the tool for a world catalog (synthesizes every location's
+    /// TMY; parallelized across `build_threads`).
+    pub fn new(catalog: &WorldCatalog, params: CostParams, options: ToolOptions) -> Self {
+        let ids: Vec<LocationId> = catalog.iter().map(|l| l.id).collect();
+        let threads = options.build_threads.max(1);
+        let chunk = ids.len().div_ceil(threads);
+        let mut candidates: Vec<Option<CandidateSite>> = vec![None; ids.len()];
+        if threads == 1 || ids.len() < 8 {
+            for (k, id) in ids.iter().enumerate() {
+                candidates[k] = Some(CandidateSite::build(catalog, *id, &options.profile));
+            }
+        } else {
+            let profile = options.profile;
+            crossbeam::thread::scope(|scope| {
+                for (slot_chunk, id_chunk) in candidates.chunks_mut(chunk).zip(ids.chunks(chunk)) {
+                    scope.spawn(move |_| {
+                        for (slot, id) in slot_chunk.iter_mut().zip(id_chunk) {
+                            *slot = Some(CandidateSite::build(catalog, *id, &profile));
+                        }
+                    });
+                }
+            })
+            .expect("candidate building never panics");
+        }
+        PlacementTool {
+            params,
+            candidates: candidates.into_iter().map(|c| c.expect("built")).collect(),
+            options,
+        }
+    }
+
+    /// All candidates (catalog order).
+    pub fn candidates(&self) -> &[CandidateSite] {
+        &self.candidates
+    }
+
+    /// The cost parameters in use.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Sites and provisions a datacenter network for `input`.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] when no feasible siting exists within the
+    /// filtered candidate set, plus any solver-level error.
+    pub fn solve(&self, input: &PlacementInput) -> Result<PlacementSolution, SolveError> {
+        let kept = filter_candidates(&self.params, input, &self.candidates, self.options.filter_keep);
+        let filtered: Vec<CandidateSite> =
+            kept.iter().map(|&i| self.candidates[i].clone()).collect();
+        let result = anneal(&self.params, input, &filtered, &self.options.anneal)?;
+        // Map filtered indices back to catalog candidates for reporting.
+        let siting: Vec<(usize, SizeClass)> = result
+            .siting
+            .iter()
+            .map(|&(fi, class)| (kept[fi], class))
+            .collect();
+        Ok(PlacementSolution::from_dispatch(
+            &self.params,
+            &self.candidates,
+            &siting,
+            &result.dispatch,
+            result.evaluations,
+        ))
+    }
+
+    /// Provisions a single datacenter of `capacity_mw` at one location
+    /// (no availability constraint) — the paper's Fig. 6 study.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] when the location cannot host the
+    /// datacenter under `input` (e.g. insufficient nearby brown capacity).
+    pub fn solve_single(
+        &self,
+        location: LocationId,
+        capacity_mw: f64,
+        input: &PlacementInput,
+    ) -> Result<PlacementSolution, SolveError> {
+        let idx = self
+            .candidates
+            .iter()
+            .position(|c| c.id == location)
+            .ok_or_else(|| SolveError::InvalidModel("unknown location".into()))?;
+        let class = if capacity_mw * self.candidates[idx].max_pue() > 10.0 {
+            SizeClass::Large
+        } else {
+            SizeClass::Small
+        };
+        let single = PlacementInput {
+            total_capacity_mw: capacity_mw,
+            min_availability: 0.0,
+            ..input.clone()
+        };
+        let sites = vec![(&self.candidates[idx], class)];
+        let lp = build_network_lp(&self.params, &single, &sites);
+        let dispatch = lp.solve()?;
+        Ok(PlacementSolution::from_dispatch(
+            &self.params,
+            &self.candidates,
+            &[(idx, class)],
+            &dispatch,
+            1,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{StorageMode, TechMix};
+
+    fn quick_tool(n: usize, seed: u64) -> PlacementTool {
+        let w = WorldCatalog::synthetic(n, seed);
+        PlacementTool::new(
+            &w,
+            CostParams::default(),
+            ToolOptions {
+                profile: ProfileConfig::coarse(),
+                filter_keep: 8,
+                anneal: AnnealOptions {
+                    iterations: 25,
+                    chains: 2,
+                    seed: 5,
+                    ..AnnealOptions::default()
+                },
+                build_threads: 4,
+            },
+        )
+    }
+
+    #[test]
+    fn end_to_end_green_network() {
+        let tool = quick_tool(30, 17);
+        let input = PlacementInput {
+            total_capacity_mw: 20.0,
+            min_green_fraction: 0.5,
+            tech: TechMix::Both,
+            storage: StorageMode::NetMetering,
+            ..PlacementInput::default()
+        };
+        let sol = tool.solve(&input).expect("solvable");
+        assert!(sol.datacenters.len() >= 2);
+        assert!(sol.green_fraction >= 0.5 - 1e-6);
+        assert!(sol.total_capacity_mw >= 20.0 - 1e-6);
+        assert!(sol.monthly_cost > 1e6);
+    }
+
+    #[test]
+    fn single_location_fig6_style() {
+        let tool = quick_tool(12, 17);
+        let id = tool.candidates()[1].id;
+        let brown = PlacementInput {
+            min_green_fraction: 0.0,
+            tech: TechMix::BrownOnly,
+            ..PlacementInput::default()
+        };
+        let sol = tool.solve_single(id, 25.0, &brown).expect("solvable");
+        assert_eq!(sol.datacenters.len(), 1);
+        assert!((sol.datacenters[0].capacity_mw - 25.0).abs() < 1e-4);
+        // Paper's Fig. 6 brown band: roughly $8–13M/month.
+        assert!(
+            sol.monthly_cost > 6e6 && sol.monthly_cost < 16e6,
+            "cost {}",
+            sol.monthly_cost
+        );
+    }
+
+    #[test]
+    fn unknown_location_is_reported() {
+        let tool = quick_tool(12, 17);
+        let err = tool
+            .solve_single(LocationId(9999), 25.0, &PlacementInput::default())
+            .unwrap_err();
+        assert!(matches!(err, SolveError::InvalidModel(_)));
+    }
+}

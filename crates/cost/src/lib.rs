@@ -1,0 +1,22 @@
+//! The paper's Table I cost model: CAPEX, OPEX, financing, amortization.
+//!
+//! Every cost the siting optimization minimizes is computed here, expressed
+//! as **$/month**, the unit the paper reports:
+//!
+//! * [`finance`] — annuity mathematics: each CAPEX component is financed at
+//!   a fixed annual rate over a financing period and attributed over its
+//!   amortization (asset-lifetime) period; land is financing-cost-only
+//!   because the paper assumes it is fully recoverable.
+//! * [`params::CostParams`] — the Table I defaults (prices, areas, power
+//!   draws, lifetimes).
+//! * [`breakdown`] — `CAP_ind`, `CAP_dep`, and `OP` for a provisioned
+//!   datacenter, itemized exactly as the paper's Fig. 7 stacks them.
+
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod finance;
+pub mod params;
+
+pub use breakdown::{CostBreakdown, Provisioning};
+pub use params::CostParams;

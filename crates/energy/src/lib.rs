@@ -1,0 +1,38 @@
+//! Energy-conversion models: photovoltaics, wind turbines, cooling (PUE),
+//! and green-energy storage.
+//!
+//! These models turn the synthetic weather of `greencloud-climate` into the
+//! paper's α(d,t) and β(d,t) — the fraction of installed solar and wind
+//! capacity a plant at location *d* produces during slot *t* — plus the
+//! PUE(d,t) cooling-overhead factor:
+//!
+//! * [`pv::PvModel`] — 15%-efficiency-class PV with temperature derating and
+//!   conversion losses (α).
+//! * [`windturbine::Turbine`] — the Enercon E-126 power curve with air
+//!   density correction and storm cut-out (β).
+//! * [`pue::PueModel`] — the paper's Fig. 4 PUE-vs-outside-temperature
+//!   curve, measured on a free-cooled micro-datacenter.
+//! * [`battery::Battery`] — charge-efficiency-limited storage ledger.
+//! * [`netmeter::NetMeter`] — grid storage via net metering with an annual
+//!   true-up and a credit fraction.
+//! * [`capacity_factor`] — annual aggregation of α/β/PUE over a TMY year.
+//! * [`profile::EnergyProfile`] — α/β/PUE on the representative-day slot
+//!   clock, the direct input of the siting LP.
+
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod capacity_factor;
+pub mod netmeter;
+pub mod profile;
+pub mod pue;
+pub mod pv;
+pub mod windturbine;
+
+pub use battery::Battery;
+pub use capacity_factor::CapacityFactors;
+pub use netmeter::NetMeter;
+pub use profile::EnergyProfile;
+pub use pue::PueModel;
+pub use pv::PvModel;
+pub use windturbine::Turbine;

@@ -1,0 +1,234 @@
+//! Linear expressions over model variables.
+
+use crate::model::VarId;
+use std::collections::HashMap;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A linear expression `Σ coeff_i · x_i + constant`.
+///
+/// `LinExpr` is the currency of constraint construction: it can be built
+/// incrementally with [`LinExpr::add_term`], combined with `+`/`-`, and
+/// scaled with `*`. Duplicate variables are allowed while building and are
+/// merged by [`LinExpr::compress`] (called automatically when the expression
+/// is attached to a model).
+///
+/// # Example
+///
+/// ```
+/// use greencloud_lp::{LinExpr, Model, Sense};
+///
+/// let mut m = Model::new();
+/// let x = m.add_var("x", 0.0, 10.0, 1.0);
+/// let y = m.add_var("y", 0.0, 10.0, 1.0);
+/// let e = LinExpr::term(x, 2.0) + LinExpr::term(y, 3.0);
+/// m.add_con_expr("budget", e, Sense::Le, 12.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    terms: Vec<(VarId, f64)>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// Creates the zero expression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an expression consisting of a single term `coeff · var`.
+    pub fn term(var: VarId, coeff: f64) -> Self {
+        Self {
+            terms: vec![(var, coeff)],
+            constant: 0.0,
+        }
+    }
+
+    /// Creates a constant expression.
+    pub fn constant(value: f64) -> Self {
+        Self {
+            terms: Vec::new(),
+            constant: value,
+        }
+    }
+
+    /// Adds `coeff · var` to the expression and returns `&mut self` for
+    /// chaining.
+    pub fn add_term(&mut self, var: VarId, coeff: f64) -> &mut Self {
+        if coeff != 0.0 {
+            self.terms.push((var, coeff));
+        }
+        self
+    }
+
+    /// Adds a constant offset.
+    pub fn add_constant(&mut self, value: f64) -> &mut Self {
+        self.constant += value;
+        self
+    }
+
+    /// The constant offset of the expression.
+    pub fn constant_part(&self) -> f64 {
+        self.constant
+    }
+
+    /// The (possibly uncompressed) terms of the expression.
+    pub fn terms(&self) -> &[(VarId, f64)] {
+        &self.terms
+    }
+
+    /// Merges duplicate variables and drops zero coefficients.
+    pub fn compress(&mut self) {
+        if self.terms.len() <= 1 {
+            return;
+        }
+        let mut acc: HashMap<VarId, f64> = HashMap::with_capacity(self.terms.len());
+        for &(v, c) in &self.terms {
+            *acc.entry(v).or_insert(0.0) += c;
+        }
+        self.terms = acc.into_iter().filter(|&(_, c)| c != 0.0).collect();
+        self.terms.sort_by_key(|&(v, _)| v);
+    }
+
+    /// Evaluates the expression for an assignment of variable values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of range for `values`.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|&(v, c)| c * values[v.index()])
+                .sum::<f64>()
+    }
+
+    /// Returns `true` when the expression has no variable terms.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+impl FromIterator<(VarId, f64)> for LinExpr {
+    fn from_iter<T: IntoIterator<Item = (VarId, f64)>>(iter: T) -> Self {
+        let mut e = LinExpr::new();
+        for (v, c) in iter {
+            e.add_term(v, c);
+        }
+        e
+    }
+}
+
+impl Extend<(VarId, f64)> for LinExpr {
+    fn extend<T: IntoIterator<Item = (VarId, f64)>>(&mut self, iter: T) {
+        for (v, c) in iter {
+            self.add_term(v, c);
+        }
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        self.terms.extend(rhs.terms);
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        self.terms.extend(rhs.terms);
+        self.constant += rhs.constant;
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: LinExpr) -> LinExpr {
+        self.terms
+            .extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
+        self.constant -= rhs.constant;
+        self
+    }
+}
+
+impl SubAssign for LinExpr {
+    fn sub_assign(&mut self, rhs: LinExpr) {
+        self.terms
+            .extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
+        self.constant -= rhs.constant;
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, rhs: f64) -> LinExpr {
+        for t in &mut self.terms {
+            t.1 *= rhs;
+        }
+        self.constant *= rhs;
+        self
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        self * -1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Model;
+
+    fn vars() -> (Model, VarId, VarId) {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 1.0, 0.0);
+        let y = m.add_var("y", 0.0, 1.0, 0.0);
+        (m, x, y)
+    }
+
+    #[test]
+    fn term_arithmetic() {
+        let (_m, x, y) = vars();
+        let e = LinExpr::term(x, 2.0) + LinExpr::term(y, 3.0) - LinExpr::term(x, 0.5);
+        assert_eq!(e.eval(&[1.0, 1.0]), 4.5);
+    }
+
+    #[test]
+    fn compress_merges_duplicates() {
+        let (_m, x, y) = vars();
+        let mut e = LinExpr::new();
+        e.add_term(x, 1.0).add_term(x, 2.0).add_term(y, -1.0).add_term(y, 1.0);
+        e.compress();
+        assert_eq!(e.terms().len(), 1);
+        assert_eq!(e.terms()[0], (x, 3.0));
+    }
+
+    #[test]
+    fn scaling_and_negation() {
+        let (_m, x, _y) = vars();
+        let e = (LinExpr::term(x, 2.0) + LinExpr::constant(1.0)) * 3.0;
+        assert_eq!(e.eval(&[2.0, 0.0]), 15.0);
+        let n = -e;
+        assert_eq!(n.eval(&[2.0, 0.0]), -15.0);
+    }
+
+    #[test]
+    fn zero_coefficients_are_dropped() {
+        let (_m, x, _y) = vars();
+        let mut e = LinExpr::new();
+        e.add_term(x, 0.0);
+        assert!(e.is_constant());
+    }
+
+    #[test]
+    fn from_iterator_collects_terms() {
+        let (_m, x, y) = vars();
+        let e: LinExpr = vec![(x, 1.0), (y, 2.0)].into_iter().collect();
+        assert_eq!(e.terms().len(), 2);
+    }
+}

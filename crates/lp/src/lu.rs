@@ -1,0 +1,488 @@
+//! Sparse LU factorization of simplex basis matrices.
+//!
+//! The revised simplex refactorizes its basis every few dozen pivots. Basis
+//! matrices arising from the siting formulation are extremely sparse (3–6
+//! nonzeros per column), so a dense factorization would dominate solve time.
+//! [`SparseLu`] implements a left-looking column LU with partial pivoting:
+//! `P·B = L·U` with `L` unit lower triangular and `U` upper triangular, both
+//! stored column-wise in pivot-position space. Triangular solves use a dense
+//! workspace and run in `O(n + nnz(L+U))`.
+
+use crate::model::SolveError;
+
+/// A sparse matrix stored in compressed-column form, used to hand basis
+/// columns to the factorization.
+#[derive(Debug, Clone, Default)]
+pub struct ColMatrix {
+    n_rows: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl ColMatrix {
+    /// Creates an empty matrix with `n_rows` rows and no columns.
+    pub fn new(n_rows: usize) -> Self {
+        Self {
+            n_rows,
+            col_ptr: vec![0],
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Appends a column given as `(row, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row index is out of range.
+    pub fn push_col<I: IntoIterator<Item = (usize, f64)>>(&mut self, entries: I) {
+        for (r, v) in entries {
+            assert!(r < self.n_rows, "row index {r} out of range");
+            if v != 0.0 {
+                self.row_idx.push(r);
+                self.values.push(v);
+            }
+        }
+        self.col_ptr.push(self.row_idx.len());
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.col_ptr.len() - 1
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// The `(row, value)` entries of column `j`.
+    pub fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        self.row_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Multiplies `self · x` into a fresh vector (used by tests/validation).
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n_rows];
+        for j in 0..self.n_cols() {
+            let xj = x[j];
+            if xj != 0.0 {
+                for (r, v) in self.col(j) {
+                    y[r] += v * xj;
+                }
+            }
+        }
+        y
+    }
+}
+
+/// Sparse LU factors of a square basis matrix, with row pivoting.
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    n: usize,
+    /// L (unit diagonal implicit), columns in position space, entries strictly
+    /// below the diagonal.
+    l_ptr: Vec<usize>,
+    l_idx: Vec<usize>,
+    l_val: Vec<f64>,
+    /// U columns in position space, entries strictly above the diagonal.
+    u_ptr: Vec<usize>,
+    u_idx: Vec<usize>,
+    u_val: Vec<f64>,
+    u_diag: Vec<f64>,
+    /// `row_of[p]` = original row pivoted at position `p`.
+    row_of: Vec<usize>,
+    /// `pos_of[r]` = pivot position of original row `r`.
+    pos_of: Vec<usize>,
+}
+
+/// Smallest acceptable pivot magnitude.
+const PIVOT_TOL: f64 = 1e-11;
+
+impl SparseLu {
+    /// Factorizes the square matrix whose columns are given by `basis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Numerical`] if the matrix is (numerically)
+    /// singular or not square.
+    pub fn factorize(basis: &ColMatrix) -> Result<Self, SolveError> {
+        let n = basis.n_rows();
+        if basis.n_cols() != n {
+            return Err(SolveError::Numerical(format!(
+                "basis not square: {}x{}",
+                n,
+                basis.n_cols()
+            )));
+        }
+        let mut lu = SparseLu {
+            n,
+            l_ptr: Vec::with_capacity(n + 1),
+            l_idx: Vec::new(),
+            l_val: Vec::new(),
+            u_ptr: Vec::with_capacity(n + 1),
+            u_idx: Vec::new(),
+            u_val: Vec::new(),
+            u_diag: vec![0.0; n],
+            row_of: vec![usize::MAX; n],
+            pos_of: vec![usize::MAX; n],
+        };
+        lu.l_ptr.push(0);
+        lu.u_ptr.push(0);
+
+        // Dense workspace indexed by ORIGINAL row index, plus the list of
+        // touched entries for sparse reset. Membership must be tracked with
+        // an explicit mark — testing `x[r] == 0.0` would re-add a row whose
+        // value cancelled exactly to zero, duplicating entries in L.
+        let mut x = vec![0.0; n];
+        let mut mark = vec![false; n];
+        let mut touched: Vec<usize> = Vec::with_capacity(64);
+
+        for k in 0..n {
+            // Scatter column k.
+            for (r, v) in basis.col(k) {
+                if !mark[r] {
+                    mark[r] = true;
+                    touched.push(r);
+                }
+                x[r] += v;
+            }
+
+            // Left-looking elimination: apply pivots 0..k in position order.
+            // A pivot p only updates rows that were not pivoted before p, so
+            // increasing-order processing over original-row workspace is
+            // exact.
+            for p in 0..k {
+                let pr = lu.row_of[p];
+                let xp = x[pr];
+                if xp == 0.0 {
+                    continue;
+                }
+                // U[p, k] = xp; eliminate using L column p.
+                lu.u_idx.push(p);
+                lu.u_val.push(xp);
+                let lo = lu.l_ptr[p];
+                let hi = lu.l_ptr[p + 1];
+                for t in lo..hi {
+                    let r = lu.l_idx[t];
+                    if !mark[r] {
+                        mark[r] = true;
+                        touched.push(r);
+                    }
+                    x[r] -= lu.l_val[t] * xp;
+                }
+                x[pr] = 0.0;
+            }
+            lu.u_ptr.push(lu.u_idx.len());
+
+            // Partial pivot among unpivoted rows.
+            let mut piv_row = usize::MAX;
+            let mut piv_abs = PIVOT_TOL;
+            for &r in &touched {
+                if lu.pos_of[r] == usize::MAX {
+                    let a = x[r].abs();
+                    if a > piv_abs {
+                        piv_abs = a;
+                        piv_row = r;
+                    }
+                }
+            }
+            if piv_row == usize::MAX {
+                let best = touched
+                    .iter()
+                    .filter(|&&r| lu.pos_of[r] == usize::MAX)
+                    .map(|&r| x[r].abs())
+                    .fold(0.0f64, f64::max);
+                return Err(SolveError::Numerical(format!(
+                    "singular basis at column {k} (best pivot candidate {best:.3e})"
+                )));
+            }
+            let piv_val = x[piv_row];
+            lu.u_diag[k] = piv_val;
+            lu.row_of[k] = piv_row;
+            lu.pos_of[piv_row] = k;
+
+            // L column k: remaining unpivoted nonzeros, scaled.
+            for &r in &touched {
+                if r != piv_row && lu.pos_of[r] == usize::MAX && x[r] != 0.0 {
+                    lu.l_idx.push(r);
+                    lu.l_val.push(x[r] / piv_val);
+                }
+            }
+            lu.l_ptr.push(lu.l_idx.len());
+
+            // Sparse reset.
+            for &r in &touched {
+                x[r] = 0.0;
+                mark[r] = false;
+            }
+            touched.clear();
+        }
+
+        // Convert L's row indices from original-row space to position space so
+        // the triangular solves are pure position-space sweeps.
+        for idx in &mut lu.l_idx {
+            *idx = lu.pos_of[*idx];
+        }
+        Ok(lu)
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Nonzeros stored in the factors (fill-in indicator).
+    pub fn fill_nnz(&self) -> usize {
+        self.l_idx.len() + self.u_idx.len() + self.n
+    }
+
+    /// Solves `B·x = b` in place: `b` enters in original-row space and leaves
+    /// as `x` in basis-column (position) space.
+    pub fn ftran(&self, b: &mut [f64], scratch: &mut Vec<f64>) {
+        debug_assert_eq!(b.len(), self.n);
+        scratch.resize(self.n, 0.0);
+        // z = P·b
+        for p in 0..self.n {
+            scratch[p] = b[self.row_of[p]];
+        }
+        // L·y = z (forward, unit diagonal)
+        for k in 0..self.n {
+            let yk = scratch[k];
+            if yk != 0.0 {
+                for t in self.l_ptr[k]..self.l_ptr[k + 1] {
+                    scratch[self.l_idx[t]] -= self.l_val[t] * yk;
+                }
+            }
+        }
+        // U·x = y (backward)
+        for k in (0..self.n).rev() {
+            let xk = scratch[k] / self.u_diag[k];
+            scratch[k] = xk;
+            if xk != 0.0 {
+                for t in self.u_ptr[k]..self.u_ptr[k + 1] {
+                    scratch[self.u_idx[t]] -= self.u_val[t] * xk;
+                }
+            }
+        }
+        b.copy_from_slice(scratch);
+    }
+
+    /// Solves `Bᵀ·y = c` in place: `c` enters in basis-column (position)
+    /// space and leaves as `y` in original-row space.
+    pub fn btran(&self, c: &mut [f64], scratch: &mut Vec<f64>) {
+        debug_assert_eq!(c.len(), self.n);
+        scratch.resize(self.n, 0.0);
+        // Uᵀ·w = c (forward)
+        for k in 0..self.n {
+            let mut s = c[k];
+            for t in self.u_ptr[k]..self.u_ptr[k + 1] {
+                s -= self.u_val[t] * scratch[self.u_idx[t]];
+            }
+            scratch[k] = s / self.u_diag[k];
+        }
+        // Lᵀ·v = w (backward, unit diagonal)
+        for k in (0..self.n).rev() {
+            let mut s = scratch[k];
+            for t in self.l_ptr[k]..self.l_ptr[k + 1] {
+                s -= self.l_val[t] * scratch[self.l_idx[t]];
+            }
+            scratch[k] = s;
+        }
+        // y = Pᵀ·v
+        for p in 0..self.n {
+            c[self.row_of[p]] = scratch[p];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_to_cols(a: &[&[f64]]) -> ColMatrix {
+        let n = a.len();
+        let mut m = ColMatrix::new(n);
+        for j in 0..n {
+            m.push_col((0..n).map(|i| (i, a[i][j])).filter(|&(_, v)| v != 0.0));
+        }
+        m
+    }
+
+    fn assert_solves(a: &[&[f64]]) {
+        let n = a.len();
+        let m = dense_to_cols(a);
+        let lu = SparseLu::factorize(&m).expect("factorize");
+        let mut scratch = Vec::new();
+
+        // FTRAN against known product.
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+        let mut b = m.mul_vec(&x_true);
+        lu.ftran(&mut b, &mut scratch);
+        for i in 0..n {
+            assert!(
+                (b[i] - x_true[i]).abs() < 1e-9,
+                "ftran mismatch at {i}: {} vs {}",
+                b[i],
+                x_true[i]
+            );
+        }
+
+        // BTRAN: check Bᵀ·y = c.
+        let c_true: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.25).collect();
+        let mut c = c_true.clone();
+        lu.btran(&mut c, &mut scratch);
+        for j in 0..n {
+            let mut dot = 0.0;
+            for (r, v) in m.col(j) {
+                dot += v * c[r];
+            }
+            assert!(
+                (dot - c_true[j]).abs() < 1e-9,
+                "btran residual at {j}: {dot} vs {}",
+                c_true[j]
+            );
+        }
+    }
+
+    #[test]
+    fn identity() {
+        assert_solves(&[&[1.0, 0.0], &[0.0, 1.0]]);
+    }
+
+    #[test]
+    fn permuted_identity() {
+        assert_solves(&[
+            &[0.0, 0.0, 1.0],
+            &[1.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0],
+        ]);
+    }
+
+    #[test]
+    fn general_dense_3x3() {
+        assert_solves(&[
+            &[2.0, 1.0, 1.0],
+            &[4.0, -6.0, 0.0],
+            &[-2.0, 7.0, 2.0],
+        ]);
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // Zero on the diagonal forces a row exchange.
+        assert_solves(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert_solves(&[
+            &[0.0, 2.0, 3.0],
+            &[1.0, 0.0, 1.0],
+            &[2.0, 1.0, 0.0],
+        ]);
+    }
+
+    #[test]
+    fn negative_slack_columns() {
+        // Simplex bases mix ±unit columns with structural columns.
+        assert_solves(&[
+            &[-1.0, 0.0, 0.5],
+            &[0.0, -1.0, 2.0],
+            &[0.0, 0.0, 1.5],
+        ]);
+    }
+
+    #[test]
+    fn singular_is_detected() {
+        let m = dense_to_cols(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(SparseLu::factorize(&m).is_err());
+    }
+
+    #[test]
+    fn not_square_is_detected() {
+        let mut m = ColMatrix::new(3);
+        m.push_col([(0, 1.0)]);
+        assert!(SparseLu::factorize(&m).is_err());
+    }
+
+    #[test]
+    fn bidiagonal_chain_like_battery_dynamics() {
+        // The structure produced by battery level-linking constraints.
+        let n = 50;
+        let mut m = ColMatrix::new(n);
+        for j in 0..n {
+            let mut col = vec![(j, 1.0)];
+            if j > 0 {
+                col.push((j - 1, -0.75));
+            }
+            m.push_col(col);
+        }
+        let lu = SparseLu::factorize(&m).expect("factorize");
+        // No fill-in beyond the original bidiagonal pattern.
+        assert!(lu.fill_nnz() <= 2 * n);
+        let mut scratch = Vec::new();
+        let x_true: Vec<f64> = (0..n).map(|i| (i % 7) as f64 * 0.3 - 1.0).collect();
+        let mut b = m.mul_vec(&x_true);
+        lu.ftran(&mut b, &mut scratch);
+        for i in 0..n {
+            assert!((b[i] - x_true[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exact_cancellation_does_not_duplicate_l_entries() {
+        // Regression test: unit-coefficient matrices cancel exactly during
+        // elimination; re-adding a row to the touched list on the 0→nonzero
+        // transition used to duplicate L entries (applied twice in solves).
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..50 {
+            let n = 12;
+            let mut rows: Vec<Vec<f64>> = vec![vec![0.0; n]; n];
+            for (i, row) in rows.iter_mut().enumerate() {
+                for (j, cell) in row.iter_mut().enumerate() {
+                    if rng.gen_bool(0.45) {
+                        // ±1 entries make exact cancellation common.
+                        *cell = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                    }
+                    if i == j {
+                        *cell += 3.0;
+                    }
+                }
+            }
+            let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            assert_solves(&refs);
+        }
+    }
+
+    #[test]
+    fn random_matrices_round_trip() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        for trial in 0..20 {
+            let n = 4 + trial % 13;
+            // Diagonally-dominated random matrix: always nonsingular.
+            let mut rows: Vec<Vec<f64>> = vec![vec![0.0; n]; n];
+            for (i, row) in rows.iter_mut().enumerate() {
+                for (j, cell) in row.iter_mut().enumerate() {
+                    if rng.gen_bool(0.4) {
+                        *cell = rng.gen_range(-2.0..2.0);
+                    }
+                    if i == j {
+                        *cell += 4.0;
+                    }
+                }
+            }
+            let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            assert_solves(&refs);
+        }
+    }
+}

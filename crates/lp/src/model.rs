@@ -1,0 +1,433 @@
+//! Problem definition: variables, constraints, objective.
+
+use crate::expr::LinExpr;
+use crate::revised::{RevisedSimplex, SimplexOptions};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// Handle to a decision variable in a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Zero-based position of the variable in its model.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a constraint in a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ConId(pub(crate) usize);
+
+impl ConId {
+    /// Zero-based position of the constraint in its model.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Direction of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sense {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+impl fmt::Display for Sense {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Sense::Le => "<=",
+            Sense::Ge => ">=",
+            Sense::Eq => "=",
+        })
+    }
+}
+
+/// Continuity class of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum VarKind {
+    /// Real-valued.
+    #[default]
+    Continuous,
+    /// Integer-valued (enforced by [`crate::BranchAndBound`], relaxed by the
+    /// pure-LP solvers).
+    Integer,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct VarDef {
+    pub name: String,
+    pub lb: f64,
+    pub ub: f64,
+    pub obj: f64,
+    pub kind: VarKind,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct ConDef {
+    pub name: String,
+    pub terms: Vec<(VarId, f64)>,
+    pub sense: Sense,
+    pub rhs: f64,
+}
+
+/// Error returned by the solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded below over the feasible region.
+    Unbounded,
+    /// The iteration limit was exceeded before reaching optimality.
+    IterationLimit,
+    /// Numerical difficulty the solver could not recover from.
+    Numerical(String),
+    /// The model is malformed (e.g. a variable with `lb > ub`).
+    InvalidModel(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "problem is infeasible"),
+            SolveError::Unbounded => write!(f, "objective is unbounded"),
+            SolveError::IterationLimit => write!(f, "iteration limit exceeded"),
+            SolveError::Numerical(msg) => write!(f, "numerical trouble: {msg}"),
+            SolveError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// An optimal solution to a [`Model`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Solution {
+    /// Objective value (minimization).
+    pub objective: f64,
+    /// Value of every variable, indexed by [`VarId::index`].
+    pub values: Vec<f64>,
+    /// Simplex iterations spent (phase 1 + phase 2), when reported.
+    pub iterations: usize,
+}
+
+impl Solution {
+    /// Value of `var` in this solution.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+}
+
+impl Index<VarId> for Solution {
+    type Output = f64;
+    fn index(&self, var: VarId) -> &f64 {
+        &self.values[var.index()]
+    }
+}
+
+/// A linear (or mixed-integer) program in minimization form.
+///
+/// Variables carry bounds and objective coefficients; constraints are linear
+/// expressions compared against a right-hand side. The model is solved with
+/// [`Model::solve`] (LP, integrality relaxed) or
+/// [`crate::BranchAndBound`] (MILP).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Model {
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) cons: Vec<ConDef>,
+    pub(crate) obj_offset: f64,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a continuous variable with bounds `[lb, ub]` and objective
+    /// coefficient `obj`; returns its handle.
+    pub fn add_var(&mut self, name: impl Into<String>, lb: f64, ub: f64, obj: f64) -> VarId {
+        self.add_var_kind(name, lb, ub, obj, VarKind::Continuous)
+    }
+
+    /// Adds an integer variable (see [`VarKind::Integer`]).
+    pub fn add_int_var(&mut self, name: impl Into<String>, lb: f64, ub: f64, obj: f64) -> VarId {
+        self.add_var_kind(name, lb, ub, obj, VarKind::Integer)
+    }
+
+    /// Adds a binary (0/1 integer) variable.
+    pub fn add_bin_var(&mut self, name: impl Into<String>, obj: f64) -> VarId {
+        self.add_var_kind(name, 0.0, 1.0, obj, VarKind::Integer)
+    }
+
+    fn add_var_kind(
+        &mut self,
+        name: impl Into<String>,
+        lb: f64,
+        ub: f64,
+        obj: f64,
+        kind: VarKind,
+    ) -> VarId {
+        let id = VarId(self.vars.len());
+        self.vars.push(VarDef {
+            name: name.into(),
+            lb,
+            ub,
+            obj,
+            kind,
+        });
+        id
+    }
+
+    /// Adds the constraint `Σ coeff·var  sense  rhs` from an iterator of
+    /// terms; returns its handle.
+    pub fn add_con<I>(&mut self, name: impl Into<String>, terms: I, sense: Sense, rhs: f64) -> ConId
+    where
+        I: IntoIterator<Item = (VarId, f64)>,
+    {
+        let expr: LinExpr = terms.into_iter().collect();
+        self.add_con_expr(name, expr, sense, rhs)
+    }
+
+    /// Adds the constraint `expr  sense  rhs`. The expression's constant part
+    /// is moved to the right-hand side.
+    pub fn add_con_expr(
+        &mut self,
+        name: impl Into<String>,
+        mut expr: LinExpr,
+        sense: Sense,
+        rhs: f64,
+    ) -> ConId {
+        expr.compress();
+        let id = ConId(self.cons.len());
+        let adjusted_rhs = rhs - expr.constant_part();
+        self.cons.push(ConDef {
+            name: name.into(),
+            terms: expr.terms().to_vec(),
+            sense,
+            rhs: adjusted_rhs,
+        });
+        id
+    }
+
+    /// Adds a constant offset to the objective (reported in
+    /// [`Solution::objective`]).
+    pub fn add_obj_offset(&mut self, offset: f64) {
+        self.obj_offset += offset;
+    }
+
+    /// Overwrites the objective coefficient of `var`.
+    pub fn set_obj(&mut self, var: VarId, obj: f64) {
+        self.vars[var.index()].obj = obj;
+    }
+
+    /// Adds `delta` to the objective coefficient of `var`.
+    pub fn add_obj(&mut self, var: VarId, delta: f64) {
+        self.vars[var.index()].obj += delta;
+    }
+
+    /// Tightens/replaces the bounds of `var`.
+    pub fn set_bounds(&mut self, var: VarId, lb: f64, ub: f64) {
+        let v = &mut self.vars[var.index()];
+        v.lb = lb;
+        v.ub = ub;
+    }
+
+    /// The bounds `[lb, ub]` of `var`.
+    pub fn bounds(&self, var: VarId) -> (f64, f64) {
+        let v = &self.vars[var.index()];
+        (v.lb, v.ub)
+    }
+
+    /// The objective coefficient of `var`.
+    pub fn obj_coeff(&self, var: VarId) -> f64 {
+        self.vars[var.index()].obj
+    }
+
+    /// The name of `var`.
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.vars[var.index()].name
+    }
+
+    /// The name of `con`.
+    pub fn con_name(&self, con: ConId) -> &str {
+        &self.cons[con.index()].name
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_cons(&self) -> usize {
+        self.cons.len()
+    }
+
+    /// Handles of all integer variables.
+    pub fn integer_vars(&self) -> Vec<VarId> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind == VarKind::Integer)
+            .map(|(i, _)| VarId(i))
+            .collect()
+    }
+
+    /// Returns `true` if any variable is integer.
+    pub fn is_mip(&self) -> bool {
+        self.vars.iter().any(|v| v.kind == VarKind::Integer)
+    }
+
+    /// Validates structural sanity (finite coefficients, `lb ≤ ub`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::InvalidModel`] describing the first defect found.
+    pub fn validate(&self) -> Result<(), SolveError> {
+        for (i, v) in self.vars.iter().enumerate() {
+            if v.lb > v.ub {
+                return Err(SolveError::InvalidModel(format!(
+                    "variable {} (#{i}) has lb {} > ub {}",
+                    v.name, v.lb, v.ub
+                )));
+            }
+            if !v.obj.is_finite() {
+                return Err(SolveError::InvalidModel(format!(
+                    "variable {} (#{i}) has non-finite objective coefficient",
+                    v.name
+                )));
+            }
+            if v.lb.is_nan() || v.ub.is_nan() {
+                return Err(SolveError::InvalidModel(format!(
+                    "variable {} (#{i}) has NaN bound",
+                    v.name
+                )));
+            }
+        }
+        for (i, c) in self.cons.iter().enumerate() {
+            if !c.rhs.is_finite() {
+                return Err(SolveError::InvalidModel(format!(
+                    "constraint {} (#{i}) has non-finite rhs",
+                    c.name
+                )));
+            }
+            for &(v, coeff) in &c.terms {
+                if v.index() >= self.vars.len() {
+                    return Err(SolveError::InvalidModel(format!(
+                        "constraint {} (#{i}) references unknown variable",
+                        c.name
+                    )));
+                }
+                if !coeff.is_finite() {
+                    return Err(SolveError::InvalidModel(format!(
+                        "constraint {} (#{i}) has non-finite coefficient",
+                        c.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves the LP relaxation with the production revised simplex and
+    /// default options.
+    ///
+    /// Integer variables are treated as continuous; use
+    /// [`crate::BranchAndBound`] to enforce integrality.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] / [`SolveError::Unbounded`] for the
+    /// corresponding problem statuses, [`SolveError::InvalidModel`] for
+    /// malformed input, and [`SolveError::Numerical`] /
+    /// [`SolveError::IterationLimit`] when the solver gives up.
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        RevisedSimplex::new(SimplexOptions::default()).solve(self)
+    }
+
+    /// Solves with explicit simplex options.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Model::solve`].
+    pub fn solve_with(&self, options: SimplexOptions) -> Result<Solution, SolveError> {
+        RevisedSimplex::new(options).solve(self)
+    }
+
+    /// Objective value of an assignment (including the constant offset).
+    pub fn objective_value(&self, values: &[f64]) -> f64 {
+        self.obj_offset
+            + self
+                .vars
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v.obj * values[i])
+                .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 5.0, 1.0);
+        let y = m.add_int_var("y", 0.0, 3.0, -2.0);
+        let c = m.add_con("c", [(x, 1.0), (y, 1.0)], Sense::Le, 4.0);
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_cons(), 1);
+        assert_eq!(m.var_name(x), "x");
+        assert_eq!(m.con_name(c), "c");
+        assert_eq!(m.bounds(y), (0.0, 3.0));
+        assert!(m.is_mip());
+        assert_eq!(m.integer_vars(), vec![y]);
+    }
+
+    #[test]
+    fn constant_moves_to_rhs() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 10.0, 1.0);
+        let mut e = LinExpr::term(x, 1.0);
+        e.add_constant(3.0);
+        m.add_con_expr("c", e, Sense::Le, 5.0);
+        assert_eq!(m.cons[0].rhs, 2.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_bounds() {
+        let mut m = Model::new();
+        m.add_var("x", 1.0, 0.0, 0.0);
+        assert!(matches!(m.validate(), Err(SolveError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn validate_rejects_nan() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 1.0, 0.0);
+        m.add_con("c", [(x, f64::NAN)], Sense::Le, 1.0);
+        assert!(matches!(m.validate(), Err(SolveError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn objective_value_includes_offset() {
+        let mut m = Model::new();
+        let _x = m.add_var("x", 0.0, 1.0, 2.0);
+        m.add_obj_offset(10.0);
+        assert_eq!(m.objective_value(&[3.0]), 16.0);
+    }
+
+    #[test]
+    fn solve_error_display() {
+        assert_eq!(SolveError::Infeasible.to_string(), "problem is infeasible");
+        assert!(SolveError::Numerical("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Independent feasibility checking of candidate solutions.
+//!
+//! The solvers in this crate are nontrivial numerical code; every test and
+//! every higher-level consumer can cheaply re-verify that a reported
+//! solution actually satisfies the model. This module performs that check
+//! without sharing any code with the solvers themselves.
+
+use crate::model::{Model, Sense};
+use std::fmt;
+
+/// A single constraint or bound violation found by [`check_feasible`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Human-readable owner of the violated condition (variable or
+    /// constraint name).
+    pub name: String,
+    /// How far outside the allowed region the value lies.
+    pub amount: f64,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} violated by {:.3e}", self.name, self.amount)
+    }
+}
+
+/// Checks `values` against every bound and constraint of `model`.
+///
+/// Violations larger than `tol` (scaled by the constraint's magnitude) are
+/// reported; an empty vector means the point is feasible.
+pub fn check_feasible(model: &Model, values: &[f64], tol: f64) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, v) in model.vars.iter().enumerate() {
+        let x = values[i];
+        let scale = 1.0 + x.abs();
+        if x < v.lb - tol * scale {
+            out.push(Violation {
+                name: format!("lb({})", v.name),
+                amount: v.lb - x,
+            });
+        }
+        if x > v.ub + tol * scale {
+            out.push(Violation {
+                name: format!("ub({})", v.name),
+                amount: x - v.ub,
+            });
+        }
+    }
+    for con in &model.cons {
+        let lhs: f64 = con
+            .terms
+            .iter()
+            .map(|&(v, c)| c * values[v.index()])
+            .sum();
+        let scale = 1.0 + con.rhs.abs() + con.terms.iter().map(|t| t.1.abs()).sum::<f64>();
+        let violated = match con.sense {
+            Sense::Le => lhs - con.rhs,
+            Sense::Ge => con.rhs - lhs,
+            Sense::Eq => (lhs - con.rhs).abs(),
+        };
+        if violated > tol * scale {
+            out.push(Violation {
+                name: con.name.clone(),
+                amount: violated,
+            });
+        }
+    }
+    out
+}
+
+/// Panics with a readable report if `values` is infeasible for `model`.
+///
+/// # Panics
+///
+/// Panics when [`check_feasible`] reports any violation beyond `tol`.
+pub fn assert_feasible(model: &Model, values: &[f64], tol: f64) {
+    let violations = check_feasible(model, values, tol);
+    assert!(
+        violations.is_empty(),
+        "solution infeasible: {}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    #[test]
+    fn clean_point_passes() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 5.0, 1.0);
+        m.add_con("c", [(x, 2.0)], Sense::Le, 6.0);
+        assert!(check_feasible(&m, &[3.0], 1e-9).is_empty());
+    }
+
+    #[test]
+    fn bound_violations_reported() {
+        let mut m = Model::new();
+        m.add_var("x", 0.0, 1.0, 0.0);
+        let v = check_feasible(&m, &[2.0], 1e-9);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].name.contains("ub(x)"));
+    }
+
+    #[test]
+    fn each_sense_checked() {
+        let mut m = Model::new();
+        let x = m.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 0.0);
+        m.add_con("le", [(x, 1.0)], Sense::Le, 1.0);
+        m.add_con("ge", [(x, 1.0)], Sense::Ge, -1.0);
+        m.add_con("eq", [(x, 1.0)], Sense::Eq, 0.5);
+        assert!(check_feasible(&m, &[0.5], 1e-9).is_empty());
+        assert_eq!(check_feasible(&m, &[2.0], 1e-9).len(), 2); // le + eq
+    }
+
+    #[test]
+    #[should_panic(expected = "solution infeasible")]
+    fn assert_feasible_panics() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 1.0, 0.0);
+        m.add_con("c", [(x, 1.0)], Sense::Ge, 5.0);
+        assert_feasible(&m, &[0.0], 1e-9);
+    }
+}

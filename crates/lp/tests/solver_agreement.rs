@@ -1,0 +1,176 @@
+//! Property tests: the dense tableau and the revised simplex are two
+//! independent implementations — on random models they must agree on
+//! status and objective, and any reported solution must verify feasible.
+
+use greencloud_lp::dense::DenseSimplex;
+use greencloud_lp::validate::check_feasible;
+use greencloud_lp::{Model, Sense, SolveError};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomLp {
+    n: usize,
+    bounds: Vec<(f64, f64)>,
+    obj: Vec<f64>,
+    cons: Vec<(Vec<f64>, Sense, f64)>,
+}
+
+fn arb_bound() -> impl Strategy<Value = (f64, f64)> {
+    prop_oneof![
+        // Finite box.
+        (-5.0..5.0f64, 0.0..10.0f64).prop_map(|(lo, w)| (lo, lo + w)),
+        // Lower-bounded only.
+        (-5.0..5.0f64).prop_map(|lo| (lo, f64::INFINITY)),
+        // Upper-bounded only.
+        (-5.0..5.0f64).prop_map(|hi| (f64::NEG_INFINITY, hi)),
+        // Fixed.
+        (-3.0..3.0f64).prop_map(|v| (v, v)),
+    ]
+}
+
+fn arb_sense() -> impl Strategy<Value = Sense> {
+    prop_oneof![Just(Sense::Le), Just(Sense::Ge), Just(Sense::Eq)]
+}
+
+fn arb_lp() -> impl Strategy<Value = RandomLp> {
+    (1usize..6).prop_flat_map(|n| {
+        let bounds = prop::collection::vec(arb_bound(), n);
+        let obj = prop::collection::vec(-3.0..3.0f64, n);
+        let con = (
+            prop::collection::vec(-2.0..2.0f64, n),
+            arb_sense(),
+            -8.0..8.0f64,
+        );
+        let cons = prop::collection::vec(con, 0..7);
+        (bounds, obj, cons).prop_map(move |(bounds, obj, cons)| RandomLp {
+            n,
+            bounds,
+            obj,
+            cons,
+        })
+    })
+}
+
+fn build(lp: &RandomLp) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..lp.n)
+        .map(|i| m.add_var(format!("x{i}"), lp.bounds[i].0, lp.bounds[i].1, lp.obj[i]))
+        .collect();
+    for (k, (coeffs, sense, rhs)) in lp.cons.iter().enumerate() {
+        m.add_con(
+            format!("c{k}"),
+            vars.iter().zip(coeffs.iter()).map(|(&v, &c)| (v, c)),
+            *sense,
+            *rhs,
+        );
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn revised_and_dense_agree(lp in arb_lp()) {
+        let m = build(&lp);
+        let r = m.solve();
+        let d = DenseSimplex::new().solve(&m);
+        match (&r, &d) {
+            (Ok(rs), Ok(ds)) => {
+                let scale = 1.0 + rs.objective.abs().max(ds.objective.abs());
+                prop_assert!(
+                    (rs.objective - ds.objective).abs() < 1e-5 * scale,
+                    "objectives differ: revised={} dense={}",
+                    rs.objective, ds.objective
+                );
+                prop_assert!(check_feasible(&m, &rs.values, 1e-6).is_empty(),
+                    "revised solution infeasible");
+                prop_assert!(check_feasible(&m, &ds.values, 1e-6).is_empty(),
+                    "dense solution infeasible");
+            }
+            (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+            (Err(SolveError::Unbounded), Err(SolveError::Unbounded)) => {}
+            // A genuinely borderline model may be classed infeasible by one
+            // solver and solved with a near-violating point by the other;
+            // only accept that disagreement when a tiny tolerance bridge
+            // exists. Anything else is a real bug.
+            (Ok(rs), Err(SolveError::Infeasible)) => {
+                let v = check_feasible(&m, &rs.values, 1e-9);
+                prop_assert!(!v.is_empty() || m.num_cons() == 0,
+                    "revised says optimal (clean), dense says infeasible");
+            }
+            (Err(SolveError::Infeasible), Ok(ds)) => {
+                let v = check_feasible(&m, &ds.values, 1e-9);
+                prop_assert!(!v.is_empty() || m.num_cons() == 0,
+                    "dense says optimal (clean), revised says infeasible");
+            }
+            (a, b) => {
+                prop_assert!(false, "solver disagreement: revised={a:?} dense={b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_beats_random_feasible_points(lp in arb_lp(), probe in prop::collection::vec(0.0..1.0f64, 6)) {
+        let m = build(&lp);
+        if let Ok(sol) = m.solve() {
+            // Sample a point inside the variable box; if it happens to be
+            // feasible, the reported optimum must not be worse.
+            let mut point = vec![0.0; lp.n];
+            for i in 0..lp.n {
+                let (lo, hi) = lp.bounds[i];
+                let lo_f = if lo.is_finite() { lo } else { -10.0 };
+                let hi_f = if hi.is_finite() { hi } else { 10.0 };
+                point[i] = lo_f + (hi_f - lo_f) * probe[i % probe.len()];
+            }
+            if check_feasible(&m, &point, 1e-9).is_empty() {
+                let obj = m.objective_value(&point);
+                prop_assert!(
+                    sol.objective <= obj + 1e-6 * (1.0 + obj.abs()),
+                    "random feasible point beats 'optimal': {} < {}",
+                    obj, sol.objective
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn milp_relaxation_bound_holds() {
+    use greencloud_lp::{BranchAndBound, MilpOptions};
+    // On a deterministic family of knapsacks, the MILP optimum is never
+    // better than the LP relaxation and matches brute force.
+    for seed in 0..20u64 {
+        let weights: Vec<f64> = (0..6).map(|i| 1.0 + ((seed * 7 + i) % 9) as f64).collect();
+        let values: Vec<f64> = (0..6).map(|i| 1.0 + ((seed * 5 + i) % 7) as f64).collect();
+        let cap = weights.iter().sum::<f64>() * 0.5;
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..6)
+            .map(|i| m.add_bin_var(format!("x{i}"), -values[i]))
+            .collect();
+        m.add_con(
+            "cap",
+            vars.iter().zip(weights.iter()).map(|(&v, &w)| (v, w)),
+            Sense::Le,
+            cap,
+        );
+        let relax = m.solve().unwrap();
+        let milp = BranchAndBound::new(MilpOptions::default()).solve(&m).unwrap();
+        assert!(milp.objective >= relax.objective - 1e-9);
+        // Brute force.
+        let mut best = 0.0f64;
+        for mask in 0u32..64 {
+            let w: f64 = (0..6).filter(|i| mask >> i & 1 == 1).map(|i| weights[i]).sum();
+            if w <= cap + 1e-9 {
+                let v: f64 = (0..6).filter(|i| mask >> i & 1 == 1).map(|i| values[i]).sum();
+                best = best.max(v);
+            }
+        }
+        assert!(
+            (milp.objective + best).abs() < 1e-6,
+            "seed {seed}: milp {} vs brute {}",
+            -milp.objective,
+            best
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! GreenNebula: follow-the-renewables VM placement and migration across a
+//! network of green datacenters (paper §V).
+//!
+//! The paper built GreenNebula on OpenNebula with three physical servers
+//! emulating three datacenters; this crate reproduces the whole system
+//! in-process on a discrete-event kernel:
+//!
+//! * [`vm`] / [`cluster`] — VMs with the paper's footprints, hosts, and a
+//!   per-datacenter manager with first-fit placement (the OpenNebula role).
+//! * [`predictor`] — 48-hour green-energy prediction (perfect, as the paper
+//!   assumes, or noisy for sensitivity studies).
+//! * [`scheduler`] — the hourly re-partitioning optimization: a small
+//!   LP/MILP minimizing brown energy over the prediction window, including
+//!   the migration energy overhead.
+//! * [`planner`] — turns target loads into concrete VM migrations: donors
+//!   in decreasing out-power order, first-fit to the closest receiver,
+//!   smallest-footprint VMs first (the paper's §V-A policy).
+//! * [`wan`] — inter-datacenter links and pre-copy live-migration timing.
+//! * [`gdfs`] — the HDFS-like mutation-capable distributed file system:
+//!   one master with name bindings, block replicas across datacenters,
+//!   write-locally + invalidate-remotely, background re-replication.
+//! * [`emulation`] — the §V-C experiment: a Table III three-datacenter
+//!   network following the sun through a day (Fig. 15).
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod emulation;
+pub mod gdfs;
+pub mod planner;
+pub mod predictor;
+pub mod scheduler;
+pub mod vm;
+pub mod wan;
+
+pub use cluster::{Datacenter, DatacenterId, Host};
+pub use emulation::{EmulationConfig, EmulationReport, TraceRow};
+pub use planner::{Migration, MigrationPlan};
+pub use scheduler::{Scheduler, SchedulerConfig};
+pub use vm::{Vm, VmId, VmSpec};

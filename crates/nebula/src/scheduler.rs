@@ -1,0 +1,332 @@
+//! The hourly re-partitioning optimization (paper §V-A).
+//!
+//! Every hour the GreenNebula scheduler collects current load and a 48-hour
+//! green-energy forecast per datacenter, then solves a small optimization —
+//! "a variant of the [siting] problem where we fix the locations and
+//! provisioning and remove the minimum-green constraint" — minimizing the
+//! brown energy consumed over the window, including the energy overhead of
+//! migrations. The first hour of the resulting trajectory becomes the
+//! migration targets handed to the planner.
+
+use greencloud_lp::{BranchAndBound, MilpOptions, Model, Sense, SolveError};
+use serde::{Deserialize, Serialize};
+
+/// Scheduler tuning.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Look-ahead window, hours (the paper uses 48).
+    pub window_hours: usize,
+    /// Fraction of an epoch during which migrated load consumes energy at
+    /// both ends.
+    pub migration_fraction: f64,
+    /// Tie-break penalty per MW moved (keeps the schedule from migrating
+    /// gratuitously when brown energy is unaffected).
+    pub migration_penalty: f64,
+    /// When `Some(p)`, hour-0 loads must be integral multiples of a VM's
+    /// power `p` (MW) — solved by branch & bound instead of a pure LP.
+    pub integral_vm_power_mw: Option<f64>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            window_hours: 48,
+            migration_fraction: 1.0,
+            migration_penalty: 1e-3,
+            integral_vm_power_mw: None,
+        }
+    }
+}
+
+/// Per-datacenter state handed to the scheduler each round.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteState {
+    /// Green power available per hour of the window, MW.
+    pub green_forecast_mw: Vec<f64>,
+    /// PUE per hour of the window.
+    pub pue_forecast: Vec<f64>,
+    /// Load currently hosted, MW.
+    pub current_load_mw: f64,
+    /// Maximum hostable load, MW.
+    pub capacity_mw: f64,
+}
+
+/// The scheduler's decision.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchedulePlan {
+    /// Target load per datacenter for the next hour, MW.
+    pub target_mw: Vec<f64>,
+    /// The full per-site trajectory over the window, MW.
+    pub trajectory_mw: Vec<Vec<f64>>,
+    /// Brown energy the plan expects over the window, MWh.
+    pub brown_mwh: f64,
+    /// Optimization objective value.
+    pub objective: f64,
+}
+
+/// The multi-datacenter scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct Scheduler {
+    config: SchedulerConfig,
+}
+
+impl Scheduler {
+    /// Creates a scheduler.
+    pub fn new(config: SchedulerConfig) -> Self {
+        Self { config }
+    }
+
+    /// Computes the re-partitioning plan for the current hour.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::InvalidModel`] for inconsistent inputs;
+    /// [`SolveError::Infeasible`] when the total load exceeds total
+    /// capacity; solver errors otherwise.
+    pub fn plan(&self, sites: &[SiteState]) -> Result<SchedulePlan, SolveError> {
+        let n = sites.len();
+        if n == 0 {
+            return Err(SolveError::InvalidModel("no datacenters".into()));
+        }
+        let h_total = self.config.window_hours.max(1);
+        for s in sites {
+            if s.green_forecast_mw.len() < h_total || s.pue_forecast.len() < h_total {
+                return Err(SolveError::InvalidModel(
+                    "forecast shorter than the scheduling window".into(),
+                ));
+            }
+        }
+        let total_load: f64 = sites.iter().map(|s| s.current_load_mw).sum();
+        let theta = self.config.migration_fraction;
+
+        let mut model = Model::new();
+        // comp[d][h], mig_out[d][h], brown[d][h]
+        let mut comp = vec![Vec::with_capacity(h_total); n];
+        let mut mig = vec![Vec::with_capacity(h_total); n];
+        let mut brown = vec![Vec::with_capacity(h_total); n];
+        for (d, site) in sites.iter().enumerate() {
+            for h in 0..h_total {
+                let c = if h == 0 {
+                    if let Some(p) = self.config.integral_vm_power_mw {
+                        // Integral hour-0 loads: comp = p · (integer count).
+                        let count = model.add_int_var(
+                            format!("n[{d}]"),
+                            0.0,
+                            (site.capacity_mw / p).floor(),
+                            0.0,
+                        );
+                        let c = model.add_var(format!("comp[{d},0]"), 0.0, site.capacity_mw, 0.0);
+                        model.add_con(
+                            format!("integral[{d}]"),
+                            [(c, 1.0), (count, -p)],
+                            Sense::Eq,
+                            0.0,
+                        );
+                        c
+                    } else {
+                        model.add_var(format!("comp[{d},0]"), 0.0, site.capacity_mw, 0.0)
+                    }
+                } else {
+                    model.add_var(format!("comp[{d},{h}]"), 0.0, site.capacity_mw, 0.0)
+                };
+                comp[d].push(c);
+                mig[d].push(model.add_var(
+                    format!("mig[{d},{h}]"),
+                    0.0,
+                    f64::INFINITY,
+                    self.config.migration_penalty,
+                ));
+                brown[d].push(model.add_var(format!("brown[{d},{h}]"), 0.0, f64::INFINITY, 1.0));
+            }
+        }
+
+        for h in 0..h_total {
+            // Conservation: all load is hosted somewhere.
+            model.add_con(
+                format!("all[{h}]"),
+                (0..n).map(|d| (comp[d][h], 1.0)),
+                Sense::Eq,
+                total_load,
+            );
+        }
+        for (d, site) in sites.iter().enumerate() {
+            for h in 0..h_total {
+                // Migration-out floor; hour 0 links to current placement.
+                if h == 0 {
+                    model.add_con(
+                        format!("migfloor[{d},0]"),
+                        [(comp[d][0], -theta), (mig[d][0], -1.0)],
+                        Sense::Le,
+                        -theta * site.current_load_mw,
+                    );
+                } else {
+                    model.add_con(
+                        format!("migfloor[{d},{h}]"),
+                        [
+                            (comp[d][h - 1], theta),
+                            (comp[d][h], -theta),
+                            (mig[d][h], -1.0),
+                        ],
+                        Sense::Le,
+                        0.0,
+                    );
+                }
+                // Brown ≥ PUE·(comp + mig) − green.
+                let pue = site.pue_forecast[h];
+                model.add_con(
+                    format!("brown[{d},{h}]"),
+                    [
+                        (brown[d][h], 1.0),
+                        (comp[d][h], -pue),
+                        (mig[d][h], -pue),
+                    ],
+                    Sense::Ge,
+                    -site.green_forecast_mw[h],
+                );
+            }
+        }
+
+        let sol = if self.config.integral_vm_power_mw.is_some() {
+            BranchAndBound::new(MilpOptions::default()).solve(&model)?
+        } else {
+            model.solve()?
+        };
+
+        let trajectory: Vec<Vec<f64>> = (0..n)
+            .map(|d| (0..h_total).map(|h| sol[comp[d][h]].max(0.0)).collect())
+            .collect();
+        let brown_mwh: f64 = (0..n)
+            .map(|d| (0..h_total).map(|h| sol[brown[d][h]]).sum::<f64>())
+            .sum();
+        Ok(SchedulePlan {
+            target_mw: trajectory.iter().map(|t| t[0]).collect(),
+            trajectory_mw: trajectory,
+            brown_mwh,
+            objective: sol.objective,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(green: Vec<f64>, load: f64, cap: f64) -> SiteState {
+        let h = green.len();
+        SiteState {
+            green_forecast_mw: green,
+            pue_forecast: vec![1.0; h],
+            current_load_mw: load,
+            capacity_mw: cap,
+        }
+    }
+
+    #[test]
+    fn load_follows_the_green_site() {
+        // Site 0 is dark, site 1 has abundant green power: everything moves.
+        let s0 = site(vec![0.0; 4], 10.0, 20.0);
+        let s1 = site(vec![50.0; 4], 0.0, 20.0);
+        let plan = Scheduler::new(SchedulerConfig {
+            window_hours: 4,
+            ..SchedulerConfig::default()
+        })
+        .plan(&[s0, s1])
+        .expect("plan");
+        assert!(plan.target_mw[1] > 9.9, "targets {:?}", plan.target_mw);
+        assert!(plan.target_mw[0] < 0.1);
+    }
+
+    #[test]
+    fn no_gratuitous_migration_when_both_sites_green() {
+        let s0 = site(vec![50.0; 4], 10.0, 20.0);
+        let s1 = site(vec![50.0; 4], 0.0, 20.0);
+        let plan = Scheduler::new(SchedulerConfig {
+            window_hours: 4,
+            ..SchedulerConfig::default()
+        })
+        .plan(&[s0, s1])
+        .expect("plan");
+        // Both sites are fully green; the migration penalty keeps load put.
+        assert!(plan.target_mw[0] > 9.9, "targets {:?}", plan.target_mw);
+        assert!((plan.brown_mwh).abs() < 1e-6);
+    }
+
+    #[test]
+    fn migration_energy_counts() {
+        // Moving load costs energy at the donor; if green barely covers the
+        // move, the plan can prefer staying.
+        let s0 = site(vec![10.5; 2], 10.0, 20.0);
+        let s1 = site(vec![10.5; 2], 0.0, 20.0);
+        let plan = Scheduler::new(SchedulerConfig {
+            window_hours: 2,
+            ..SchedulerConfig::default()
+        })
+        .plan(&[s0, s1])
+        .expect("plan");
+        assert!(plan.target_mw[0] > 9.9, "should not bounce: {:?}", plan.target_mw);
+    }
+
+    #[test]
+    fn follows_the_sun_across_a_window() {
+        // Green moves from site 0 (hours 0–1) to site 1 (hours 2–3). Site 0
+        // keeps just enough green at hour 2 to power the migration out, so
+        // migrating exactly at hour 2 is the unique zero-brown schedule.
+        let s0 = site(vec![20.0, 20.0, 12.0, 0.0], 10.0, 20.0);
+        let s1 = site(vec![0.0, 0.0, 20.0, 20.0], 0.0, 20.0);
+        let plan = Scheduler::new(SchedulerConfig {
+            window_hours: 4,
+            ..SchedulerConfig::default()
+        })
+        .plan(&[s0, s1])
+        .expect("plan");
+        assert!(plan.trajectory_mw[0][0] > 9.9);
+        assert!(plan.trajectory_mw[0][1] > 9.9, "no move before the handoff hour");
+        assert!(plan.trajectory_mw[1][2] > 9.9);
+        assert!(plan.trajectory_mw[1][3] > 9.9);
+    }
+
+    #[test]
+    fn infeasible_when_capacity_is_insufficient() {
+        let s0 = site(vec![0.0; 2], 30.0, 10.0);
+        let s1 = site(vec![0.0; 2], 0.0, 10.0);
+        let err = Scheduler::new(SchedulerConfig {
+            window_hours: 2,
+            ..SchedulerConfig::default()
+        })
+        .plan(&[s0, s1])
+        .unwrap_err();
+        assert_eq!(err, SolveError::Infeasible);
+    }
+
+    #[test]
+    fn integral_mode_quantizes_targets() {
+        // Total load is 4 VMs × 0.25 MW; hour-0 targets must stay integral.
+        let s0 = site(vec![0.0; 3], 1.0, 20.0);
+        let s1 = site(vec![50.0; 3], 0.0, 20.0);
+        let plan = Scheduler::new(SchedulerConfig {
+            window_hours: 3,
+            integral_vm_power_mw: Some(0.25),
+            ..SchedulerConfig::default()
+        })
+        .plan(&[s0, s1])
+        .expect("plan");
+        for &t in &plan.target_mw {
+            let q = t / 0.25;
+            assert!((q - q.round()).abs() < 1e-5, "target {t} not integral");
+        }
+        let sum: f64 = plan.target_mw.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+    }
+
+    #[test]
+    fn short_forecast_is_rejected() {
+        let s0 = site(vec![0.0; 2], 1.0, 2.0);
+        let err = Scheduler::new(SchedulerConfig {
+            window_hours: 4,
+            ..SchedulerConfig::default()
+        })
+        .plan(&[s0])
+        .unwrap_err();
+        assert!(matches!(err, SolveError::InvalidModel(_)));
+    }
+}

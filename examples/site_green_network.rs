@@ -1,0 +1,66 @@
+//! Storage-technology study: how the cost of a 100%-green network depends
+//! on the storage option (net metering / batteries / none) and the allowed
+//! plant technology — the heart of the paper's §IV.
+//!
+//! ```text
+//! cargo run --release --example site_green_network
+//! ```
+
+use greencloud::prelude::*;
+use greencloud_core::anneal::AnnealOptions;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let world = WorldCatalog::synthetic(120, 7);
+    let tool = PlacementTool::new(
+        &world,
+        CostParams::default(),
+        ToolOptions {
+            profile: ProfileConfig::coarse(),
+            filter_keep: 10,
+            anneal: AnnealOptions {
+                iterations: 40,
+                seed: 7,
+                ..AnnealOptions::default()
+            },
+            ..ToolOptions::default()
+        },
+    );
+
+    println!(
+        "{:>14} {:>12} {:>14} {:>14} {:>7}",
+        "storage", "tech", "cost $M/mo", "capacity MW", "sites"
+    );
+    for (label, storage) in [
+        ("net metering", StorageMode::NetMetering),
+        ("batteries", StorageMode::Batteries),
+        ("none", StorageMode::None),
+    ] {
+        for (tlabel, tech) in [
+            ("wind", TechMix::WindOnly),
+            ("solar", TechMix::SolarOnly),
+            ("both", TechMix::Both),
+        ] {
+            let input = PlacementInput {
+                min_green_fraction: 1.0,
+                tech,
+                storage,
+                ..PlacementInput::default()
+            };
+            match tool.solve(&input) {
+                Ok(sol) => println!(
+                    "{:>14} {:>12} {:>14.2} {:>14.1} {:>7}",
+                    label,
+                    tlabel,
+                    sol.monthly_cost / 1e6,
+                    sol.total_capacity_mw,
+                    sol.datacenters.len()
+                ),
+                Err(e) => println!("{label:>14} {tlabel:>12} {:>14} {:>14} {:>7}", format!("{e}"), "-", "-"),
+            }
+        }
+    }
+    println!("\nExpected shape (paper §IV): storage cuts 100%-green cost by >60%;");
+    println!("wind wins with storage, solar wins without; no-storage networks");
+    println!("overprovision compute capacity.");
+    Ok(())
+}
