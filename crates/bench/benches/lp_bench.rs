@@ -5,6 +5,7 @@ use greencloud_bench::anchor_candidates;
 use greencloud_core::formulation::build_network_lp;
 use greencloud_core::framework::{PlacementInput, SizeClass, StorageMode, TechMix};
 use greencloud_cost::params::CostParams;
+use greencloud_lp::SimplexOptions;
 use std::hint::black_box;
 
 fn lp_benches(c: &mut Criterion) {
@@ -45,6 +46,51 @@ fn lp_benches(c: &mut Criterion) {
                 ],
             );
             black_box(lp.solve().expect("solvable"))
+        })
+    });
+
+    // Warm vs cold: re-solving the same LPs with and without the exported
+    // basis. The warm path should be dominated by model build + one
+    // factorization (≤1 simplex iteration).
+    let single_lp = build_network_lp(&params, &single, &[(&cands[3], SizeClass::Large)]);
+    let (_, single_basis) = single_lp
+        .solve_warm(SimplexOptions::default(), None)
+        .expect("solvable");
+    c.bench_function("warm_vs_cold/single_site_cold", |b| {
+        b.iter(|| black_box(single_lp.solve().expect("solvable")))
+    });
+    c.bench_function("warm_vs_cold/single_site_warm", |b| {
+        b.iter(|| {
+            black_box(
+                single_lp
+                    .solve_warm(SimplexOptions::default(), single_basis.as_ref())
+                    .expect("solvable"),
+            )
+        })
+    });
+
+    let network_lp = build_network_lp(
+        &params,
+        &network,
+        &[
+            (&cands[3], SizeClass::Large),
+            (&cands[4], SizeClass::Large),
+            (&cands[7], SizeClass::Large),
+        ],
+    );
+    let (_, network_basis) = network_lp
+        .solve_warm(SimplexOptions::default(), None)
+        .expect("solvable");
+    c.bench_function("warm_vs_cold/three_site_cold", |b| {
+        b.iter(|| black_box(network_lp.solve().expect("solvable")))
+    });
+    c.bench_function("warm_vs_cold/three_site_warm", |b| {
+        b.iter(|| {
+            black_box(
+                network_lp
+                    .solve_warm(SimplexOptions::default(), network_basis.as_ref())
+                    .expect("solvable"),
+            )
         })
     });
 }

@@ -71,15 +71,30 @@ fn main() {
         ran = true;
     }
     if run("fig8") || run("fig11") {
-        sweep("fig8/fig11 (net metering)", StorageMode::NetMetering, pick(locations, 150), fast);
+        sweep(
+            "fig8/fig11 (net metering)",
+            StorageMode::NetMetering,
+            pick(locations, 150),
+            fast,
+        );
         ran = true;
     }
     if run("fig9") {
-        sweep("fig9 (batteries)", StorageMode::Batteries, pick(locations, 150), fast);
+        sweep(
+            "fig9 (batteries)",
+            StorageMode::Batteries,
+            pick(locations, 150),
+            fast,
+        );
         ran = true;
     }
     if run("fig10") || run("fig12") {
-        sweep("fig10/fig12 (no storage)", StorageMode::None, pick(locations, 150), fast);
+        sweep(
+            "fig10/fig12 (no storage)",
+            StorageMode::None,
+            pick(locations, 150),
+            fast,
+        );
         ran = true;
     }
     if run("fig13") {
@@ -112,6 +127,24 @@ fn pick(cli: usize, default: usize) -> usize {
     }
 }
 
+/// One-line account of how the siting search spent its LP budget: eval
+/// cache hit rate, warm-start rate, and site-block reuse.
+fn search_report(sol: &greencloud_core::solution::PlacementSolution) {
+    if let Some(st) = &sol.search_stats {
+        println!(
+            "search: {} LP solves, {} cache hits ({:.0}%), warm starts {}/{} ({:.0}%), site blocks reused {}/{}",
+            st.evaluations,
+            st.cache_hits,
+            st.cache_rate() * 100.0,
+            st.warm_hits,
+            st.warm_attempts,
+            st.warm_rate() * 100.0,
+            st.block_hits,
+            st.block_hits + st.block_misses,
+        );
+    }
+}
+
 fn header(title: &str) {
     println!("\n==== {title} ====");
 }
@@ -122,21 +155,51 @@ fn tab1() {
     let p = CostParams::default();
     println!("interest rate                {:>10.4}", p.interest_rate);
     println!("areaDC        [m2/kW]        {:>10.3}", p.area_dc_m2_per_kw);
-    println!("areaSolar     [m2/kW]        {:>10.2}", p.area_solar_m2_per_kw);
-    println!("areaWind      [m2/kW]        {:>10.2}", p.area_wind_m2_per_kw);
-    println!("priceBuildDC  [$/W]          {:>6}(small) / {}(large)", p.price_build_dc_small_per_w, p.price_build_dc_large_per_w);
-    println!("priceBuildSolar [$/W]        {:>10.2}", p.price_build_solar_per_w);
-    println!("priceBuildWind  [$/W]        {:>10.2}", p.price_build_wind_per_w);
+    println!(
+        "areaSolar     [m2/kW]        {:>10.2}",
+        p.area_solar_m2_per_kw
+    );
+    println!(
+        "areaWind      [m2/kW]        {:>10.2}",
+        p.area_wind_m2_per_kw
+    );
+    println!(
+        "priceBuildDC  [$/W]          {:>6}(small) / {}(large)",
+        p.price_build_dc_small_per_w, p.price_build_dc_large_per_w
+    );
+    println!(
+        "priceBuildSolar [$/W]        {:>10.2}",
+        p.price_build_solar_per_w
+    );
+    println!(
+        "priceBuildWind  [$/W]        {:>10.2}",
+        p.price_build_wind_per_w
+    );
     println!("priceServer   [$]            {:>10.0}", p.price_server);
     println!("serverPower   [W]            {:>10.0}", p.server_power_w);
     println!("priceSwitch   [$]            {:>10.0}", p.price_switch);
     println!("switchPower   [W]            {:>10.0}", p.switch_power_w);
-    println!("serversSwitch                {:>10.0}", p.servers_per_switch);
-    println!("priceBatt     [$/kWh]        {:>10.0}", p.price_batt_per_kwh);
+    println!(
+        "serversSwitch                {:>10.0}",
+        p.servers_per_switch
+    );
+    println!(
+        "priceBatt     [$/kWh]        {:>10.0}",
+        p.price_batt_per_kwh
+    );
     println!("battEff                      {:>10.2}", p.batt_efficiency);
-    println!("priceBWServer [$/serv-month] {:>10.2}", p.price_bw_per_server_month);
-    println!("costLineNet   [$/km]         {:>10.0}", p.cost_line_net_per_km);
-    println!("costLinePow   [$/km]         {:>10.0}", p.cost_line_pow_per_km);
+    println!(
+        "priceBWServer [$/serv-month] {:>10.2}",
+        p.price_bw_per_server_month
+    );
+    println!(
+        "costLineNet   [$/km]         {:>10.0}",
+        p.cost_line_net_per_km
+    );
+    println!(
+        "costLinePow   [$/km]         {:>10.0}",
+        p.cost_line_pow_per_km
+    );
     println!("creditNetMeter               {:>10.2}", p.credit_net_meter);
 }
 
@@ -153,10 +216,18 @@ fn fig3(n: usize) {
     }
     solar.sort_by(|a, b| a.partial_cmp(b).unwrap());
     wind.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    println!("{:>12} {:>12} {:>12}", "percentile", "solar CF %", "wind CF %");
+    println!(
+        "{:>12} {:>12} {:>12}",
+        "percentile", "solar CF %", "wind CF %"
+    );
     for pct in [5, 25, 50, 75, 90, 95, 99, 100] {
         let idx = ((pct as f64 / 100.0 * n as f64) as usize).clamp(1, n) - 1;
-        println!("{:>11}% {:>12.1} {:>12.1}", pct, solar[idx] * 100.0, wind[idx] * 100.0);
+        println!(
+            "{:>11}% {:>12.1} {:>12.1}",
+            pct,
+            solar[idx] * 100.0,
+            wind[idx] * 100.0
+        );
     }
     println!("(paper: most locations solar 10–25%; wind long tail to ~56%)");
 }
@@ -173,7 +244,9 @@ fn fig4() {
 
 /// Fig. 5: PUE vs capacity factor.
 fn fig5(n: usize) {
-    header(&format!("Fig. 5 — mean PUE vs capacity factor ({n} locations)"));
+    header(&format!(
+        "Fig. 5 — mean PUE vs capacity factor ({n} locations)"
+    ));
     let w = world(n);
     let mut rows: Vec<(f64, f64, f64)> = Vec::new();
     for loc in w.iter() {
@@ -181,7 +254,10 @@ fn fig5(n: usize) {
         rows.push((cf.solar, cf.wind, cf.mean_pue));
     }
     let bins = [(0.0, 0.10), (0.10, 0.20), (0.20, 0.30), (0.30, 0.60)];
-    println!("{:>14} {:>14} {:>14}", "CF bin", "PUE | solar", "PUE | wind");
+    println!(
+        "{:>14} {:>14} {:>14}",
+        "CF bin", "PUE | solar", "PUE | wind"
+    );
     for (lo, hi) in bins {
         let mean = |sel: &dyn Fn(&(f64, f64, f64)) -> f64| -> String {
             let v: Vec<f64> = rows
@@ -208,7 +284,9 @@ fn fig5(n: usize) {
 
 /// Fig. 6: single 25 MW datacenter cost CDF.
 fn fig6(n: usize) {
-    header(&format!("Fig. 6 — 25 MW single-DC monthly cost CDF ({n} locations, net metering)"));
+    header(&format!(
+        "Fig. 6 — 25 MW single-DC monthly cost CDF ({n} locations, net metering)"
+    ));
     let t = tool(n, true);
     let configs: [(&str, PlacementInput); 3] = [
         (
@@ -243,7 +321,8 @@ fn fig6(n: usize) {
     for pct in [10, 25, 50, 75, 80, 90] {
         print!("{pct:>11}%");
         for costs in &table {
-            let idx = ((pct as f64 / 100.0 * costs.len() as f64) as usize).clamp(1, costs.len()) - 1;
+            let idx =
+                ((pct as f64 / 100.0 * costs.len() as f64) as usize).clamp(1, costs.len()) - 1;
             print!(" {:>12.1}", costs[idx]);
         }
         println!();
@@ -289,6 +368,7 @@ fn fig7(n: usize, fast: bool) {
     match t.solve(&input) {
         Ok(sol) => {
             print!("{}", sol.summary());
+            search_report(&sol);
             println!(
                 "{:<28} {:>9} {:>9} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9}",
                 "site", "buildDC", "IT", "land", "plants", "batt", "lines", "bw", "energy"
@@ -357,7 +437,10 @@ fn sweep(title: &str, storage: StorageMode, n: usize, fast: bool) {
 fn fig13(n: usize, fast: bool) {
     header("Fig. 13 — migration fraction sweep (100% green, no storage)");
     let t = tool(n, fast);
-    println!("{:>12} {:>12} {:>14} {:>8}", "migration%", "tech", "cost $M/mo", "sites");
+    println!(
+        "{:>12} {:>12} {:>14} {:>8}",
+        "migration%", "tech", "cost $M/mo", "sites"
+    );
     for &theta in &[0.0, 0.25, 0.5, 0.75, 1.0] {
         for &tech in &[TechMix::WindOnly, TechMix::SolarOnly, TechMix::Both] {
             let input = PlacementInput {
@@ -398,6 +481,7 @@ fn tab3(n: usize, fast: bool) {
     match t.solve(&input) {
         Ok(sol) => {
             print!("{}", sol.summary());
+            search_report(&sol);
             println!("(paper: 3 sites × 50 MW IT, ~1.1 GW of solar total)");
         }
         Err(e) => println!("failed: {e}"),
@@ -418,11 +502,7 @@ fn fig15(fast: bool) {
                 "{:>5} {:<26} {:>9} {:>9} {:>9} {:>9} {:>9}",
                 "hour", "site", "green MW", "load MW", "pueOv MW", "mig MW", "brown MW"
             );
-            let names: Vec<String> = cfg
-                .sites
-                .iter()
-                .map(|s| s.location_name.clone())
-                .collect();
+            let names: Vec<String> = cfg.sites.iter().map(|s| s.location_name.clone()).collect();
             for row in &r.rows {
                 println!(
                     "{:>5} {:<26} {:>9.1} {:>9.1} {:>9.2} {:>9.2} {:>9.2}",
@@ -490,6 +570,8 @@ fn timing() {
             let _ = sched.plan(&states).expect("plan");
         }
         let ms = t0.elapsed().as_secs_f64() * 1000.0 / reps as f64;
-        println!("{label:>8}: {ms:>8.1} ms per 48-h schedule (paper: 240–780 ms on 2 GHz hardware)");
+        println!(
+            "{label:>8}: {ms:>8.1} ms per 48-h schedule (paper: 240–780 ms on 2 GHz hardware)"
+        );
     }
 }

@@ -360,8 +360,7 @@ fn generic_location<R: Rng>(rng: &mut R, id: LocationId) -> Location {
     }
     .min(3000.0);
 
-    let t_mean_c = 27.0 - 0.50 * lat.abs() - 6.5 * elevation_m / 1000.0
-        + rng.gen_range(-2.5..2.5);
+    let t_mean_c = 27.0 - 0.50 * lat.abs() - 6.5 * elevation_m / 1000.0 + rng.gen_range(-2.5..2.5);
     let dryness: f64 = rng.gen_range(0.0..1.0);
     let cloud_mean = (0.18 + 0.5 * (1.0 - dryness) + 0.0025 * lat.abs()).clamp(0.1, 0.85);
     let wind_scale_ms = {
@@ -473,7 +472,11 @@ mod tests {
         let mw = w.find("Mount Washington").unwrap();
         let tmy = w.tmy(mw.id);
         assert!(tmy.mean_temp_c() < 3.0, "mean temp {}", tmy.mean_temp_c());
-        assert!(tmy.mean_wind_ms() > 10.0, "mean wind {}", tmy.mean_wind_ms());
+        assert!(
+            tmy.mean_wind_ms() > 10.0,
+            "mean wind {}",
+            tmy.mean_wind_ms()
+        );
     }
 
     #[test]
@@ -481,7 +484,11 @@ mod tests {
         let w = WorldCatalog::anchors_only(4);
         let h = w.find("Harare").unwrap();
         let tmy = w.tmy(h.id);
-        assert!(tmy.mean_ghi_wm2() > 220.0, "mean ghi {}", tmy.mean_ghi_wm2());
+        assert!(
+            tmy.mean_ghi_wm2() > 220.0,
+            "mean ghi {}",
+            tmy.mean_ghi_wm2()
+        );
     }
 
     #[test]

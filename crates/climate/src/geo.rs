@@ -22,7 +22,10 @@ impl LatLon {
     ///
     /// Panics if `lat` is outside `[-90, 90]` or not finite.
     pub fn new(lat: f64, lon: f64) -> Self {
-        assert!(lat.is_finite() && (-90.0..=90.0).contains(&lat), "bad latitude {lat}");
+        assert!(
+            lat.is_finite() && (-90.0..=90.0).contains(&lat),
+            "bad latitude {lat}"
+        );
         assert!(lon.is_finite(), "bad longitude {lon}");
         let mut lon = (lon + 180.0).rem_euclid(360.0) - 180.0;
         if lon == -180.0 {
@@ -37,8 +40,7 @@ impl LatLon {
         let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
     }
 

@@ -128,10 +128,10 @@ impl Tmy {
             z_wind = WIND_RHO * z_wind + w_innov * gauss(&mut rng);
 
             // Temperature.
-            let seasonal = params.t_seasonal_amp_c
-                * (std::f64::consts::TAU * (doy - peak_doy) / 365.0).cos();
-            let diurnal = params.t_diurnal_amp_c
-                * (std::f64::consts::TAU * (solar_h - 14.5) / 24.0).cos();
+            let seasonal =
+                params.t_seasonal_amp_c * (std::f64::consts::TAU * (doy - peak_doy) / 365.0).cos();
+            let diurnal =
+                params.t_diurnal_amp_c * (std::f64::consts::TAU * (solar_h - 14.5) / 24.0).cos();
             temp_c.push(params.t_mean_c + seasonal + diurnal + params.t_noise_c * z_temp);
 
             // Irradiance.
@@ -174,7 +174,10 @@ impl Tmy {
 
     /// Maximum hourly temperature of the year, °C.
     pub fn max_temp_c(&self) -> f64 {
-        self.temp_c.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.temp_c
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Annual mean global horizontal irradiance, W/m².
@@ -264,7 +267,10 @@ mod tests {
     fn northern_summer_is_warmer() {
         let t = sample(4);
         let january = Tmy::daily_mean(&t.temp_c, 10);
-        let july: f64 = (185..195).map(|d| Tmy::daily_mean(&t.temp_c, d)).sum::<f64>() / 10.0;
+        let july: f64 = (185..195)
+            .map(|d| Tmy::daily_mean(&t.temp_c, d))
+            .sum::<f64>()
+            / 10.0;
         assert!(july > january + 5.0, "july {july} january {january}");
     }
 
@@ -273,7 +279,10 @@ mod tests {
         let p = ClimateParams::default();
         let t = Tmy::synthesize(&p, LatLon::new(-35.0, 150.0), 5);
         let january = Tmy::daily_mean(&t.temp_c, 10);
-        let july: f64 = (185..195).map(|d| Tmy::daily_mean(&t.temp_c, d)).sum::<f64>() / 10.0;
+        let july: f64 = (185..195)
+            .map(|d| Tmy::daily_mean(&t.temp_c, d))
+            .sum::<f64>()
+            / 10.0;
         assert!(january > july + 5.0, "january {january} july {july}");
     }
 

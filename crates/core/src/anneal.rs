@@ -10,14 +10,20 @@
 
 use crate::availability::min_datacenters;
 use crate::candidate::CandidateSite;
-use crate::formulation::{build_network_lp, NetworkDispatch};
+use crate::formulation::{build_network_lp_cached, NetworkDispatch};
 use crate::framework::{PlacementInput, SizeClass};
+use crate::siteblock::SiteBlockCache;
 use greencloud_cost::params::CostParams;
-use greencloud_lp::{SimplexOptions, SolveError};
-use parking_lot::Mutex;
+use greencloud_lp::{Basis, SimplexOptions, SolveError};
+use parking_lot::{Mutex, RwLock};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// One siting: sorted, de-duplicated `(candidate index, size class)` pairs.
 pub type Siting = Vec<(usize, SizeClass)>;
@@ -58,6 +64,44 @@ impl Default for AnnealOptions {
     }
 }
 
+/// Counters describing how the search spent its LP budget.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// LP solves actually performed (eval-cache misses).
+    pub evaluations: usize,
+    /// Sitings answered from the eval cache without solving.
+    pub cache_hits: usize,
+    /// Solves given a warm basis to try.
+    pub warm_attempts: usize,
+    /// Solves that actually started from the warm basis (skipped phase 1).
+    pub warm_hits: usize,
+    /// Site blocks reused from the block cache.
+    pub block_hits: usize,
+    /// Site blocks compiled (block-cache misses).
+    pub block_misses: usize,
+}
+
+impl SearchStats {
+    /// Warm-start success rate over attempts, in `[0, 1]`.
+    pub fn warm_rate(&self) -> f64 {
+        if self.warm_attempts == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / self.warm_attempts as f64
+        }
+    }
+
+    /// Eval-cache hit rate over all eval requests, in `[0, 1]`.
+    pub fn cache_rate(&self) -> f64 {
+        let total = self.evaluations + self.cache_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
 /// Result of the annealing search.
 #[derive(Debug, Clone)]
 pub struct AnnealResult {
@@ -67,12 +111,78 @@ pub struct AnnealResult {
     pub dispatch: NetworkDispatch,
     /// Total LP evaluations across all chains (cache misses).
     pub evaluations: usize,
+    /// Cache and warm-start accounting for this run.
+    pub stats: SearchStats,
+}
+
+/// What the eval cache remembers per siting: the LP outcome (`None` cost =
+/// infeasible) and, for solvable sitings, the optimal basis so later
+/// same-shape evaluations can warm-start from it.
+#[derive(Clone, Default)]
+struct CachedEval {
+    cost: Option<f64>,
+    basis: Option<Arc<Basis>>,
+}
+
+/// Sharded siting → outcome map. Chains mostly touch different shards, so
+/// the old single global `Mutex<HashMap>` bottleneck disappears.
+///
+/// Costs are memoized forever (they are one `f64` each), but basis
+/// snapshots are kilobytes apiece and only useful as warm-start seeds, so
+/// each shard keeps at most [`EvalCache::BASIS_CAP_PER_SHARD`] of them —
+/// a dropped basis merely costs one cold solve on a revisit.
+struct EvalCache {
+    shards: Vec<Mutex<EvalShard>>,
+}
+
+#[derive(Default)]
+struct EvalShard {
+    map: HashMap<Siting, CachedEval>,
+    bases_held: usize,
+}
+
+impl EvalCache {
+    const BASIS_CAP_PER_SHARD: usize = 64;
+
+    fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(EvalShard::default()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, siting: &Siting) -> &Mutex<EvalShard> {
+        let mut h = DefaultHasher::new();
+        siting.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    fn get(&self, siting: &Siting) -> Option<CachedEval> {
+        self.shard(siting).lock().map.get(siting).cloned()
+    }
+
+    fn insert(&self, siting: Siting, mut entry: CachedEval) {
+        let mut shard = self.shard(&siting).lock();
+        if entry.basis.is_some() {
+            if shard.bases_held >= Self::BASIS_CAP_PER_SHARD {
+                entry.basis = None;
+            } else {
+                shard.bases_held += 1;
+            }
+        }
+        shard.map.insert(siting, entry);
+    }
 }
 
 struct Shared {
-    best: Mutex<Option<(f64, Siting, NetworkDispatch)>>,
-    cache: Mutex<HashMap<Siting, Option<f64>>>,
-    evals: Mutex<usize>,
+    best: RwLock<Option<(f64, Siting, NetworkDispatch)>>,
+    cache: EvalCache,
+    blocks: SiteBlockCache,
+    evals: AtomicUsize,
+    cache_hits: AtomicUsize,
+    warm_attempts: AtomicUsize,
+    warm_hits: AtomicUsize,
 }
 
 /// Runs the search. `candidates` should already be pre-filtered (cheapest
@@ -96,9 +206,13 @@ pub fn anneal(
         )));
     }
     let shared = Shared {
-        best: Mutex::new(None),
-        cache: Mutex::new(HashMap::new()),
-        evals: Mutex::new(0),
+        best: RwLock::new(None),
+        cache: EvalCache::new(16),
+        blocks: SiteBlockCache::new(),
+        evals: AtomicUsize::new(0),
+        cache_hits: AtomicUsize::new(0),
+        warm_attempts: AtomicUsize::new(0),
+        warm_hits: AtomicUsize::new(0),
     };
 
     let class_for = |count: usize| -> SizeClass {
@@ -120,27 +234,28 @@ pub fn anneal(
             let initial = initial.clone();
             scope.spawn(move |_| {
                 run_chain(
-                    params,
-                    input,
-                    candidates,
-                    options,
-                    chain,
-                    initial,
-                    shared,
-                    n_min,
+                    params, input, candidates, options, chain, initial, shared, n_min,
                 );
             });
         }
     })
     .expect("annealing threads never panic");
 
+    let stats = SearchStats {
+        evaluations: shared.evals.load(Ordering::Relaxed),
+        cache_hits: shared.cache_hits.load(Ordering::Relaxed),
+        warm_attempts: shared.warm_attempts.load(Ordering::Relaxed),
+        warm_hits: shared.warm_hits.load(Ordering::Relaxed),
+        block_hits: shared.blocks.hits(),
+        block_misses: shared.blocks.misses(),
+    };
     let best = shared.best.into_inner();
-    let evaluations = *shared.evals.lock();
     match best {
         Some((_, siting, dispatch)) => Ok(AnnealResult {
             siting,
             dispatch,
-            evaluations,
+            evaluations: stats.evaluations,
+            stats,
         }),
         None => Err(SolveError::Infeasible),
     }
@@ -159,10 +274,18 @@ fn run_chain(
 ) {
     let mut rng = ChaCha8Rng::seed_from_u64(options.seed.wrapping_add(chain as u64 * 0x9E37));
     let mut current = initial;
-    let mut current_cost = match evaluate(params, input, candidates, &current, options, shared) {
-        Some(c) => c,
-        None => f64::INFINITY,
-    };
+    // The basis of the chain's current siting; neighbour evaluations of the
+    // same shape warm-start from it (the LP layer falls back to a cold
+    // solve whenever the transfer is unusable).
+    let mut current_basis: Option<Arc<Basis>> = None;
+    let mut current_cost =
+        match evaluate(params, input, candidates, &current, options, shared, None) {
+            Some((c, basis)) => {
+                current_basis = basis;
+                c
+            }
+            None => f64::INFINITY,
+        };
     let mut temp = if current_cost.is_finite() {
         current_cost * options.initial_temp_frac
     } else {
@@ -183,11 +306,17 @@ fn run_chain(
     for iter in 0..options.iterations {
         // Periodic synchronization: adopt the global best.
         if iter % 8 == 7 {
-            if let Some((bc, bs, _)) = shared.best.lock().as_ref() {
-                if *bc < current_cost {
-                    current_cost = *bc;
-                    current = bs.clone();
+            let adopted = {
+                let best = shared.best.read();
+                match best.as_ref() {
+                    Some((bc, bs, _)) if *bc < current_cost => Some((*bc, bs.clone())),
+                    _ => None,
                 }
+            };
+            if let Some((bc, bs)) = adopted {
+                current_cost = bc;
+                current_basis = shared.cache.get(&bs).and_then(|e| e.basis);
+                current = bs;
             }
         }
 
@@ -232,10 +361,19 @@ fn run_chain(
             continue;
         }
 
-        let cost = match evaluate(params, input, candidates, &neighbour, options, shared) {
-            Some(c) => c,
-            None => continue,
+        // A same-length neighbour keeps the LP shape, so the current basis
+        // is a candidate warm start; add/remove moves change dimensions and
+        // always solve cold.
+        let warm = if neighbour.len() == current.len() {
+            current_basis.as_deref()
+        } else {
+            None
         };
+        let (cost, basis) =
+            match evaluate(params, input, candidates, &neighbour, options, shared, warm) {
+                Some(r) => r,
+                None => continue,
+            };
         let accept = cost < current_cost || {
             let delta = cost - current_cost;
             temp > 0.0 && rng.gen::<f64>() < (-delta / temp).exp()
@@ -243,14 +381,15 @@ fn run_chain(
         if accept {
             current = neighbour;
             current_cost = cost;
+            current_basis = basis;
         }
         temp *= options.cooling;
 
         let improved = shared
             .best
-            .lock()
+            .read()
             .as_ref()
-            .map_or(false, |(bc, _, _)| cost < *bc);
+            .is_some_and(|(bc, _, _)| cost < *bc);
         if improved {
             since_improvement = 0;
         } else {
@@ -271,6 +410,11 @@ fn pick_random<'a, R: Rng>(rng: &mut R, xs: &'a [usize]) -> Option<&'a usize> {
 }
 
 /// Evaluates a siting (memoized); updates the shared best on improvement.
+///
+/// Returns the siting's cost together with its optimal basis (for the
+/// chain to warm-start neighbour evaluations), or `None` for infeasible
+/// sitings. `warm` is a basis from a same-shape siting to seed the solve.
+#[allow(clippy::too_many_arguments)]
 fn evaluate(
     params: &CostParams,
     input: &PlacementInput,
@@ -278,29 +422,47 @@ fn evaluate(
     siting: &Siting,
     options: &AnnealOptions,
     shared: &Shared,
-) -> Option<f64> {
-    if let Some(hit) = shared.cache.lock().get(siting) {
-        return *hit;
+    warm: Option<&Basis>,
+) -> Option<(f64, Option<Arc<Basis>>)> {
+    if let Some(hit) = shared.cache.get(siting) {
+        shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return hit.cost.map(|c| (c, hit.basis));
     }
-    let sites: Vec<(&CandidateSite, SizeClass)> = siting
-        .iter()
-        .map(|&(i, class)| (&candidates[i], class))
-        .collect();
-    let lp = build_network_lp(params, input, &sites);
-    *shared.evals.lock() += 1;
-    let outcome = match lp.solve_with(options.lp.clone()) {
-        Ok(dispatch) => {
-            let cost = dispatch.monthly_cost;
-            let mut best = shared.best.lock();
-            let better = best.as_ref().map_or(true, |(bc, _, _)| cost < *bc);
-            if better {
-                *best = Some((cost, siting.clone(), dispatch));
+    let lp = build_network_lp_cached(params, input, candidates, siting, &shared.blocks);
+    shared.evals.fetch_add(1, Ordering::Relaxed);
+    if warm.is_some() {
+        shared.warm_attempts.fetch_add(1, Ordering::Relaxed);
+    }
+    let outcome = match lp.solve_warm(options.lp.clone(), warm) {
+        Ok((dispatch, basis)) => {
+            if dispatch.warm_started {
+                shared.warm_hits.fetch_add(1, Ordering::Relaxed);
             }
-            Some(cost)
+            let cost = dispatch.monthly_cost;
+            let basis = basis.map(Arc::new);
+            let better = shared
+                .best
+                .read()
+                .as_ref()
+                .is_none_or(|(bc, _, _)| cost < *bc);
+            if better {
+                // Re-check under the write lock; another chain may have won.
+                let mut best = shared.best.write();
+                if best.as_ref().is_none_or(|(bc, _, _)| cost < *bc) {
+                    *best = Some((cost, siting.clone(), dispatch));
+                }
+            }
+            Some((cost, basis))
         }
         Err(_) => None,
     };
-    shared.cache.lock().insert(siting.clone(), outcome);
+    shared.cache.insert(
+        siting.clone(),
+        CachedEval {
+            cost: outcome.as_ref().map(|(c, _)| *c),
+            basis: outcome.as_ref().and_then(|(_, b)| b.clone()),
+        },
+    );
     outcome
 }
 
@@ -379,6 +541,31 @@ mod tests {
         };
         let err = anneal(&CostParams::default(), &input, &cands, &quick_options()).unwrap_err();
         assert_eq!(err, SolveError::Infeasible);
+    }
+
+    #[test]
+    fn search_stats_are_consistent() {
+        let w = WorldCatalog::anchors_only(5);
+        let cands = CandidateSite::build_all(&w, &ProfileConfig::coarse());
+        let input = PlacementInput {
+            total_capacity_mw: 20.0,
+            min_green_fraction: 0.5,
+            tech: TechMix::Both,
+            storage: StorageMode::NetMetering,
+            ..PlacementInput::default()
+        };
+        let r = anneal(&CostParams::default(), &input, &cands, &quick_options()).expect("finds");
+        let st = r.stats;
+        assert_eq!(st.evaluations, r.evaluations);
+        assert!(st.evaluations > 0);
+        // Swap/resize moves keep the siting length, so warm starts must
+        // have been attempted, and every block past the first siting build
+        // should come from the cache.
+        assert!(st.warm_attempts > 0, "stats: {st:?}");
+        assert!(st.warm_hits <= st.warm_attempts);
+        assert!(st.block_hits > 0, "stats: {st:?}");
+        assert!(st.warm_rate() >= 0.0 && st.warm_rate() <= 1.0);
+        assert!(st.cache_rate() >= 0.0 && st.cache_rate() <= 1.0);
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub fn min_datacenters(min_availability: f64, a: f64) -> usize {
     if min_availability == 0.0 {
         return 1;
     }
-    assert!(a > 0.0, "cannot reach positive availability with dead datacenters");
+    assert!(
+        a > 0.0,
+        "cannot reach positive availability with dead datacenters"
+    );
     // 1 − (1−a)^n ≥ target  ⇔  n ≥ ln(1−target) / ln(1−a)
     let n = ((1.0 - min_availability).ln() / (1.0 - a).ln()).ceil() as usize;
     n.max(1)
@@ -69,7 +72,9 @@ mod tests {
                 let direct = network_availability(n, a);
                 let sum: f64 = (0..n as u64)
                     .map(|i| {
-                        binomial(n as u64, i) * a.powi(n as i32 - i as i32) * (1.0 - a).powi(i as i32)
+                        binomial(n as u64, i)
+                            * a.powi(n as i32 - i as i32)
+                            * (1.0 - a).powi(i as i32)
                     })
                     .sum();
                 assert!((direct - sum).abs() < 1e-12, "n={n} a={a}");
@@ -92,7 +97,9 @@ mod tests {
     fn requirements_scale_with_tier() {
         // Lower-tier datacenters need more replicas for five nines.
         assert!(min_datacenters(0.99999, tiers::TIER_I) >= 2);
-        assert!(min_datacenters(0.99999, tiers::TIER_I) >= min_datacenters(0.99999, tiers::TIER_IV));
+        assert!(
+            min_datacenters(0.99999, tiers::TIER_I) >= min_datacenters(0.99999, tiers::TIER_IV)
+        );
         assert_eq!(min_datacenters(0.99999, tiers::TIER_IV), 2);
     }
 

@@ -48,10 +48,20 @@ pub fn estimate_cost_per_mw(
             cost += plant_mw * uc.solar_mw + energy_month_full * (1.0 - green_fraction);
         }
         TechMix::Both => {
-            let wind =
-                estimate_cost_per_mw(params, site, TechMix::WindOnly, green_fraction, assumed_dc_mw);
-            let solar =
-                estimate_cost_per_mw(params, site, TechMix::SolarOnly, green_fraction, assumed_dc_mw);
+            let wind = estimate_cost_per_mw(
+                params,
+                site,
+                TechMix::WindOnly,
+                green_fraction,
+                assumed_dc_mw,
+            );
+            let solar = estimate_cost_per_mw(
+                params,
+                site,
+                TechMix::SolarOnly,
+                green_fraction,
+                assumed_dc_mw,
+            );
             return wind.min(solar);
         }
     }
@@ -115,8 +125,7 @@ mod tests {
         // The surviving set must be meaningfully windier than the world
         // average (Mount Washington itself may lose to synthetic windy
         // sites with cheaper land — its Table II land price is $947/m²).
-        let avg_all: f64 =
-            cands.iter().map(|c| c.annual.wind).sum::<f64>() / cands.len() as f64;
+        let avg_all: f64 = cands.iter().map(|c| c.annual.wind).sum::<f64>() / cands.len() as f64;
         let avg_kept: f64 =
             kept.iter().map(|&i| cands[i].annual.wind).sum::<f64>() / kept.len() as f64;
         assert!(

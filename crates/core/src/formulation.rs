@@ -28,33 +28,13 @@
 //! both documented in `DESIGN.md`.
 
 use crate::candidate::CandidateSite;
-use crate::framework::{PlacementInput, SizeClass, StorageMode};
+use crate::framework::{PlacementInput, SizeClass};
+use crate::siteblock::{SiteBlock, SiteBlockCache, SiteVars, MONTHS};
 use greencloud_cost::finance::{land_monthly_cost, monthly_cost};
 use greencloud_cost::params::CostParams;
-use greencloud_lp::{Model, Sense, SimplexOptions, Solution, SolveError, VarId};
+use greencloud_lp::{Basis, Model, Sense, SimplexOptions, Solution, SolveError, VarId};
 use serde::{Deserialize, Serialize};
-
-/// Months per year (energy flows are annual; costs are reported monthly).
-const MONTHS: f64 = 12.0;
-
-/// Variable handles for one site.
-#[derive(Debug, Clone)]
-struct SiteVars {
-    capacity: VarId,
-    solar: VarId,
-    wind: VarId,
-    batt: Option<VarId>,
-    credited: Option<VarId>,
-    comp: Vec<VarId>,
-    mig: Option<Vec<VarId>>,
-    green_used: Vec<VarId>,
-    brown: Vec<VarId>,
-    batt_charge: Option<Vec<VarId>>,
-    batt_discharge: Option<Vec<VarId>>,
-    batt_level: Option<Vec<VarId>>,
-    nm_push: Option<Vec<VarId>>,
-    nm_draw: Option<Vec<VarId>>,
-}
+use std::sync::Arc;
 
 /// Monthly unit costs ($/month per MW or per MWh) for one site.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -203,9 +183,14 @@ pub struct NetworkDispatch {
     pub total_capacity_mw: f64,
     /// Simplex iterations spent.
     pub iterations: usize,
+    /// `true` when the solve was warm-started from a supplied basis.
+    pub warm_started: bool,
 }
 
-/// Builds the LP for `sites` under `input`.
+/// Builds the LP for `sites` under `input`, compiling every site block from
+/// scratch. Hot paths that evaluate many sitings over one candidate set
+/// should use [`build_network_lp_cached`] instead, which reuses compiled
+/// blocks across sitings.
 ///
 /// # Panics
 ///
@@ -216,262 +201,80 @@ pub fn build_network_lp(
     input: &PlacementInput,
     sites: &[(&CandidateSite, SizeClass)],
 ) -> NetworkLp {
+    let entries: Vec<(&CandidateSite, Arc<SiteBlock>)> = sites
+        .iter()
+        .enumerate()
+        .map(|(si, (site, class))| {
+            (
+                *site,
+                Arc::new(SiteBlock::build(params, input, si, site, *class)),
+            )
+        })
+        .collect();
+    assemble(input, &entries)
+}
+
+/// Builds the LP for the siting `siting` over `candidates`, reusing
+/// compiled per-site blocks from `cache`. A neighbour siting that differs
+/// in one site compiles exactly one new block; everything else is an
+/// `Arc` clone. The assembled model is identical to what
+/// [`build_network_lp`] produces for the same sites (same variable
+/// ordering, bounds, coefficients), so simplex bases transfer between the
+/// two paths and across neighbouring sitings of the same shape.
+///
+/// # Panics
+///
+/// Panics if `siting` is empty, the input fails validation, or the sites
+/// do not share one slot clock.
+pub fn build_network_lp_cached(
+    params: &CostParams,
+    input: &PlacementInput,
+    candidates: &[CandidateSite],
+    siting: &[(usize, SizeClass)],
+    cache: &SiteBlockCache,
+) -> NetworkLp {
+    let entries: Vec<(&CandidateSite, Arc<SiteBlock>)> = siting
+        .iter()
+        .map(|&(ci, class)| {
+            let site = &candidates[ci];
+            (site, cache.get_or_build(params, input, ci, site, class))
+        })
+        .collect();
+    assemble(input, &entries)
+}
+
+/// Assembles site blocks plus the network coupling rows into a solvable LP.
+fn assemble(input: &PlacementInput, sites: &[(&CandidateSite, Arc<SiteBlock>)]) -> NetworkLp {
     assert!(!sites.is_empty(), "need at least one site");
     input.validate().expect("invalid placement input");
     let num_slots = sites[0].0.profile.len();
-    for (s, _) in sites {
+    for (s, b) in sites {
         assert_eq!(s.profile.len(), num_slots, "sites must share a slot clock");
+        assert_eq!(
+            b.num_slots, num_slots,
+            "block compiled on a different clock"
+        );
     }
     let n = sites.len();
-    let theta = input.migration_fraction;
+    let weights = sites[0].0.profile.weight_hours.clone();
 
     let mut model = Model::new();
     let mut vars = Vec::with_capacity(n);
+    let mut var_bases = Vec::with_capacity(n);
     let mut unit_costs = Vec::with_capacity(n);
     let mut price_mwh = Vec::with_capacity(n);
-    let weights = sites[0].0.profile.weight_hours.clone();
 
-    for (si, (site, class)) in sites.iter().enumerate() {
-        let uc = UnitCosts::compute(params, site, *class);
-        let max_pue = site.max_pue();
-        let p_mwh = site.econ.elec_usd_per_kwh * 1000.0;
-
-        // --- sizing variables -------------------------------------------
-        let (cap_lb, cap_ub) = match class {
-            SizeClass::Small => (0.0, 10.0 / max_pue),
-            SizeClass::Large => (10.0 / max_pue, f64::INFINITY),
-        };
-        let capacity = model.add_var(format!("cap[{si}]"), cap_lb, cap_ub, uc.capacity_mw);
-        let solar_ub = if input.tech.allows_solar() {
-            f64::INFINITY
-        } else {
-            0.0
-        };
-        let wind_ub = if input.tech.allows_wind() {
-            f64::INFINITY
-        } else {
-            0.0
-        };
-        let solar = model.add_var(format!("solar[{si}]"), 0.0, solar_ub, uc.solar_mw);
-        let wind = model.add_var(format!("wind[{si}]"), 0.0, wind_ub, uc.wind_mw);
-        let batt = match input.storage {
-            StorageMode::Batteries => Some(model.add_var(
-                format!("batt[{si}]"),
-                0.0,
-                f64::INFINITY,
-                uc.batt_mwh,
-            )),
-            _ => None,
-        };
-
-        // --- per-slot variables ------------------------------------------
-        let brown_cap_mw = site.econ.near_plant_cap_kw / 1000.0 * params.brown_cap_fraction;
-        let mut comp = Vec::with_capacity(num_slots);
-        let mut green_used = Vec::with_capacity(num_slots);
-        let mut brown = Vec::with_capacity(num_slots);
-        for t in 0..num_slots {
-            comp.push(model.add_var(format!("comp[{si},{t}]"), 0.0, f64::INFINITY, 0.0));
-            green_used.push(model.add_var(format!("g[{si},{t}]"), 0.0, f64::INFINITY, 0.0));
-            // Brown power is priced per MWh of annual energy, reported
-            // monthly: coefficient = price · w_t / 12.
-            brown.push(model.add_var(
-                format!("brown[{si},{t}]"),
-                0.0,
-                brown_cap_mw,
-                p_mwh * weights[t] / MONTHS,
-            ));
-        }
-        let mig = if theta > 0.0 {
-            Some(
-                (0..num_slots)
-                    .map(|t| model.add_var(format!("mig[{si},{t}]"), 0.0, f64::INFINITY, 0.0))
-                    .collect::<Vec<_>>(),
-            )
-        } else {
-            None
-        };
-        let (batt_charge, batt_discharge, batt_level) =
-            if matches!(input.storage, StorageMode::Batteries) {
-                let bc = (0..num_slots)
-                    .map(|t| model.add_var(format!("bc[{si},{t}]"), 0.0, f64::INFINITY, 0.0))
-                    .collect::<Vec<_>>();
-                let bd = (0..num_slots)
-                    .map(|t| model.add_var(format!("bd[{si},{t}]"), 0.0, f64::INFINITY, 0.0))
-                    .collect::<Vec<_>>();
-                let bl = (0..num_slots)
-                    .map(|t| model.add_var(format!("bl[{si},{t}]"), 0.0, f64::INFINITY, 0.0))
-                    .collect::<Vec<_>>();
-                (Some(bc), Some(bd), Some(bl))
-            } else {
-                (None, None, None)
-            };
-        let (nm_push, nm_draw, credited) = if matches!(input.storage, StorageMode::NetMetering) {
-            let np = (0..num_slots)
-                .map(|t| model.add_var(format!("np[{si},{t}]"), 0.0, f64::INFINITY, 0.0))
-                .collect::<Vec<_>>();
-            // Draws are billed at retail like brown energy.
-            let nd = (0..num_slots)
-                .map(|t| {
-                    model.add_var(
-                        format!("nd[{si},{t}]"),
-                        0.0,
-                        f64::INFINITY,
-                        p_mwh * weights[t] / MONTHS,
-                    )
-                })
-                .collect::<Vec<_>>();
-            // Credit revenue: maximized by the solver, bounded by the two
-            // no-cash-out rows added below.
-            let cr = model.add_var(format!("credited[{si}]"), 0.0, f64::INFINITY, -1.0);
-            (Some(np), Some(nd), Some(cr))
-        } else {
-            (None, None, None)
-        };
-
-        model.add_obj_offset(uc.connection);
-        price_mwh.push(p_mwh);
-        unit_costs.push(uc);
-        vars.push(SiteVars {
-            capacity,
-            solar,
-            wind,
-            batt,
-            credited,
-            comp,
-            mig,
-            green_used,
-            brown,
-            batt_charge,
-            batt_discharge,
-            batt_level,
-            nm_push,
-            nm_draw,
-        });
+    // All blocks' variables first (stable ordering: siting order), then all
+    // blocks' constraints, then the network rows — matching the layout the
+    // original monolithic builder produced.
+    for (_, block) in sites {
+        var_bases.push(model.num_vars());
+        vars.push(block.append_vars_to(&mut model));
+        unit_costs.push(block.unit_costs);
+        price_mwh.push(block.price_mwh);
     }
-
-    // --- per-site, per-slot constraints -----------------------------------
-    let block_len = sites[0].0.profile.block_len;
-    for (si, (site, _)) in sites.iter().enumerate() {
-        let v = &vars[si];
-        let prof = &site.profile;
-        for t in 0..num_slots {
-            let pue = prof.pue[t];
-            // Load balance (equality): g + bd + nd + brown − pue·(comp+mig) = 0.
-            let mut terms = vec![
-                (v.green_used[t], 1.0),
-                (v.brown[t], 1.0),
-                (v.comp[t], -pue),
-            ];
-            if let Some(bd) = &v.batt_discharge {
-                terms.push((bd[t], 1.0));
-            }
-            if let Some(nd) = &v.nm_draw {
-                terms.push((nd[t], 1.0));
-            }
-            if let Some(m) = &v.mig {
-                terms.push((m[t], -pue));
-            }
-            model.add_con(format!("bal[{si},{t}]"), terms, Sense::Eq, 0.0);
-
-            // Production split: g + bc + np − α·solar − β·wind ≤ 0.
-            let mut terms = vec![
-                (v.green_used[t], 1.0),
-                (v.solar, -prof.alpha[t]),
-                (v.wind, -prof.beta[t]),
-            ];
-            if let Some(bc) = &v.batt_charge {
-                terms.push((bc[t], 1.0));
-            }
-            if let Some(np) = &v.nm_push {
-                terms.push((np[t], 1.0));
-            }
-            model.add_con(format!("prod[{si},{t}]"), terms, Sense::Le, 0.0);
-
-            // Capacity link: comp + mig − capacity ≤ 0.
-            let mut terms = vec![(v.comp[t], 1.0), (v.capacity, -1.0)];
-            if let Some(m) = &v.mig {
-                terms.push((m[t], 1.0));
-            }
-            model.add_con(format!("caplink[{si},{t}]"), terms, Sense::Le, 0.0);
-
-            // Migration floor: θ·comp_prev − θ·comp_t − mig_t ≤ 0, cyclic per
-            // dispatch block.
-            if let Some(m) = &v.mig {
-                let block = t / block_len;
-                let prev = if t % block_len == 0 {
-                    ((block + 1) * block_len).min(num_slots) - 1
-                } else {
-                    t - 1
-                };
-                if prev != t {
-                    model.add_con(
-                        format!("migfloor[{si},{t}]"),
-                        [(v.comp[prev], theta), (v.comp[t], -theta), (m[t], -1.0)],
-                        Sense::Le,
-                        0.0,
-                    );
-                }
-            }
-
-            // Battery dynamics (cyclic per block) and capacity.
-            if let (Some(bc), Some(bd), Some(bl), Some(bcap)) = (
-                &v.batt_charge,
-                &v.batt_discharge,
-                &v.batt_level,
-                v.batt,
-            ) {
-                let block = t / block_len;
-                let prev = if t % block_len == 0 {
-                    ((block + 1) * block_len).min(num_slots) - 1
-                } else {
-                    t - 1
-                };
-                let eff = params.batt_efficiency;
-                model.add_con(
-                    format!("battdyn[{si},{t}]"),
-                    [
-                        (bl[t], 1.0),
-                        (bl[prev], -1.0),
-                        (bc[t], -eff),
-                        (bd[t], 1.0),
-                    ],
-                    Sense::Eq,
-                    0.0,
-                );
-                model.add_con(
-                    format!("battcap[{si},{t}]"),
-                    [(bl[t], 1.0), (bcap, -1.0)],
-                    Sense::Le,
-                    0.0,
-                );
-            }
-        }
-
-        // Net-metering annual true-up: Σ w·nd − Σ w·np ≤ 0.
-        if let (Some(np), Some(nd)) = (&v.nm_push, &v.nm_draw) {
-            let mut terms = Vec::with_capacity(2 * num_slots);
-            for t in 0..num_slots {
-                terms.push((nd[t], weights[t]));
-                terms.push((np[t], -weights[t]));
-            }
-            model.add_con(format!("bank[{si}]"), terms, Sense::Le, 0.0);
-
-            // No cash-out: credited ≤ credit·Σ w·np·price/12 and
-            // credited ≤ payable = Σ w·(brown+nd)·price/12.
-            let cr = v.credited.expect("net metering implies credit var");
-            let p = price_mwh[si];
-            let mut terms = vec![(cr, 1.0)];
-            for t in 0..num_slots {
-                terms.push((np[t], -input.credit_net_meter * p * weights[t] / MONTHS));
-            }
-            model.add_con(format!("credit_push[{si}]"), terms, Sense::Le, 0.0);
-            let mut terms = vec![(cr, 1.0)];
-            for t in 0..num_slots {
-                terms.push((v.brown[t], -p * weights[t] / MONTHS));
-                terms.push((nd[t], -p * weights[t] / MONTHS));
-            }
-            model.add_con(format!("credit_pay[{si}]"), terms, Sense::Le, 0.0);
-        }
+    for ((_, block), &base) in sites.iter().zip(&var_bases) {
+        block.append_cons_to(&mut model, base);
     }
 
     // --- network-level constraints ----------------------------------------
@@ -572,6 +375,25 @@ impl NetworkLp {
         Ok(self.extract(&sol))
     }
 
+    /// Solves with explicit simplex options, optionally warm-starting from
+    /// a basis exported by a previous solve of this LP or of a same-shape
+    /// neighbour (same site count, storage mode, tech mix, and slot clock).
+    /// Returns the dispatch together with the final basis for the caller to
+    /// reuse. An unusable warm basis silently falls back to a cold solve.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetworkLp::solve`].
+    pub fn solve_warm(
+        &self,
+        options: SimplexOptions,
+        warm: Option<&Basis>,
+    ) -> Result<(NetworkDispatch, Option<Basis>), SolveError> {
+        let sol = self.model.solve_with_basis(options, warm)?;
+        let dispatch = self.extract(&sol);
+        Ok((dispatch, sol.basis))
+    }
+
     fn extract(&self, sol: &Solution) -> NetworkDispatch {
         let t_count = self.num_slots;
         let mut sites = Vec::with_capacity(self.vars.len());
@@ -580,9 +402,8 @@ impl NetworkLp {
         let mut total_capacity = 0.0;
 
         for (si, v) in self.vars.iter().enumerate() {
-            let take = |ids: &Vec<VarId>| -> Vec<f64> {
-                ids.iter().map(|&id| sol[id].max(0.0)).collect()
-            };
+            let take =
+                |ids: &Vec<VarId>| -> Vec<f64> { ids.iter().map(|&id| sol[id].max(0.0)).collect() };
             let comp_mw = take(&v.comp);
             let mig_mw = v
                 .mig
@@ -659,6 +480,7 @@ impl NetworkLp {
             },
             total_capacity_mw: total_capacity,
             iterations: sol.iterations,
+            warm_started: sol.warm_started,
         }
     }
 
@@ -676,7 +498,7 @@ impl NetworkLp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::framework::TechMix;
+    use crate::framework::{StorageMode, TechMix};
     use greencloud_climate::catalog::WorldCatalog;
     use greencloud_climate::profiles::ProfileConfig;
 
@@ -775,9 +597,10 @@ mod tests {
             storage: StorageMode::NetMetering,
             ..PlacementInput::default()
         };
-        let with_nm = build_network_lp(&CostParams::default(), &base, &[(harare, SizeClass::Small)])
-            .solve()
-            .expect("net metering feasible");
+        let with_nm =
+            build_network_lp(&CostParams::default(), &base, &[(harare, SizeClass::Small)])
+                .solve()
+                .expect("net metering feasible");
         let no_storage = PlacementInput {
             storage: StorageMode::None,
             ..base
@@ -808,9 +631,17 @@ mod tests {
             storage: StorageMode::Batteries,
             ..PlacementInput::default()
         };
-        let lp = build_network_lp(&CostParams::default(), &input, &[(nairobi, SizeClass::Small)]);
+        let lp = build_network_lp(
+            &CostParams::default(),
+            &input,
+            &[(nairobi, SizeClass::Small)],
+        );
         let d = lp.solve().expect("batteries make 90% solar feasible");
-        assert!(d.sites[0].batt_mwh > 1.0, "batteries {}", d.sites[0].batt_mwh);
+        assert!(
+            d.sites[0].batt_mwh > 1.0,
+            "batteries {}",
+            d.sites[0].batt_mwh
+        );
         assert!(d.green_fraction >= 0.9 - 1e-6);
     }
 

@@ -100,23 +100,41 @@ impl Default for PlacementInput {
 impl PlacementInput {
     /// Validates ranges; returns a description of the first problem found.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.total_capacity_mw > 0.0) {
-            return Err(format!("total capacity must be positive, got {}", self.total_capacity_mw));
+        if !self.total_capacity_mw.is_finite() || self.total_capacity_mw <= 0.0 {
+            return Err(format!(
+                "total capacity must be positive and finite, got {}",
+                self.total_capacity_mw
+            ));
         }
         if !(0.0..=1.0).contains(&self.min_green_fraction) {
-            return Err(format!("green fraction must be in [0,1], got {}", self.min_green_fraction));
+            return Err(format!(
+                "green fraction must be in [0,1], got {}",
+                self.min_green_fraction
+            ));
         }
         if !(0.0..1.0).contains(&self.min_availability) {
-            return Err(format!("min availability must be in [0,1), got {}", self.min_availability));
+            return Err(format!(
+                "min availability must be in [0,1), got {}",
+                self.min_availability
+            ));
         }
         if !(0.0..1.0).contains(&self.dc_availability) {
-            return Err(format!("dc availability must be in [0,1), got {}", self.dc_availability));
+            return Err(format!(
+                "dc availability must be in [0,1), got {}",
+                self.dc_availability
+            ));
         }
         if !(0.0..=1.0).contains(&self.migration_fraction) {
-            return Err(format!("migration fraction must be in [0,1], got {}", self.migration_fraction));
+            return Err(format!(
+                "migration fraction must be in [0,1], got {}",
+                self.migration_fraction
+            ));
         }
         if !(0.0..=1.0).contains(&self.credit_net_meter) {
-            return Err(format!("net meter credit must be in [0,1], got {}", self.credit_net_meter));
+            return Err(format!(
+                "net meter credit must be in [0,1], got {}",
+                self.credit_net_meter
+            ));
         }
         if self.min_green_fraction > 0.0 && self.tech == TechMix::BrownOnly {
             return Err("cannot require green energy with TechMix::BrownOnly".into());
@@ -129,7 +147,11 @@ impl PlacementInput {
     pub fn with_green(&self, fraction: f64, tech: TechMix) -> Self {
         Self {
             min_green_fraction: fraction,
-            tech: if fraction == 0.0 { TechMix::BrownOnly } else { tech },
+            tech: if fraction == 0.0 {
+                TechMix::BrownOnly
+            } else {
+                tech
+            },
             ..self.clone()
         }
     }
@@ -158,20 +180,28 @@ mod tests {
 
     #[test]
     fn validation_catches_inconsistencies() {
-        let mut bad = PlacementInput::default();
-        bad.tech = TechMix::BrownOnly;
+        let bad = PlacementInput {
+            tech: TechMix::BrownOnly,
+            ..PlacementInput::default()
+        };
         assert!(bad.validate().is_err());
 
-        let mut bad = PlacementInput::default();
-        bad.min_green_fraction = 1.5;
+        let bad = PlacementInput {
+            min_green_fraction: 1.5,
+            ..PlacementInput::default()
+        };
         assert!(bad.validate().is_err());
 
-        let mut bad = PlacementInput::default();
-        bad.total_capacity_mw = 0.0;
+        let bad = PlacementInput {
+            total_capacity_mw: 0.0,
+            ..PlacementInput::default()
+        };
         assert!(bad.validate().is_err());
 
-        let mut bad = PlacementInput::default();
-        bad.migration_fraction = -0.1;
+        let bad = PlacementInput {
+            migration_fraction: -0.1,
+            ..PlacementInput::default()
+        };
         assert!(bad.validate().is_err());
     }
 

@@ -17,6 +17,8 @@
 //! * [`formulation`] — compiles the paper's Fig. 1 optimization (with the
 //!   documented strict-green and no-cash-out refinements) into an LP for a
 //!   fixed siting, on the representative-day slot clock.
+//! * [`siteblock`] — per-site LP column blocks and the block cache the hot
+//!   search paths use to avoid recompiling unchanged sites.
 //! * [`filter`] — the heuristic's location pre-filter.
 //! * [`anneal`] — parallel simulated-annealing search over sitings, each
 //!   candidate evaluated by solving its LP.
@@ -33,6 +35,7 @@ pub mod filter;
 pub mod formulation;
 pub mod framework;
 pub mod milp;
+pub mod siteblock;
 pub mod solution;
 pub mod tool;
 

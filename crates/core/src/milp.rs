@@ -17,10 +17,11 @@
 
 use crate::availability::min_datacenters;
 use crate::candidate::CandidateSite;
-use crate::formulation::{build_network_lp, NetworkDispatch};
+use crate::formulation::{build_network_lp_cached, NetworkDispatch};
 use crate::framework::{PlacementInput, SizeClass};
+use crate::siteblock::SiteBlockCache;
 use greencloud_cost::params::CostParams;
-use greencloud_lp::SolveError;
+use greencloud_lp::{Basis, SimplexOptions, SolveError};
 
 /// Options for the exhaustive exact search.
 #[derive(Debug, Clone)]
@@ -39,6 +40,9 @@ impl Default for ExactOptions {
         }
     }
 }
+
+/// A candidate incumbent: `(cost, siting, dispatch)`.
+type BestSiting = (f64, Vec<(usize, SizeClass)>, NetworkDispatch);
 
 /// The proven-optimal siting over the candidate set (within `options`).
 ///
@@ -67,7 +71,10 @@ pub fn solve_exact(
         return Err(SolveError::Infeasible);
     }
 
-    let mut best: Option<(f64, Vec<(usize, SizeClass)>, NetworkDispatch)> = None;
+    let mut best: Option<BestSiting> = None;
+    // Per-site blocks are identical across the enumeration, so compile each
+    // (candidate, class) pair once and reuse it for every subset.
+    let blocks = SiteBlockCache::new();
     // Enumerate subsets by bitmask, then size classes per member.
     for mask in 1u32..(1 << n) {
         let members: Vec<usize> = (0..n).filter(|i| mask >> i & 1 == 1).collect();
@@ -75,6 +82,9 @@ pub fn solve_exact(
             continue;
         }
         let k = members.len();
+        // Class re-assignments keep the LP shape: warm-start each solve
+        // from the previous class mask's basis for this member set.
+        let mut last_basis: Option<Basis> = None;
         for classes in 0u32..(1 << k) {
             let siting: Vec<(usize, SizeClass)> = members
                 .iter()
@@ -102,12 +112,14 @@ pub fn solve_exact(
                     continue;
                 }
             }
-            let sites: Vec<_> = siting.iter().map(|&(ci, c)| (&candidates[ci], c)).collect();
-            let lp = build_network_lp(params, input, &sites);
-            if let Ok(dispatch) = lp.solve() {
+            let lp = build_network_lp_cached(params, input, candidates, &siting, &blocks);
+            if let Ok((dispatch, basis)) =
+                lp.solve_warm(SimplexOptions::default(), last_basis.as_ref())
+            {
+                last_basis = basis;
                 let better = best
                     .as_ref()
-                    .map_or(true, |(bc, _, _)| dispatch.monthly_cost < *bc);
+                    .is_none_or(|(bc, _, _)| dispatch.monthly_cost < *bc);
                 if better {
                     best = Some((dispatch.monthly_cost, siting, dispatch));
                 }

@@ -1,5 +1,6 @@
 //! The reported siting, provisioning, and cost result.
 
+use crate::anneal::SearchStats;
 use crate::candidate::CandidateSite;
 use crate::formulation::NetworkDispatch;
 use crate::framework::SizeClass;
@@ -53,6 +54,9 @@ pub struct PlacementSolution {
     pub total_capacity_mw: f64,
     /// Number of LP evaluations the search spent.
     pub evaluations: usize,
+    /// Cache and warm-start accounting, when the solution came from the
+    /// annealing search (`None` for single-LP solves).
+    pub search_stats: Option<SearchStats>,
 }
 
 impl PlacementSolution {
@@ -76,8 +80,8 @@ impl PlacementSolution {
                 wind_kw: d.wind_mw * 1000.0,
                 batt_kwh: d.batt_mwh * 1000.0,
             };
-            let breakdown = CostBreakdown::capex(params, &site.econ, &prov)
-                .with_energy(d.energy_cost_month);
+            let breakdown =
+                CostBreakdown::capex(params, &site.econ, &prov).with_energy(d.energy_cost_month);
             network = network.combined(&breakdown);
             datacenters.push(SitedDatacenter {
                 location: site.id,
@@ -105,7 +109,14 @@ impl PlacementSolution {
             green_fraction: dispatch.green_fraction,
             total_capacity_mw: dispatch.total_capacity_mw,
             evaluations,
+            search_stats: None,
         }
+    }
+
+    /// Attaches the search's cache/warm-start counters (builder style).
+    pub fn with_search_stats(mut self, stats: SearchStats) -> Self {
+        self.search_stats = Some(stats);
+        self
     }
 
     /// Renders a short human-readable summary (one line per datacenter).
@@ -157,13 +168,8 @@ mod tests {
         let sites: Vec<_> = siting.iter().map(|&(i, c)| (&cands[i], c)).collect();
         let lp = build_network_lp(&CostParams::default(), &input, &sites);
         let dispatch = lp.solve().expect("solvable");
-        let sol = PlacementSolution::from_dispatch(
-            &CostParams::default(),
-            &cands,
-            &siting,
-            &dispatch,
-            1,
-        );
+        let sol =
+            PlacementSolution::from_dispatch(&CostParams::default(), &cands, &siting, &dispatch, 1);
         let rebuilt = sol.network_breakdown.total();
         let lp_cost = dispatch.monthly_cost;
         assert!(

@@ -98,7 +98,12 @@ impl PlacementTool {
     /// [`SolveError::Infeasible`] when no feasible siting exists within the
     /// filtered candidate set, plus any solver-level error.
     pub fn solve(&self, input: &PlacementInput) -> Result<PlacementSolution, SolveError> {
-        let kept = filter_candidates(&self.params, input, &self.candidates, self.options.filter_keep);
+        let kept = filter_candidates(
+            &self.params,
+            input,
+            &self.candidates,
+            self.options.filter_keep,
+        );
         let filtered: Vec<CandidateSite> =
             kept.iter().map(|&i| self.candidates[i].clone()).collect();
         let result = anneal(&self.params, input, &filtered, &self.options.anneal)?;
@@ -114,7 +119,8 @@ impl PlacementTool {
             &siting,
             &result.dispatch,
             result.evaluations,
-        ))
+        )
+        .with_search_stats(result.stats))
     }
 
     /// Provisions a single datacenter of `capacity_mw` at one location

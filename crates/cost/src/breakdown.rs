@@ -213,11 +213,23 @@ mod tests {
         let params = CostParams::default();
         let b = CostBreakdown::capex(&params, &typical_econ(), &brown_25mw());
         // Building: 26.75 MW × $12/W = $321M → ≈ $2.69M/month at 3.25%/12y.
-        assert!((b.building_dc - 2.69e6).abs() < 0.1e6, "building {}", b.building_dc);
+        assert!(
+            (b.building_dc - 2.69e6).abs() < 0.1e6,
+            "building {}",
+            b.building_dc
+        );
         // IT: 86 207 servers × $2000 + 2694 switches × $20k ≈ $226M → 4y.
-        assert!((b.it_equipment - 5.0e6).abs() < 0.3e6, "it {}", b.it_equipment);
+        assert!(
+            (b.it_equipment - 5.0e6).abs() < 0.3e6,
+            "it {}",
+            b.it_equipment
+        );
         // Connections: 100km×$310k + 50km×$300k = $46M → ≈ $0.39M/month.
-        assert!((b.connections - 0.385e6).abs() < 0.02e6, "conn {}", b.connections);
+        assert!(
+            (b.connections - 0.385e6).abs() < 0.02e6,
+            "conn {}",
+            b.connections
+        );
         // Bandwidth: ~$86k/month.
         assert!((b.bandwidth - 86_207.0).abs() < 10.0);
         assert!(b.land > 0.0 && b.land < 50_000.0, "land {}", b.land);

@@ -45,8 +45,12 @@ pub fn monthly_cost(
     financing_years: f64,
     amortization_years: f64,
 ) -> f64 {
-    assert!(amortization_years > 0.0, "amortization period must be positive");
-    let total_paid = monthly_payment(principal, annual_rate, financing_years) * financing_years * 12.0;
+    assert!(
+        amortization_years > 0.0,
+        "amortization period must be positive"
+    );
+    let total_paid =
+        monthly_payment(principal, annual_rate, financing_years) * financing_years * 12.0;
     total_paid / (amortization_years * 12.0)
 }
 
@@ -54,7 +58,8 @@ pub fn monthly_cost(
 /// a `financing_years` loan, spread evenly (the principal comes back when
 /// the land is sold).
 pub fn land_monthly_cost(principal: f64, annual_rate: f64, financing_years: f64) -> f64 {
-    let total_paid = monthly_payment(principal, annual_rate, financing_years) * financing_years * 12.0;
+    let total_paid =
+        monthly_payment(principal, annual_rate, financing_years) * financing_years * 12.0;
     (total_paid - principal).max(0.0) / (financing_years * 12.0)
 }
 

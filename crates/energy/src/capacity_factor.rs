@@ -38,7 +38,10 @@ impl CapacityFactors {
         CapacityFactors {
             solar: sum_a / n as f64,
             wind: sum_b / n as f64,
-            mean_pue: sum_p / n as f64,
+            // The accumulated sum can round a hair above n·max when every
+            // slot has the same PUE (constant-climate sites); clamp so
+            // `mean_pue ≤ max_pue` holds exactly.
+            mean_pue: (sum_p / n as f64).min(max_p),
             max_pue: max_p,
         }
     }
@@ -103,8 +106,18 @@ mod tests {
         let w = WorldCatalog::synthetic(40, 7);
         for loc in w.iter() {
             let cf = CapacityFactors::with_default_models(&w.tmy(loc.id));
-            assert!((0.0..=0.45).contains(&cf.solar), "{}: solar {}", loc.name, cf.solar);
-            assert!((0.0..=0.85).contains(&cf.wind), "{}: wind {}", loc.name, cf.wind);
+            assert!(
+                (0.0..=0.45).contains(&cf.solar),
+                "{}: solar {}",
+                loc.name,
+                cf.solar
+            );
+            assert!(
+                (0.0..=0.85).contains(&cf.wind),
+                "{}: wind {}",
+                loc.name,
+                cf.wind
+            );
             assert!(cf.mean_pue >= 1.05 && cf.mean_pue <= 1.30, "{}", loc.name);
             assert!(cf.max_pue >= cf.mean_pue && cf.max_pue <= 1.5);
         }

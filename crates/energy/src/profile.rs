@@ -45,7 +45,8 @@ impl EnergyProfile {
         };
         for s in slots {
             p.alpha.push(pv.alpha(s.ghi_wm2, s.temp_c));
-            p.beta.push(turbine.beta(s.wind_ms, s.pressure_kpa, s.temp_c));
+            p.beta
+                .push(turbine.beta(s.wind_ms, s.pressure_kpa, s.temp_c));
             p.pue.push(pue.pue(s.temp_c));
             p.weight_hours.push(s.weight_hours);
         }

@@ -112,11 +112,15 @@ mod tests {
         // The paper reports average PUEs between 1.06 and 1.13 across its
         // locations; synthetic temperate series should land inside.
         let m = PueModel::new();
-        let cool: Vec<f64> = (0..8760).map(|h| 5.0 + 10.0 * ((h % 24) as f64 / 24.0)).collect();
-        let warm: Vec<f64> = (0..8760).map(|h| 18.0 + 12.0 * ((h % 24) as f64 / 24.0)).collect();
+        let cool: Vec<f64> = (0..8760)
+            .map(|h| 5.0 + 10.0 * ((h % 24) as f64 / 24.0))
+            .collect();
+        let warm: Vec<f64> = (0..8760)
+            .map(|h| 18.0 + 12.0 * ((h % 24) as f64 / 24.0))
+            .collect();
         let a = m.mean_pue(&cool);
         let b = m.mean_pue(&warm);
-        assert!(a >= 1.05 && a < 1.08, "cool mean {a}");
+        assert!((1.05..1.08).contains(&a), "cool mean {a}");
         assert!(b > a && b < 1.2, "warm mean {b}");
     }
 

@@ -74,7 +74,9 @@ mod tests {
         let hot = pv.alpha(800.0, 40.0);
         assert!(cool > hot);
         // 35 °C ambient delta → 14% relative difference.
-        assert!((cool / hot - 1.0 - 0.004 * 35.0 / (1.0 - 0.004 * (40.0 + 27.2 - 25.0))).abs() < 0.05);
+        assert!(
+            (cool / hot - 1.0 - 0.004 * 35.0 / (1.0 - 0.004 * (40.0 + 27.2 - 25.0))).abs() < 0.05
+        );
     }
 
     #[test]

@@ -86,8 +86,7 @@ impl BranchAndBound {
             }
             // Prune against the incumbent before solving.
             if let Some(inc) = &incumbent {
-                if node.parent_bound >= inc.objective - self.options.rel_gap * inc.objective.abs()
-                {
+                if node.parent_bound >= inc.objective - self.options.rel_gap * inc.objective.abs() {
                     continue;
                 }
             }
@@ -130,7 +129,7 @@ impl BranchAndBound {
                 let frac = (x - x.round()).abs();
                 if frac > self.options.int_tol {
                     let dist = (x - x.floor() - 0.5).abs(); // 0 = most fractional
-                    if branch.map_or(true, |(_, _, d)| dist < d) {
+                    if branch.is_none_or(|(_, _, d)| dist < d) {
                         branch = Some((v, x, dist));
                     }
                 }
@@ -141,7 +140,7 @@ impl BranchAndBound {
                     // Integral: new incumbent.
                     let better = incumbent
                         .as_ref()
-                        .map_or(true, |inc| relax.objective < inc.objective);
+                        .is_none_or(|inc| relax.objective < inc.objective);
                     if better {
                         incumbent = Some(relax);
                     }
@@ -199,14 +198,16 @@ mod tests {
             .collect();
         m.add_con(
             "cap",
-            vars.iter()
-                .zip(items.iter())
-                .map(|(&v, &(_, w))| (v, w)),
+            vars.iter().zip(items.iter()).map(|(&v, &(_, w))| (v, w)),
             Sense::Le,
             14.0,
         );
         let s = milp(&m);
-        assert!((s.objective + 21.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective + 21.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
         // Optimal picks b + c + d (weight 14, value 21).
         assert!(s[vars[1]] > 0.5 && s[vars[2]] > 0.5 && s[vars[3]] > 0.5);
         assert!(s[vars[0]] < 0.5);
@@ -271,14 +272,28 @@ mod tests {
             let a1 = m.add_var(format!("a1_{j}"), 0.0, f64::INFINITY, 2.0);
             m.add_con(format!("demand{j}"), [(a0, 1.0), (a1, 1.0)], Sense::Ge, 1.0);
             // Capacity only if open (big-M link).
-            m.add_con(format!("cap0_{j}"), [(a0, 1.0), (open0, -10.0)], Sense::Le, 0.0);
-            m.add_con(format!("cap1_{j}"), [(a1, 1.0), (open1, -10.0)], Sense::Le, 0.0);
+            m.add_con(
+                format!("cap0_{j}"),
+                [(a0, 1.0), (open0, -10.0)],
+                Sense::Le,
+                0.0,
+            );
+            m.add_con(
+                format!("cap1_{j}"),
+                [(a1, 1.0), (open1, -10.0)],
+                Sense::Le,
+                0.0,
+            );
             total.push((a0, a1));
         }
         let s = milp(&m);
         // Opening only facility 1 costs 6 + 3*2 = 12; only facility 0 costs
         // 10 + 3*1 = 13; both costs 16+. Optimum = 12.
-        assert!((s.objective - 12.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective - 12.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
         assert!(s[open1] > 0.5 && s[open0] < 0.5);
     }
 }

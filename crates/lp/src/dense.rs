@@ -7,6 +7,9 @@
 //! [`crate::revised::RevisedSimplex`], and is perfectly adequate for models
 //! with up to a few hundred rows.
 
+// Index loops here sweep multiple parallel arrays of the numerical kernel;
+// iterator rewrites obscure the linear algebra.
+#![allow(clippy::needless_range_loop)]
 use crate::model::{Model, Sense, Solution, SolveError};
 
 /// Dense two-phase tableau simplex solver.
@@ -275,6 +278,8 @@ impl DenseSimplex {
             objective,
             values,
             iterations,
+            basis: None,
+            warm_started: false,
         })
     }
 }
@@ -410,7 +415,7 @@ mod tests {
     #[test]
     fn unbounded() {
         let mut m = Model::new();
-        let x = m.add_var("x", 0.0, f64::INFINITY, -1.0);
+        let _x = m.add_var("x", 0.0, f64::INFINITY, -1.0);
         assert_eq!(
             DenseSimplex::new().solve(&m).unwrap_err(),
             SolveError::Unbounded

@@ -202,7 +202,10 @@ mod tests {
     fn compress_merges_duplicates() {
         let (_m, x, y) = vars();
         let mut e = LinExpr::new();
-        e.add_term(x, 1.0).add_term(x, 2.0).add_term(y, -1.0).add_term(y, 1.0);
+        e.add_term(x, 1.0)
+            .add_term(x, 2.0)
+            .add_term(y, -1.0)
+            .add_term(y, 1.0);
         e.compress();
         assert_eq!(e.terms().len(), 1);
         assert_eq!(e.terms()[0], (x, 3.0));

@@ -8,6 +8,9 @@
 //! stored column-wise in pivot-position space. Triangular solves use a dense
 //! workspace and run in `O(n + nnz(L+U))`.
 
+// Index loops here sweep multiple parallel arrays of the numerical kernel;
+// iterator rewrites obscure the linear algebra.
+#![allow(clippy::needless_range_loop)]
 use crate::model::SolveError;
 
 /// A sparse matrix stored in compressed-column form, used to hand basis
@@ -363,41 +366,25 @@ mod tests {
 
     #[test]
     fn permuted_identity() {
-        assert_solves(&[
-            &[0.0, 0.0, 1.0],
-            &[1.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-        ]);
+        assert_solves(&[&[0.0, 0.0, 1.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
     }
 
     #[test]
     fn general_dense_3x3() {
-        assert_solves(&[
-            &[2.0, 1.0, 1.0],
-            &[4.0, -6.0, 0.0],
-            &[-2.0, 7.0, 2.0],
-        ]);
+        assert_solves(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]);
     }
 
     #[test]
     fn requires_pivoting() {
         // Zero on the diagonal forces a row exchange.
         assert_solves(&[&[0.0, 1.0], &[1.0, 0.0]]);
-        assert_solves(&[
-            &[0.0, 2.0, 3.0],
-            &[1.0, 0.0, 1.0],
-            &[2.0, 1.0, 0.0],
-        ]);
+        assert_solves(&[&[0.0, 2.0, 3.0], &[1.0, 0.0, 1.0], &[2.0, 1.0, 0.0]]);
     }
 
     #[test]
     fn negative_slack_columns() {
         // Simplex bases mix ±unit columns with structural columns.
-        assert_solves(&[
-            &[-1.0, 0.0, 0.5],
-            &[0.0, -1.0, 2.0],
-            &[0.0, 0.0, 1.5],
-        ]);
+        assert_solves(&[&[-1.0, 0.0, 0.5], &[0.0, -1.0, 2.0], &[0.0, 0.0, 1.5]]);
     }
 
     #[test]

@@ -15,6 +15,14 @@ impl VarId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Reconstructs a handle from a raw index. Intended for callers that
+    /// assemble models from pre-compiled blocks and track offsets
+    /// themselves; the index must refer to a variable that exists in the
+    /// target model by the time the handle is used.
+    pub fn from_index(index: usize) -> Self {
+        VarId(index)
+    }
 }
 
 /// Handle to a constraint in a [`Model`].
@@ -115,6 +123,13 @@ pub struct Solution {
     pub values: Vec<f64>,
     /// Simplex iterations spent (phase 1 + phase 2), when reported.
     pub iterations: usize,
+    /// Final simplex basis, when the solver maintains one (the revised
+    /// simplex does; the dense tableau and branch & bound report `None`).
+    /// Feed it to [`Model::solve_with_basis`] to warm-start a re-solve.
+    pub basis: Option<crate::revised::Basis>,
+    /// `true` when the solve actually started from a supplied warm basis
+    /// (rather than falling back to the cold crash basis).
+    pub warm_started: bool,
 }
 
 impl Solution {
@@ -359,6 +374,22 @@ impl Model {
     /// Same as [`Model::solve`].
     pub fn solve_with(&self, options: SimplexOptions) -> Result<Solution, SolveError> {
         RevisedSimplex::new(options).solve(self)
+    }
+
+    /// Solves with explicit simplex options, warm-starting from a basis
+    /// previously exported in [`Solution::basis`] (from this model or a
+    /// same-shape neighbour). An unusable basis silently falls back to a
+    /// cold solve; see [`crate::revised::Basis`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Model::solve`].
+    pub fn solve_with_basis(
+        &self,
+        options: SimplexOptions,
+        warm: Option<&crate::revised::Basis>,
+    ) -> Result<Solution, SolveError> {
+        RevisedSimplex::new(options).solve_warm(self, warm)
     }
 
     /// Objective value of an assignment (including the constant offset).

@@ -11,8 +11,94 @@
 //! Degenerate stalls switch pricing from Dantzig (most negative reduced
 //! cost) to Bland's rule, which guarantees termination.
 
+// Index loops here sweep multiple parallel arrays of the numerical kernel;
+// iterator rewrites obscure the linear algebra.
+#![allow(clippy::needless_range_loop)]
 use crate::lu::{ColMatrix, SparseLu};
 use crate::model::{Model, Sense, Solution, SolveError};
+use serde::{Deserialize, Serialize};
+
+/// Status of one column in an exported [`Basis`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BasisStatus {
+    /// In the basis (its value is determined by the basic solve).
+    Basic,
+    /// Nonbasic at its lower bound.
+    AtLower,
+    /// Nonbasic at its upper bound.
+    AtUpper,
+    /// Nonbasic free column parked at zero.
+    Free,
+}
+
+/// A snapshot of the simplex basis at the end of a solve: one status per
+/// structural variable followed by one per constraint slack (in model
+/// order). Feed it back via [`RevisedSimplex::solve_warm`] to warm-start a
+/// re-solve of the same model — or of a *neighbouring* model with the same
+/// shape (identical variable/constraint counts, possibly different bounds,
+/// coefficients, RHS, or objective). The solver validates the snapshot
+/// against the new model (dimension check, bound repair, singularity check
+/// via [`crate::lu::SparseLu`], primal feasibility) and silently falls back
+/// to the cold crash basis when it cannot be used, so warm starts never
+/// change *what* is solved — only how fast.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Basis {
+    statuses: Vec<BasisStatus>,
+    /// Rows whose *artificial* column was still (degenerately) basic at
+    /// zero when the snapshot was taken. Re-installing those unit columns
+    /// keeps the basis square without re-running phase 1.
+    artificial_rows: Vec<usize>,
+}
+
+impl Basis {
+    /// Builds a snapshot from raw statuses (structural variables first,
+    /// then one slack per constraint).
+    pub fn from_statuses(statuses: Vec<BasisStatus>) -> Self {
+        Self {
+            statuses,
+            artificial_rows: Vec::new(),
+        }
+    }
+
+    /// Builds a snapshot that also pins the artificial columns of
+    /// `artificial_rows` into the basis (degenerate leftovers of phase 1).
+    pub fn with_artificials(statuses: Vec<BasisStatus>, artificial_rows: Vec<usize>) -> Self {
+        Self {
+            statuses,
+            artificial_rows,
+        }
+    }
+
+    /// The per-column statuses (structural variables, then slacks).
+    pub fn statuses(&self) -> &[BasisStatus] {
+        &self.statuses
+    }
+
+    /// Rows whose artificial column is part of the basis (usually empty).
+    pub fn artificial_rows(&self) -> &[usize] {
+        &self.artificial_rows
+    }
+
+    /// Number of columns covered (num_vars + num_cons of the source model).
+    pub fn len(&self) -> usize {
+        self.statuses.len()
+    }
+
+    /// `true` for the empty model's basis.
+    pub fn is_empty(&self) -> bool {
+        self.statuses.is_empty()
+    }
+
+    /// Number of basic columns recorded, including pinned artificials
+    /// (matches the source model's row count).
+    pub fn num_basic(&self) -> usize {
+        self.statuses
+            .iter()
+            .filter(|s| matches!(s, BasisStatus::Basic))
+            .count()
+            + self.artificial_rows.len()
+    }
+}
 
 /// Tuning knobs for [`RevisedSimplex`].
 #[derive(Debug, Clone)]
@@ -62,10 +148,39 @@ impl RevisedSimplex {
     ///
     /// See [`Model::solve`].
     pub fn solve(&self, model: &Model) -> Result<Solution, SolveError> {
+        self.solve_warm(model, None)
+    }
+
+    /// Solves the LP relaxation of `model`, optionally warm-starting from a
+    /// basis exported by a previous [`Solution`].
+    ///
+    /// The warm basis is repaired against the model's current bounds,
+    /// refactorized to detect singularity, and checked for primal
+    /// feasibility; if any of those fail the solver silently falls back to
+    /// the cold crash basis, so the result is always identical (up to
+    /// tolerances) to a cold solve.
+    ///
+    /// # Errors
+    ///
+    /// See [`Model::solve`].
+    pub fn solve_warm(&self, model: &Model, warm: Option<&Basis>) -> Result<Solution, SolveError> {
         model.validate()?;
         let mut w = Worker::build(model, &self.options)?;
-        w.run()?;
-        Ok(w.extract(model))
+        let mut warm_installed = false;
+        if let Some(basis) = warm {
+            // Validate-then-commit: a rejected basis leaves the cold
+            // worker untouched, so no rebuild is needed on failure.
+            warm_installed = w.try_install_basis(basis).is_ok();
+        }
+        if warm_installed {
+            // The warm basis is primal feasible: phase 1 is unnecessary.
+            w.iterate(false)?;
+        } else {
+            w.run()?;
+        }
+        let mut sol = w.extract(model);
+        sol.warm_started = warm_installed;
+        Ok(sol)
     }
 }
 
@@ -175,23 +290,34 @@ impl<'a> Worker<'a> {
                 }
             }
         }
+        // Crash basis: each row is covered by its own slack when the slack's
+        // bounds can absorb the residual (the row starts feasible), and by a
+        // sign-oriented artificial only otherwise. On the siting LPs almost
+        // every row has zero residual at the nonbasic point, so phase 1
+        // starts with a handful of artificials instead of one per row.
         let mut cost_phase1 = vec![0.0; n_total];
         let mut basis = Vec::with_capacity(m);
         let mut xb = Vec::with_capacity(m);
-        for i in 0..m {
-            let aj = art_offset + i;
-            if resid[i] >= 0.0 {
-                lb[aj] = 0.0;
-                ub[aj] = f64::INFINITY;
-                cost_phase1[aj] = 1.0;
+        for (i, &r) in resid.iter().enumerate() {
+            let sj = n_struct + i;
+            if lb[sj] <= r && r <= ub[sj] {
+                status[sj] = ColStatus::Basic(i);
+                basis.push(sj);
             } else {
-                lb[aj] = f64::NEG_INFINITY;
-                ub[aj] = 0.0;
-                cost_phase1[aj] = -1.0;
+                let aj = art_offset + i;
+                if r >= 0.0 {
+                    lb[aj] = 0.0;
+                    ub[aj] = f64::INFINITY;
+                    cost_phase1[aj] = 1.0;
+                } else {
+                    lb[aj] = f64::NEG_INFINITY;
+                    ub[aj] = 0.0;
+                    cost_phase1[aj] = -1.0;
+                }
+                status[aj] = ColStatus::Basic(i);
+                basis.push(aj);
             }
-            status[aj] = ColStatus::Basic(i);
-            basis.push(aj);
-            xb.push(resid[i]);
+            xb.push(r);
         }
 
         let lu = factorize_basis(&cols, &basis, m)?;
@@ -225,6 +351,105 @@ impl<'a> Worker<'a> {
             iterations: 0,
             max_iterations,
         })
+    }
+
+    /// Attempts to install an exported warm basis over the freshly built
+    /// (cold) worker state. Validate-then-commit: all checks run on
+    /// scratch state, and `self` is only mutated once the basis is proven
+    /// usable — a failed attempt leaves the cold worker intact, so the
+    /// caller falls straight through to the crash-basis solve with no
+    /// rebuild.
+    ///
+    /// The snapshot is *repaired* rather than trusted: nonbasic statuses
+    /// that no longer match the model's bounds are remapped, a singular
+    /// basic set is rejected via the LU factorization, and the recomputed
+    /// basic solution must lie within bounds (up to the feasibility
+    /// tolerance).
+    fn try_install_basis(&mut self, warm: &Basis) -> Result<(), ()> {
+        if warm.statuses().len() != self.art_offset {
+            return Err(()); // different model shape
+        }
+        let mut basics = Vec::with_capacity(self.m);
+        for (j, &st) in warm.statuses().iter().enumerate() {
+            if st == BasisStatus::Basic {
+                basics.push(j);
+            }
+        }
+        // Degenerate phase-1 leftovers: re-pin the recorded artificial unit
+        // columns (at value 0) so the basis stays square.
+        for &r in warm.artificial_rows() {
+            if r >= self.m {
+                return Err(());
+            }
+            basics.push(self.art_offset + r);
+        }
+        if basics.len() != self.m {
+            return Err(()); // malformed snapshot; the crash basis handles it
+        }
+        let lu = factorize_basis(&self.cols, &basics, self.m).map_err(|_| ())?;
+
+        // Repaired statuses on scratch: warm nonbasics remapped against the
+        // current bounds, artificials parked at zero, basics patched last.
+        let mut status = vec![ColStatus::AtLower; self.n_total];
+        for (j, &st) in warm.statuses().iter().enumerate() {
+            status[j] = match st {
+                BasisStatus::Basic => ColStatus::AtLower, // patched below
+                BasisStatus::AtLower if self.lb[j].is_finite() => ColStatus::AtLower,
+                BasisStatus::AtUpper if self.ub[j].is_finite() => ColStatus::AtUpper,
+                _ => initial_status(self.lb[j], self.ub[j]),
+            };
+        }
+        for (slot, &j) in basics.iter().enumerate() {
+            status[j] = ColStatus::Basic(slot);
+        }
+
+        // Basic solution against the current RHS/bounds, still on scratch.
+        // Artificial columns are nonbasic at zero here (unless re-pinned
+        // basic above), so they contribute nothing to the residual.
+        let mut resid = self.rhs.clone();
+        for j in 0..self.art_offset {
+            if matches!(status[j], ColStatus::Basic(_)) {
+                continue;
+            }
+            let v = nonbasic_value(status[j], self.lb[j], self.ub[j]);
+            if v != 0.0 {
+                for (r, a) in self.cols.col(j) {
+                    resid[r] -= a * v;
+                }
+            }
+        }
+        lu.ftran(&mut resid, &mut self.scratch);
+        let xb = resid;
+
+        // Primal feasibility gate: an out-of-bounds basic would need a
+        // phase-1 pass this solver only runs from the crash basis. Basic
+        // artificials must sit at zero (their frozen bounds).
+        let tol = self.opts.feas_tol;
+        for (slot, &j) in basics.iter().enumerate() {
+            let x = xb[slot];
+            let (lo, hi) = if j >= self.art_offset {
+                (0.0, 0.0)
+            } else {
+                (self.lb[j], self.ub[j])
+            };
+            if x < lo - tol || x > hi + tol || !x.is_finite() {
+                return Err(());
+            }
+        }
+
+        // Commit.
+        for i in 0..self.m {
+            let aj = self.art_offset + i;
+            self.lb[aj] = 0.0;
+            self.ub[aj] = 0.0;
+            self.cost_phase1[aj] = 0.0;
+        }
+        self.status = status;
+        self.basis = basics;
+        self.lu = lu;
+        self.etas.clear();
+        self.xb = xb;
+        Ok(())
     }
 
     fn run(&mut self) -> Result<(), SolveError> {
@@ -315,7 +540,12 @@ impl<'a> Worker<'a> {
                             worst.1 .1,
                         );
                         for (k, e) in self.etas.iter().enumerate() {
-                            eprintln!("  eta {k}: slot {} pivot {:.6e} nnz {}", e.slot, e.pivot, e.entries.len());
+                            eprintln!(
+                                "  eta {k}: slot {} pivot {:.6e} nnz {}",
+                                e.slot,
+                                e.pivot,
+                                e.entries.len()
+                            );
                         }
                         panic!("paranoid drift");
                     }
@@ -374,8 +604,8 @@ impl<'a> Worker<'a> {
                     for s in 0..self.m {
                         self.xb[s] -= t * dir * self.work_w[s];
                     }
-                    let entering_value = nonbasic_value(self.status[q], self.lb[q], self.ub[q])
-                        + dir * t;
+                    let entering_value =
+                        nonbasic_value(self.status[q], self.lb[q], self.ub[q]) + dir * t;
                     self.xb[slot] = entering_value;
                     self.status[leaving] = if to_upper {
                         ColStatus::AtUpper
@@ -413,8 +643,16 @@ impl<'a> Worker<'a> {
         }
         self.btran();
 
-        let g = if phase1 { &self.cost_phase1 } else { &self.cost };
-        let limit = if phase1 { self.n_total } else { self.art_offset };
+        let g = if phase1 {
+            &self.cost_phase1
+        } else {
+            &self.cost
+        };
+        let limit = if phase1 {
+            self.n_total
+        } else {
+            self.art_offset
+        };
         let mut best: Option<(usize, f64, f64)> = None; // (col, dir, score)
         for j in 0..limit {
             let st = self.status[j];
@@ -444,7 +682,7 @@ impl<'a> Worker<'a> {
                 if bland {
                     return Some((j, dir));
                 }
-                if best.map_or(true, |(_, _, s)| score > s) {
+                if best.is_none_or(|(_, _, s)| score > s) {
                     best = Some((j, dir, score));
                 }
             }
@@ -630,10 +868,31 @@ impl<'a> Worker<'a> {
             };
         }
         let objective = model.objective_value(&values);
+        // Export the final basis (structural + slack columns) so callers
+        // can warm-start re-solves of this model or of close neighbours.
+        // Artificials still basic at zero (degenerate phase-1 leftovers)
+        // are recorded by row so the re-installed basis stays square.
+        let statuses: Vec<BasisStatus> = self.status[..self.art_offset]
+            .iter()
+            .map(|st| match st {
+                ColStatus::Basic(_) => BasisStatus::Basic,
+                ColStatus::AtLower => BasisStatus::AtLower,
+                ColStatus::AtUpper => BasisStatus::AtUpper,
+                ColStatus::FreeAtZero => BasisStatus::Free,
+            })
+            .collect();
+        let artificial_rows: Vec<usize> = self
+            .basis
+            .iter()
+            .filter(|&&j| j >= self.art_offset)
+            .map(|&j| j - self.art_offset)
+            .collect();
         Solution {
             objective,
             values,
             iterations: self.iterations,
+            basis: Some(Basis::with_artificials(statuses, artificial_rows)),
+            warm_started: false,
         }
     }
 }
@@ -668,11 +927,7 @@ fn nonbasic_value(status: ColStatus, lb: f64, ub: f64) -> f64 {
     }
 }
 
-fn factorize_basis(
-    cols: &ColMatrix,
-    basis: &[usize],
-    m: usize,
-) -> Result<SparseLu, SolveError> {
+fn factorize_basis(cols: &ColMatrix, basis: &[usize], m: usize) -> Result<SparseLu, SolveError> {
     let mut b = ColMatrix::new(m);
     for &j in basis {
         b.push_col(cols.col(j));
@@ -856,7 +1111,12 @@ mod tests {
         let mut prev = None;
         let mut vars = Vec::new();
         for i in 0..n {
-            let x = m.add_var(format!("x{i}"), 0.0, 10.0, if i % 3 == 0 { 1.0 } else { -1.0 });
+            let x = m.add_var(
+                format!("x{i}"),
+                0.0,
+                10.0,
+                if i % 3 == 0 { 1.0 } else { -1.0 },
+            );
             if let Some(p) = prev {
                 m.add_con(format!("link{i}"), [(p, 1.0), (x, -1.0)], Sense::Le, 1.0);
             }

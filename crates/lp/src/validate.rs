@@ -47,11 +47,7 @@ pub fn check_feasible(model: &Model, values: &[f64], tol: f64) -> Vec<Violation>
         }
     }
     for con in &model.cons {
-        let lhs: f64 = con
-            .terms
-            .iter()
-            .map(|&(v, c)| c * values[v.index()])
-            .sum();
+        let lhs: f64 = con.terms.iter().map(|&(v, c)| c * values[v.index()]).sum();
         let scale = 1.0 + con.rhs.abs() + con.terms.iter().map(|t| t.1.abs()).sum::<f64>();
         let violated = match con.sense {
             Sense::Le => lhs - con.rhs,

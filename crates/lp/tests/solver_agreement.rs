@@ -1,11 +1,18 @@
 //! Property tests: the dense tableau and the revised simplex are two
 //! independent implementations — on random models they must agree on
 //! status and objective, and any reported solution must verify feasible.
+//!
+//! Originally written against `proptest`; the offline build environment has
+//! no registry access, so the random-model generator is hand-rolled on the
+//! vendored ChaCha8 RNG instead. Coverage is the same shape (512 random
+//! LPs, mixed bound kinds, all three senses) and fully deterministic.
 
 use greencloud_lp::dense::DenseSimplex;
+use greencloud_lp::revised::{Basis, RevisedSimplex, SimplexOptions};
 use greencloud_lp::validate::check_feasible;
 use greencloud_lp::{Model, Sense, SolveError};
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 #[derive(Debug, Clone)]
 struct RandomLp {
@@ -15,40 +22,50 @@ struct RandomLp {
     cons: Vec<(Vec<f64>, Sense, f64)>,
 }
 
-fn arb_bound() -> impl Strategy<Value = (f64, f64)> {
-    prop_oneof![
+fn arb_bound<R: Rng>(rng: &mut R) -> (f64, f64) {
+    match rng.gen_range(0..4u32) {
         // Finite box.
-        (-5.0..5.0f64, 0.0..10.0f64).prop_map(|(lo, w)| (lo, lo + w)),
+        0 => {
+            let lo = rng.gen_range(-5.0..5.0);
+            (lo, lo + rng.gen_range(0.0..10.0))
+        }
         // Lower-bounded only.
-        (-5.0..5.0f64).prop_map(|lo| (lo, f64::INFINITY)),
+        1 => (rng.gen_range(-5.0..5.0), f64::INFINITY),
         // Upper-bounded only.
-        (-5.0..5.0f64).prop_map(|hi| (f64::NEG_INFINITY, hi)),
+        2 => (f64::NEG_INFINITY, rng.gen_range(-5.0..5.0)),
         // Fixed.
-        (-3.0..3.0f64).prop_map(|v| (v, v)),
-    ]
+        _ => {
+            let v = rng.gen_range(-3.0..3.0);
+            (v, v)
+        }
+    }
 }
 
-fn arb_sense() -> impl Strategy<Value = Sense> {
-    prop_oneof![Just(Sense::Le), Just(Sense::Ge), Just(Sense::Eq)]
+fn arb_sense<R: Rng>(rng: &mut R) -> Sense {
+    match rng.gen_range(0..3u32) {
+        0 => Sense::Le,
+        1 => Sense::Ge,
+        _ => Sense::Eq,
+    }
 }
 
-fn arb_lp() -> impl Strategy<Value = RandomLp> {
-    (1usize..6).prop_flat_map(|n| {
-        let bounds = prop::collection::vec(arb_bound(), n);
-        let obj = prop::collection::vec(-3.0..3.0f64, n);
-        let con = (
-            prop::collection::vec(-2.0..2.0f64, n),
-            arb_sense(),
-            -8.0..8.0f64,
-        );
-        let cons = prop::collection::vec(con, 0..7);
-        (bounds, obj, cons).prop_map(move |(bounds, obj, cons)| RandomLp {
-            n,
-            bounds,
-            obj,
-            cons,
+fn arb_lp<R: Rng>(rng: &mut R) -> RandomLp {
+    let n = rng.gen_range(1..6usize);
+    let bounds: Vec<(f64, f64)> = (0..n).map(|_| arb_bound(rng)).collect();
+    let obj: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+    let n_cons = rng.gen_range(0..7usize);
+    let cons: Vec<(Vec<f64>, Sense, f64)> = (0..n_cons)
+        .map(|_| {
+            let coeffs: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            (coeffs, arb_sense(rng), rng.gen_range(-8.0..8.0))
         })
-    })
+        .collect();
+    RandomLp {
+        n,
+        bounds,
+        obj,
+        cons,
+    }
 }
 
 fn build(lp: &RandomLp) -> Model {
@@ -67,26 +84,31 @@ fn build(lp: &RandomLp) -> Model {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn revised_and_dense_agree(lp in arb_lp()) {
+#[test]
+fn revised_and_dense_agree() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5EED_A9EE);
+    for case in 0..512 {
+        let lp = arb_lp(&mut rng);
         let m = build(&lp);
         let r = m.solve();
         let d = DenseSimplex::new().solve(&m);
         match (&r, &d) {
             (Ok(rs), Ok(ds)) => {
                 let scale = 1.0 + rs.objective.abs().max(ds.objective.abs());
-                prop_assert!(
+                assert!(
                     (rs.objective - ds.objective).abs() < 1e-5 * scale,
-                    "objectives differ: revised={} dense={}",
-                    rs.objective, ds.objective
+                    "case {case}: objectives differ: revised={} dense={} lp={lp:?}",
+                    rs.objective,
+                    ds.objective
                 );
-                prop_assert!(check_feasible(&m, &rs.values, 1e-6).is_empty(),
-                    "revised solution infeasible");
-                prop_assert!(check_feasible(&m, &ds.values, 1e-6).is_empty(),
-                    "dense solution infeasible");
+                assert!(
+                    check_feasible(&m, &rs.values, 1e-6).is_empty(),
+                    "case {case}: revised solution infeasible: {lp:?}"
+                );
+                assert!(
+                    check_feasible(&m, &ds.values, 1e-6).is_empty(),
+                    "case {case}: dense solution infeasible: {lp:?}"
+                );
             }
             (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
             (Err(SolveError::Unbounded), Err(SolveError::Unbounded)) => {}
@@ -96,22 +118,31 @@ proptest! {
             // exists. Anything else is a real bug.
             (Ok(rs), Err(SolveError::Infeasible)) => {
                 let v = check_feasible(&m, &rs.values, 1e-9);
-                prop_assert!(!v.is_empty() || m.num_cons() == 0,
-                    "revised says optimal (clean), dense says infeasible");
+                assert!(
+                    !v.is_empty() || m.num_cons() == 0,
+                    "case {case}: revised says optimal (clean), dense says infeasible: {lp:?}"
+                );
             }
             (Err(SolveError::Infeasible), Ok(ds)) => {
                 let v = check_feasible(&m, &ds.values, 1e-9);
-                prop_assert!(!v.is_empty() || m.num_cons() == 0,
-                    "dense says optimal (clean), revised says infeasible");
+                assert!(
+                    !v.is_empty() || m.num_cons() == 0,
+                    "case {case}: dense says optimal (clean), revised says infeasible: {lp:?}"
+                );
             }
             (a, b) => {
-                prop_assert!(false, "solver disagreement: revised={a:?} dense={b:?}");
+                panic!("case {case}: solver disagreement: revised={a:?} dense={b:?} lp={lp:?}");
             }
         }
     }
+}
 
-    #[test]
-    fn optimal_beats_random_feasible_points(lp in arb_lp(), probe in prop::collection::vec(0.0..1.0f64, 6)) {
+#[test]
+fn optimal_beats_random_feasible_points() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBEA7_F00D);
+    for case in 0..512 {
+        let lp = arb_lp(&mut rng);
+        let probe: Vec<f64> = (0..6).map(|_| rng.gen_range(0.0..1.0)).collect();
         let m = build(&lp);
         if let Ok(sol) = m.solve() {
             // Sample a point inside the variable box; if it happens to be
@@ -125,14 +156,54 @@ proptest! {
             }
             if check_feasible(&m, &point, 1e-9).is_empty() {
                 let obj = m.objective_value(&point);
-                prop_assert!(
+                assert!(
                     sol.objective <= obj + 1e-6 * (1.0 + obj.abs()),
-                    "random feasible point beats 'optimal': {} < {}",
-                    obj, sol.objective
+                    "case {case}: random feasible point beats 'optimal': {} < {}",
+                    obj,
+                    sol.objective
                 );
             }
         }
     }
+}
+
+/// Warm starts must not change what the solver reports: re-solving any
+/// solvable random LP from its own exported basis reproduces the cold
+/// objective to 1e-6 and converges without pivoting.
+#[test]
+fn warm_start_agrees_with_cold_solve() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x3A5E_11FE);
+    let solver = RevisedSimplex::new(SimplexOptions::default());
+    let mut warmed = 0usize;
+    for case in 0..512 {
+        let lp = arb_lp(&mut rng);
+        let m = build(&lp);
+        let Ok(cold) = solver.solve(&m) else {
+            continue;
+        };
+        let basis: &Basis = cold.basis.as_ref().expect("solution exports basis");
+        let warm = solver
+            .solve_warm(&m, Some(basis))
+            .expect("warm re-solve of a solved LP succeeds");
+        let scale = 1.0 + cold.objective.abs();
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-6 * scale,
+            "case {case}: warm {} vs cold {} ({lp:?})",
+            warm.objective,
+            cold.objective
+        );
+        assert!(
+            warm.iterations <= 1,
+            "case {case}: warm re-solve took {} iterations ({lp:?})",
+            warm.iterations
+        );
+        assert!(
+            check_feasible(&m, &warm.values, 1e-6).is_empty(),
+            "case {case}: warm solution infeasible"
+        );
+        warmed += 1;
+    }
+    assert!(warmed > 100, "too few solvable cases warmed: {warmed}");
 }
 
 #[test]
@@ -155,14 +226,22 @@ fn milp_relaxation_bound_holds() {
             cap,
         );
         let relax = m.solve().unwrap();
-        let milp = BranchAndBound::new(MilpOptions::default()).solve(&m).unwrap();
+        let milp = BranchAndBound::new(MilpOptions::default())
+            .solve(&m)
+            .unwrap();
         assert!(milp.objective >= relax.objective - 1e-9);
         // Brute force.
         let mut best = 0.0f64;
         for mask in 0u32..64 {
-            let w: f64 = (0..6).filter(|i| mask >> i & 1 == 1).map(|i| weights[i]).sum();
+            let w: f64 = (0..6)
+                .filter(|i| mask >> i & 1 == 1)
+                .map(|i| weights[i])
+                .sum();
             if w <= cap + 1e-9 {
-                let v: f64 = (0..6).filter(|i| mask >> i & 1 == 1).map(|i| values[i]).sum();
+                let v: f64 = (0..6)
+                    .filter(|i| mask >> i & 1 == 1)
+                    .map(|i| values[i])
+                    .sum();
                 best = best.max(v);
             }
         }

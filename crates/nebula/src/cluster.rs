@@ -37,8 +37,7 @@ impl Host {
 
     /// Whether `spec` fits in the remaining capacity.
     pub fn fits(&self, spec: &VmSpec) -> bool {
-        self.used_cores + spec.vcpus <= self.cores
-            && self.used_mem_mb + spec.mem_mb <= self.mem_mb
+        self.used_cores + spec.vcpus <= self.cores && self.used_mem_mb + spec.mem_mb <= self.mem_mb
     }
 
     fn place(&mut self, vm: &Vm) {
@@ -85,6 +84,7 @@ pub struct Datacenter {
 
 impl Datacenter {
     /// Creates a datacenter with `n_hosts` identical hosts.
+    #[allow(clippy::too_many_arguments)] // constructor mirrors the site spec
     pub fn new(
         id: DatacenterId,
         name: impl Into<String>,
@@ -101,7 +101,9 @@ impl Datacenter {
             position,
             solar_mw,
             wind_mw,
-            hosts: (0..n_hosts).map(|_| Host::new(host_cores, host_mem_mb)).collect(),
+            hosts: (0..n_hosts)
+                .map(|_| Host::new(host_cores, host_mem_mb))
+                .collect(),
             vms: BTreeMap::new(),
         }
     }

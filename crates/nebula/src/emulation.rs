@@ -143,7 +143,10 @@ pub struct EmulationReport {
 ///
 /// Returns an error when a site name cannot be found in the catalog or the
 /// scheduler's optimization fails.
-pub fn run(catalog: &WorldCatalog, config: &EmulationConfig) -> Result<EmulationReport, SolveError> {
+pub fn run(
+    catalog: &WorldCatalog,
+    config: &EmulationConfig,
+) -> Result<EmulationReport, SolveError> {
     let n = config.sites.len();
     if n == 0 {
         return Err(SolveError::InvalidModel("no sites".into()));
@@ -152,9 +155,9 @@ pub fn run(catalog: &WorldCatalog, config: &EmulationConfig) -> Result<Emulation
     let mut profiles = Vec::with_capacity(n);
     let mut dcs: Vec<Datacenter> = Vec::with_capacity(n);
     for (i, site) in config.sites.iter().enumerate() {
-        let loc = catalog
-            .find(&site.location_name)
-            .ok_or_else(|| SolveError::InvalidModel(format!("unknown site {}", site.location_name)))?;
+        let loc = catalog.find(&site.location_name).ok_or_else(|| {
+            SolveError::InvalidModel(format!("unknown site {}", site.location_name))
+        })?;
         let tmy = catalog.tmy(loc.id);
         profiles.push(EnergyProfile::from_tmy_hourly(
             &tmy,
@@ -196,7 +199,11 @@ pub fn run(catalog: &WorldCatalog, config: &EmulationConfig) -> Result<Emulation
     for v in 0..config.vm_count {
         let vm = Vm::new(VmId(v), spec);
         assert!(dcs[start_site].place_vm(vm), "initial placement fits");
-        gdfs.create_file(FileId(v as u64), blocks_per_vm, DatacenterId(start_site as u32));
+        gdfs.create_file(
+            FileId(v as u64),
+            blocks_per_vm,
+            DatacenterId(start_site as u32),
+        );
     }
 
     let scheduler = Scheduler::new(config.scheduler.clone());
@@ -221,10 +228,7 @@ pub fn run(catalog: &WorldCatalog, config: &EmulationConfig) -> Result<Emulation
             .map(|i| {
                 let f = predictor.forecast(&profiles[i], abs, window);
                 SiteState {
-                    green_forecast_mw: f
-                        .iter()
-                        .map(|&(a, b)| dcs[i].green_mw(a, b))
-                        .collect(),
+                    green_forecast_mw: f.iter().map(|&(a, b)| dcs[i].green_mw(a, b)).collect(),
                     pue_forecast: (0..window)
                         .map(|k| profiles[i].pue[(abs + k) % profiles[i].len()])
                         .collect(),
@@ -244,15 +248,13 @@ pub fn run(catalog: &WorldCatalog, config: &EmulationConfig) -> Result<Emulation
             let vm = dcs[from].remove_vm(m.vm).expect("planned VM exists");
             let file = FileId(m.vm.0 as u64);
             let payload_mb = gdfs.unreplicated_mb(file, m.from);
-            let dur = config
-                .wan
-                .migration_hours(vm.spec.mem_mb, vm.spec.dirty_mb_per_hour, payload_mb);
+            let dur =
+                config
+                    .wan
+                    .migration_hours(vm.spec.mem_mb, vm.spec.dirty_mb_per_hour, payload_mb);
             migration_hour_sum += dur;
             migrated_gb += vm.spec.migration_footprint_mb(payload_mb) / 1024.0;
-            engine.schedule_at(
-                SimTime::from_hours(h as u64).plus_hours_f64(dur),
-                m.vm,
-            );
+            engine.schedule_at(SimTime::from_hours(h as u64).plus_hours_f64(dur), m.vm);
             gdfs.transfer_unique_blocks(file, m.from, m.to);
             // The paper's conservative rule: the moved load draws power at
             // the donor for (a fraction of) the epoch.
@@ -266,8 +268,8 @@ pub fn run(catalog: &WorldCatalog, config: &EmulationConfig) -> Result<Emulation
 
         // 3. VMs dirty their files; GDFS re-replicates in the background.
         let dirty_blocks = (spec.dirty_mb_per_hour / BLOCK_MB).ceil() as u32;
-        for i in 0..n {
-            let hosted: Vec<VmId> = dcs[i].vms().map(|vm| vm.id).collect();
+        for (i, dc) in dcs.iter().take(n).enumerate() {
+            let hosted: Vec<VmId> = dc.vms().map(|vm| vm.id).collect();
             for vmid in hosted {
                 for k in 0..dirty_blocks {
                     let block = BlockId {

@@ -209,10 +209,7 @@ mod tests {
     use super::*;
 
     fn master() -> GdfsMaster {
-        GdfsMaster::new(
-            vec![DatacenterId(0), DatacenterId(1), DatacenterId(2)],
-            2,
-        )
+        GdfsMaster::new(vec![DatacenterId(0), DatacenterId(1), DatacenterId(2)], 2)
     }
 
     const F: FileId = FileId(1);
@@ -232,7 +229,9 @@ mod tests {
         let mut m = master();
         m.create_file(F, 2, DatacenterId(0));
         let b = BlockId { file: F, index: 0 };
-        let v = m.write(b, DatacenterId(2), Bytes::from_static(b"new")).unwrap();
+        let v = m
+            .write(b, DatacenterId(2), Bytes::from_static(b"new"))
+            .unwrap();
         assert_eq!(v, 1);
         assert_eq!(m.replica_count(b), 1, "only the writer holds validity");
         assert!(m.pending_replications() > 0);
@@ -250,7 +249,8 @@ mod tests {
         let mut m = master();
         m.create_file(F, 1, DatacenterId(0));
         let b = BlockId { file: F, index: 0 };
-        m.write(b, DatacenterId(1), Bytes::from_static(b"x")).unwrap();
+        m.write(b, DatacenterId(1), Bytes::from_static(b"x"))
+            .unwrap();
         assert_eq!(m.replica_count(b), 1);
         let task = m.replicate_step().expect("task queued");
         assert_eq!(task.from, DatacenterId(1));
@@ -263,9 +263,11 @@ mod tests {
         let mut m = master();
         m.create_file(F, 1, DatacenterId(0));
         let b = BlockId { file: F, index: 0 };
-        m.write(b, DatacenterId(1), Bytes::from_static(b"a")).unwrap();
+        m.write(b, DatacenterId(1), Bytes::from_static(b"a"))
+            .unwrap();
         // Second write at a different site makes the first task stale.
-        m.write(b, DatacenterId(2), Bytes::from_static(b"b")).unwrap();
+        m.write(b, DatacenterId(2), Bytes::from_static(b"b"))
+            .unwrap();
         while m.replicate_step().is_some() {}
         // All applied tasks must have come from currently-valid sources:
         // the final state holds the latest data everywhere it is valid.
@@ -294,7 +296,9 @@ mod tests {
         m.write(BlockId { file: F, index: 1 }, DatacenterId(0), Bytes::new());
         m.transfer_unique_blocks(F, DatacenterId(0), DatacenterId(2));
         assert_eq!(m.unreplicated_mb(F, DatacenterId(0)), 0.0);
-        let (_, remote) = m.read(BlockId { file: F, index: 1 }, DatacenterId(2)).unwrap();
+        let (_, remote) = m
+            .read(BlockId { file: F, index: 1 }, DatacenterId(2))
+            .unwrap();
         assert!(!remote, "destination now holds a valid replica");
     }
 

@@ -50,7 +50,11 @@ impl MigrationPlan {
 ///
 /// Panics if `targets_mw` and `datacenters` lengths differ.
 pub fn plan_migrations(datacenters: &[Datacenter], targets_mw: &[f64]) -> MigrationPlan {
-    assert_eq!(datacenters.len(), targets_mw.len(), "targets per datacenter");
+    assert_eq!(
+        datacenters.len(),
+        targets_mw.len(),
+        "targets per datacenter"
+    );
     let n = datacenters.len();
 
     // Excess (to give) and deficit (can take), in MW.
@@ -83,8 +87,12 @@ pub fn plan_migrations(datacenters: &[Datacenter], targets_mw: &[f64]) -> Migrat
         // Receivers for this donor: closest first.
         let mut receivers: Vec<usize> = (0..n).filter(|&i| i != d && deficit[i] > 1e-12).collect();
         receivers.sort_by(|&a, &b| {
-            let da = datacenters[d].position.distance_km(&datacenters[a].position);
-            let db = datacenters[d].position.distance_km(&datacenters[b].position);
+            let da = datacenters[d]
+                .position
+                .distance_km(&datacenters[a].position);
+            let db = datacenters[d]
+                .position
+                .distance_km(&datacenters[b].position);
             da.partial_cmp(&db).expect("finite")
         });
 

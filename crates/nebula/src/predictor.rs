@@ -44,7 +44,12 @@ impl GreenPredictor {
 
     /// Predicted `(alpha, beta)` series for `window` hours starting at
     /// absolute hour `start` (wraps around the profile year).
-    pub fn forecast(&self, profile: &EnergyProfile, start: usize, window: usize) -> Vec<(f64, f64)> {
+    pub fn forecast(
+        &self,
+        profile: &EnergyProfile,
+        start: usize,
+        window: usize,
+    ) -> Vec<(f64, f64)> {
         let n = profile.len();
         assert!(n > 0, "empty profile");
         let mut out = Vec::with_capacity(window);
@@ -108,9 +113,9 @@ mod tests {
         let p = profile();
         let f = GreenPredictor::perfect().forecast(&p, 100, 48);
         assert_eq!(f.len(), 48);
-        for h in 0..48 {
-            assert_eq!(f[h].0, p.alpha[100 + h]);
-            assert_eq!(f[h].1, p.beta[100 + h]);
+        for (h, &(alpha, beta)) in f.iter().enumerate() {
+            assert_eq!(alpha, p.alpha[100 + h]);
+            assert_eq!(beta, p.beta[100 + h]);
         }
     }
 
@@ -126,8 +131,11 @@ mod tests {
     #[test]
     fn noise_preserves_night_zeros_and_bounds() {
         let p = profile();
-        let f = GreenPredictor::new(PredictionMode::Noisy { sigma: 0.3, seed: 9 })
-            .forecast(&p, 48, 48);
+        let f = GreenPredictor::new(PredictionMode::Noisy {
+            sigma: 0.3,
+            seed: 9,
+        })
+        .forecast(&p, 48, 48);
         for (h, &(a, b)) in f.iter().enumerate() {
             let idx = 48 + h;
             if p.alpha[idx] == 0.0 {
@@ -141,7 +149,10 @@ mod tests {
     #[test]
     fn noisy_forecast_is_deterministic_per_seed() {
         let p = profile();
-        let m = PredictionMode::Noisy { sigma: 0.2, seed: 4 };
+        let m = PredictionMode::Noisy {
+            sigma: 0.2,
+            seed: 4,
+        };
         let a = GreenPredictor::new(m).forecast(&p, 10, 24);
         let b = GreenPredictor::new(m).forecast(&p, 10, 24);
         assert_eq!(a, b);

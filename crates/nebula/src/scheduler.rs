@@ -140,6 +140,7 @@ impl Scheduler {
             }
         }
 
+        #[allow(clippy::needless_range_loop)] // h indexes several var families
         for h in 0..h_total {
             // Conservation: all load is hosted somewhere.
             model.add_con(
@@ -175,11 +176,7 @@ impl Scheduler {
                 let pue = site.pue_forecast[h];
                 model.add_con(
                     format!("brown[{d},{h}]"),
-                    [
-                        (brown[d][h], 1.0),
-                        (comp[d][h], -pue),
-                        (mig[d][h], -pue),
-                    ],
+                    [(brown[d][h], 1.0), (comp[d][h], -pue), (mig[d][h], -pue)],
                     Sense::Ge,
                     -site.green_forecast_mw[h],
                 );
@@ -263,7 +260,11 @@ mod tests {
         })
         .plan(&[s0, s1])
         .expect("plan");
-        assert!(plan.target_mw[0] > 9.9, "should not bounce: {:?}", plan.target_mw);
+        assert!(
+            plan.target_mw[0] > 9.9,
+            "should not bounce: {:?}",
+            plan.target_mw
+        );
     }
 
     #[test]
@@ -280,7 +281,10 @@ mod tests {
         .plan(&[s0, s1])
         .expect("plan");
         assert!(plan.trajectory_mw[0][0] > 9.9);
-        assert!(plan.trajectory_mw[0][1] > 9.9, "no move before the handoff hour");
+        assert!(
+            plan.trajectory_mw[0][1] > 9.9,
+            "no move before the handoff hour"
+        );
         assert!(plan.trajectory_mw[1][2] > 9.9);
         assert!(plan.trajectory_mw[1][3] > 9.9);
     }

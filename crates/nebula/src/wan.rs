@@ -51,7 +51,12 @@ impl WanModel {
     /// memory dirtied during the previous round; after
     /// `max_precopy_rounds` (or when the dirty set stops shrinking) the VM
     /// briefly stops and the remainder is copied.
-    pub fn migration_hours(&self, mem_mb: f64, dirty_mb_per_hour: f64, disk_payload_mb: f64) -> f64 {
+    pub fn migration_hours(
+        &self,
+        mem_mb: f64,
+        dirty_mb_per_hour: f64,
+        disk_payload_mb: f64,
+    ) -> f64 {
         let bw_mb_h = self.mb_per_s() * 3600.0;
         assert!(bw_mb_h > 0.0, "zero bandwidth");
         let dirty_per_hour = dirty_mb_per_hour.max(0.0);

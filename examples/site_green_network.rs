@@ -55,7 +55,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     sol.total_capacity_mw,
                     sol.datacenters.len()
                 ),
-                Err(e) => println!("{label:>14} {tlabel:>12} {:>14} {:>14} {:>7}", format!("{e}"), "-", "-"),
+                Err(e) => println!(
+                    "{label:>14} {tlabel:>12} {:>14} {:>14} {:>7}",
+                    format!("{e}"),
+                    "-",
+                    "-"
+                ),
             }
         }
     }

@@ -69,16 +69,15 @@ fn storage_removal_raises_high_green_cost() {
         storage: StorageMode::None,
         ..base.clone()
     });
-    match without {
-        Ok(sol) => assert!(
+    // A small filtered world may simply be unable to reach 75% green with
+    // zero storage (Err) — also consistent with the paper.
+    if let Ok(sol) = without {
+        assert!(
             sol.monthly_cost >= with_nm.monthly_cost * 0.99,
             "no-storage {:.2}M cheaper than net-metered {:.2}M",
             sol.monthly_cost / 1e6,
             with_nm.monthly_cost / 1e6
-        ),
-        // A small filtered world may simply be unable to reach 75% green
-        // with zero storage — also consistent with the paper.
-        Err(_) => {}
+        );
     }
 }
 
@@ -95,7 +94,11 @@ fn emulated_day_follows_the_renewables() {
     };
     let report = emulation::run(&world, &cfg).expect("emulation");
     // Load conserved, mostly green, and the fleet moves during the day.
-    assert!(report.green_fraction > 0.8, "green {}", report.green_fraction);
+    assert!(
+        report.green_fraction > 0.8,
+        "green {}",
+        report.green_fraction
+    );
     assert!(report.migrations > 0);
     for hour in 0..cfg.hours {
         let total: f64 = report

@@ -1,0 +1,60 @@
+//! Local stub of `crossbeam` for offline builds.
+//!
+//! The workspace only uses `crossbeam::thread::scope` + `Scope::spawn`;
+//! since Rust 1.63 `std::thread::scope` provides the same guarantees, so
+//! this adapter just reshapes the API (crossbeam spawn closures receive the
+//! scope as an argument, and `scope` returns a `Result`).
+
+/// Scoped-thread API compatible with `crossbeam::thread`.
+pub mod thread {
+    /// Wrapper handing the std scope around by value (it is `Copy`).
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it can
+        /// spawn further threads, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads must terminate before
+    /// `scope` returns. Always `Ok`: std propagates child panics by
+    /// unwinding the scope itself, which matches how the workspace uses the
+    /// returned `Result` (`.expect(...)` immediately).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = [1, 2, 3, 4];
+        let sums = std::sync::Mutex::new(Vec::new());
+        super::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                let sums = &sums;
+                s.spawn(move |_| {
+                    sums.lock().unwrap().push(chunk.iter().sum::<i32>());
+                });
+            }
+        })
+        .expect("scope");
+        let mut got = sums.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 7]);
+    }
+}

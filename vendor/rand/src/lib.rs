@@ -1,0 +1,128 @@
+//! Local stub of `rand` 0.8 for offline builds.
+//!
+//! Implements exactly the trait surface the workspace uses: [`RngCore`],
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] extension methods
+//! `gen`, `gen_range`, and `gen_bool` over half-open ranges of the numeric
+//! types that appear in the codebase. Distributions match rand's contracts
+//! (uniform in the range, 53-bit uniform floats) but the streams are NOT
+//! bit-compatible with crates.io rand — the workspace only relies on
+//! determinism for a fixed seed, which this provides.
+
+use std::ops::Range;
+
+/// Core uniform-bit generator.
+pub trait RngCore {
+    /// Next 32 uniform bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types `Rng::gen` can produce.
+pub trait Standard: Sized {
+    /// Samples a uniform value of `Self`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+/// Types `Rng::gen_range` can sample over a `Range`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                // Multiply-shift rejection-free mapping is fine here: spans
+                // are tiny relative to 2^64 so modulo bias is negligible for
+                // simulation use, but use widening multiply anyway.
+                let wide = (rng.next_u64() as u128).wrapping_mul(span);
+                low.wrapping_add((wide >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        let u = f64::sample(rng);
+        let v = low + (high - low) * u;
+        // Guard the open upper bound against rounding.
+        if v >= high {
+            low
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        f64::sample_range(rng, low as f64, high as f64) as f32
+    }
+}
+
+/// The user-facing extension trait (auto-implemented for every `RngCore`).
+pub trait Rng: RngCore {
+    /// Uniform value of an inferable type (`f64` in `[0,1)`, full-width
+    /// integers, fair `bool`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform sample from the half-open `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}

@@ -1,0 +1,144 @@
+//! Local stub of `rand_chacha` for offline builds: a genuine ChaCha8 block
+//! cipher in counter mode driving the vendored [`rand`] traits. Streams are
+//! deterministic per seed but not bit-compatible with crates.io rand_chacha
+//! (which the workspace never relies on).
+
+// The block function mirrors the RFC 8439 description, which is index-based.
+#![allow(clippy::needless_range_loop)]
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 rounds, keyed from a 64-bit seed via SplitMix64 expansion.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    state: [u32; 16],
+    buffer: [u32; 16],
+    cursor: usize,
+}
+
+#[inline(always)]
+fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut w = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds.
+            quarter(&mut w, 0, 4, 8, 12);
+            quarter(&mut w, 1, 5, 9, 13);
+            quarter(&mut w, 2, 6, 10, 14);
+            quarter(&mut w, 3, 7, 11, 15);
+            quarter(&mut w, 0, 5, 10, 15);
+            quarter(&mut w, 1, 6, 11, 12);
+            quarter(&mut w, 2, 7, 8, 13);
+            quarter(&mut w, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            self.buffer[i] = w[i].wrapping_add(self.state[i]);
+        }
+        // 64-bit block counter in words 12..14.
+        let counter = (self.state[12] as u64 | (self.state[13] as u64) << 32).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // "expand 32-byte k" constants + SplitMix64-expanded key.
+        let mut sm = seed;
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646E;
+        state[2] = 0x7962_2D32;
+        state[3] = 0x6B20_6574;
+        for i in 0..4 {
+            let k = splitmix64(&mut sm);
+            state[4 + 2 * i] = k as u32;
+            state[5 + 2 * i] = (k >> 32) as u32;
+        }
+        // counter = 0, nonce = 0.
+        let mut rng = ChaCha8Rng {
+            state,
+            buffer: [0; 16],
+            cursor: 16,
+        };
+        rng.refill();
+        rng
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let v = self.buffer[self.cursor];
+        self.cursor += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | hi << 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn uniform_ranges_hit_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut counts = [0usize; 5];
+        for _ in 0..10_000 {
+            let k: usize = rng.gen_range(0..5);
+            counts[k] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 1500, "skewed bucket: {counts:?}");
+        }
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((25_000..35_000).contains(&hits), "p=0.3 gave {hits}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Local stub of `serde` for offline builds.
+//!
+//! Provides the `Serialize`/`Deserialize` names the workspace imports. The
+//! derive macros expand to nothing (nothing in the workspace serializes), so
+//! the traits here are empty markers kept only so `use serde::{...}` and
+//! `#[derive(Serialize, Deserialize)]` resolve.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Local stub of `serde_derive` for offline builds.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never serializes anything (no serde_json or similar backend is present),
+//! so the derives expand to nothing. If real serialization is ever needed,
+//! replace the `vendor/serde*` stubs with the crates.io releases.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
