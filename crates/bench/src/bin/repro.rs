@@ -8,17 +8,27 @@
 //! ```
 //!
 //! Experiments: `tab1 fig3 fig4 fig5 fig6 tab2 fig7 fig8 fig9 fig10 fig11
-//! fig12 fig13 tab3 fig15 timing`. Output is plain text shaped like the
-//! paper's tables/series; `EXPERIMENTS.md` records a reference run.
+//! fig12 fig13 tab3 fig15 annual timing quick`. Output is plain text shaped
+//! like the paper's tables/series; `EXPERIMENTS.md` records a reference
+//! run. `annual` goes beyond the paper — a year-long storage-aware
+//! operational simulation plus a parallel scenario sweep — and, like
+//! `quick` (the CI smoke, exits nonzero on failure), must be requested by
+//! name: neither runs under `all`, which regenerates exactly the paper's
+//! artifacts.
 
-use greencloud_bench::{sweep_inputs, tech_label, tool, world, REPRO_SEED};
+use greencloud_bench::{
+    rolling_states, sweep_inputs, table3_profiles, tech_label, tool, world, REPRO_SEED,
+};
 use greencloud_climate::catalog::WorldCatalog;
 use greencloud_core::framework::{PlacementInput, StorageMode, TechMix};
 use greencloud_cost::params::CostParams;
 use greencloud_energy::capacity_factor::CapacityFactors;
 use greencloud_energy::pue::PueModel;
 use greencloud_nebula::emulation::{self, EmulationConfig};
-use greencloud_nebula::scheduler::{Scheduler, SchedulerConfig, SiteState};
+use greencloud_nebula::predictor::PredictionMode;
+use greencloud_nebula::scheduler::{RollingScheduler, Scheduler, SchedulerConfig, SiteState};
+use greencloud_nebula::sweep::{run_sweep, Scenario};
+use greencloud_nebula::wan::WanModel;
 use std::time::Instant;
 
 fn main() {
@@ -34,6 +44,7 @@ fn main() {
                 locations = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(0);
             }
             "--fast" => fast = true,
+            "--quick" => experiment = "quick".to_string(),
             other if !other.starts_with("--") => experiment = other.to_string(),
             other => eprintln!("ignoring unknown flag {other}"),
         }
@@ -109,8 +120,18 @@ fn main() {
         fig15(fast);
         ran = true;
     }
+    if experiment == "annual" {
+        annual(fast);
+        ran = true;
+    }
     if run("timing") {
         timing();
+        ran = true;
+    }
+    if experiment == "quick" {
+        if !quick() {
+            std::process::exit(1);
+        }
         ran = true;
     }
     if !ran {
@@ -526,6 +547,216 @@ fn fig15(fast: bool) {
         }
         Err(e) => println!("emulation failed: {e}"),
     }
+}
+
+/// Beyond the paper: a 365-day storage-aware operational simulation, a
+/// parallel scenario sweep, and the warm-vs-cold re-solve ratio.
+fn annual(fast: bool) {
+    header("Annual — year-long follow-the-renewables with storage");
+    let w = WorldCatalog::anchors_only(REPRO_SEED);
+    let year = EmulationConfig {
+        vm_count: if fast { 60 } else { 200 },
+        hours: 8760,
+        start_hour: 0,
+        net_meter_credit: Some(1.0),
+        ..EmulationConfig::default()
+    }
+    .with_batteries(50_000.0);
+
+    let t0 = Instant::now();
+    match emulation::run(&w, &year) {
+        Ok(r) => {
+            let st = &r.scheduler_stats;
+            println!(
+                "year summary: green fraction {:.1}%, brown {:.0} MWh of {:.0} MWh demand, \
+                 {} migrations ({:.1} GB shipped, mean {:.2} h, peak {} in flight)",
+                r.green_fraction * 100.0,
+                r.total_brown_mwh,
+                r.total_demand_mwh,
+                r.migrations,
+                r.migrated_gb,
+                r.mean_migration_hours,
+                r.peak_inflight_migrations,
+            );
+            println!(
+                "storage: battery {:.0} MWh in / {:.0} MWh out, net meter {:.0} MWh pushed / {:.0} MWh drawn, grid settlement ${:.2}M",
+                r.battery_in_mwh,
+                r.battery_out_mwh,
+                r.net_pushed_mwh,
+                r.net_drawn_mwh,
+                r.energy_settlement_usd / 1e6
+            );
+            println!(
+                "scheduler: {} rounds, {} warm-started ({:.0}%), {} simplex iterations, {} rebuilds, wall {:.1}s",
+                st.rounds,
+                st.warm_started,
+                st.warm_rate() * 100.0,
+                st.iterations,
+                st.rebuilds,
+                t0.elapsed().as_secs_f64(),
+            );
+        }
+        Err(e) => println!("annual emulation failed: {e}"),
+    }
+
+    // Scenario sweep: seasons × storage × forecast quality × WAN.
+    let seasonal = |name: &str, start_day: usize| {
+        Scenario::new(
+            name,
+            EmulationConfig {
+                vm_count: 60,
+                hours: if fast { 7 * 24 } else { 28 * 24 },
+                start_hour: start_day * 24,
+                ..EmulationConfig::default()
+            },
+        )
+    };
+    let base = seasonal("summer baseline", 170).config;
+    let scenarios = vec![
+        seasonal("winter, no storage", 352),
+        seasonal("summer baseline", 170),
+        Scenario::new(
+            "summer + 50 MWh batteries",
+            base.clone().with_batteries(50_000.0),
+        ),
+        Scenario::new(
+            "summer + net metering",
+            EmulationConfig {
+                net_meter_credit: Some(1.0),
+                ..base.clone()
+            },
+        ),
+        Scenario::new(
+            "summer, noisy forecast σ=0.3",
+            EmulationConfig {
+                prediction: PredictionMode::Noisy {
+                    sigma: 0.3,
+                    seed: REPRO_SEED,
+                },
+                ..base.clone()
+            },
+        ),
+        Scenario::new(
+            "summer, 100 Mbps WAN",
+            EmulationConfig {
+                wan: WanModel::leased(100.0),
+                ..base
+            },
+        ),
+    ];
+    match run_sweep(&w, &scenarios, 6) {
+        Ok(results) => {
+            println!(
+                "{:<30} {:>7} {:>10} {:>6} {:>9} {:>9} {:>6}",
+                "scenario", "green%", "brown MWh", "migs", "batt MWh", "net MWh", "warm%"
+            );
+            for r in &results {
+                println!(
+                    "{:<30} {:>6.1}% {:>10.1} {:>6} {:>9.1} {:>9.1} {:>5.0}%",
+                    r.name,
+                    r.green_fraction * 100.0,
+                    r.brown_mwh,
+                    r.migrations,
+                    r.battery_out_mwh,
+                    r.net_drawn_mwh,
+                    r.warm_rate * 100.0
+                );
+            }
+        }
+        Err(e) => println!("scenario sweep failed: {e}"),
+    }
+
+    // Warm-vs-cold hourly re-solve ratio (the Criterion bench tracks the
+    // same quantity; this is the repro-visible number).
+    let rounds = if fast { 48 } else { 96 };
+    match warm_vs_cold(&w, rounds) {
+        Some((warm_ms, cold_ms, rate)) => println!(
+            "hourly re-solve: warm {:.1} ms vs cold {:.1} ms → {:.1}x speedup ({:.0}% warm-started)",
+            warm_ms,
+            cold_ms,
+            cold_ms / warm_ms,
+            rate * 100.0
+        ),
+        None => println!("warm-vs-cold measurement failed"),
+    }
+}
+
+/// Times `rounds` consecutive hourly re-solves of the Table III network,
+/// warm (persistent rolling model) vs cold (rebuild + two-phase solve).
+/// Returns `(warm_ms_total, cold_ms_total, warm_rate)`.
+fn warm_vs_cold(w: &WorldCatalog, rounds: usize) -> Option<(f64, f64, f64)> {
+    let cfg = EmulationConfig::default();
+    let profiles = table3_profiles(w)?;
+    let window = cfg.scheduler.window_hours;
+    let start = 4080;
+
+    let mut rolling = RollingScheduler::new(cfg.scheduler.clone());
+    let mut loads = vec![cfg.total_load_mw, 0.0, 0.0];
+    let t0 = Instant::now();
+    for t in start..start + rounds {
+        let states = rolling_states(&profiles, t, window, &loads);
+        loads = rolling.plan(&states).ok()?.target_mw;
+    }
+    let warm_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+    let cold = Scheduler::new(cfg.scheduler.clone());
+    let mut loads = vec![cfg.total_load_mw, 0.0, 0.0];
+    let t0 = Instant::now();
+    for t in start..start + rounds {
+        let states = rolling_states(&profiles, t, window, &loads);
+        loads = cold.plan(&states).ok()?.target_mw;
+    }
+    let cold_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    Some((warm_ms, cold_ms, rolling.stats().warm_rate()))
+}
+
+/// CI smoke: a short storage-aware emulation plus a tiny siting solve.
+/// Prints what it ran and returns `false` on any failure.
+fn quick() -> bool {
+    header("quick — CI smoke (operational + siting)");
+    let mut ok = true;
+    let w = WorldCatalog::anchors_only(REPRO_SEED);
+    let cfg = EmulationConfig {
+        vm_count: 24,
+        hours: 24,
+        net_meter_credit: Some(1.0),
+        scheduler: SchedulerConfig {
+            window_hours: 12,
+            ..SchedulerConfig::default()
+        },
+        ..EmulationConfig::default()
+    }
+    .with_batteries(10_000.0);
+    match emulation::run(&w, &cfg) {
+        Ok(r) => {
+            let load_ok = r.rows.len() == 24 * 3 && r.green_fraction > 0.5;
+            println!(
+                "emulation: green {:.1}%, {} migrations, warm rate {:.0}% → {}",
+                r.green_fraction * 100.0,
+                r.migrations,
+                r.scheduler_stats.warm_rate() * 100.0,
+                if load_ok { "ok" } else { "SUSPICIOUS" }
+            );
+            ok &= load_ok;
+        }
+        Err(e) => {
+            println!("emulation FAILED: {e}");
+            ok = false;
+        }
+    }
+    let t = tool(40, true);
+    match t.solve(&PlacementInput::default()) {
+        Ok(sol) => println!(
+            "siting: {} sites, ${:.2}M/month → ok",
+            sol.datacenters.len(),
+            sol.monthly_cost / 1e6
+        ),
+        Err(e) => {
+            println!("siting FAILED: {e}");
+            ok = false;
+        }
+    }
+    ok
 }
 
 /// §V-C: schedule computation times.

@@ -66,6 +66,57 @@ pub fn anchor_candidates() -> Vec<CandidateSite> {
     CandidateSite::build_all(&w, &ProfileConfig::coarse())
 }
 
+/// One Table III site's hourly energy profile plus its plant/IT sizes:
+/// `(profile, solar_mw, wind_mw, capacity_mw)`.
+pub type SiteProfile = (greencloud_energy::profile::EnergyProfile, f64, f64, f64);
+
+/// Hourly energy profiles of the Table III network in `catalog`, for the
+/// rolling-scheduler benches and `repro annual`'s warm-vs-cold timing.
+pub fn table3_profiles(catalog: &WorldCatalog) -> Option<Vec<SiteProfile>> {
+    let cfg = greencloud_nebula::emulation::EmulationConfig::default();
+    cfg.sites
+        .iter()
+        .map(|site| {
+            let loc = catalog.find(&site.location_name)?;
+            let tmy = catalog.tmy(loc.id);
+            let p = greencloud_energy::profile::EnergyProfile::from_tmy_hourly(
+                &tmy,
+                &Default::default(),
+                &Default::default(),
+                &greencloud_energy::pue::PueModel::new(),
+            );
+            Some((p, site.solar_mw, site.wind_mw, site.capacity_mw))
+        })
+        .collect()
+}
+
+/// The scheduler inputs for one rolling round: a `window`-hour forecast
+/// slice starting at absolute hour `t`, with the given current loads.
+pub fn rolling_states(
+    profiles: &[SiteProfile],
+    t: usize,
+    window: usize,
+    loads: &[f64],
+) -> Vec<greencloud_nebula::scheduler::SiteState> {
+    profiles
+        .iter()
+        .enumerate()
+        .map(
+            |(i, (p, solar, wind, capacity))| greencloud_nebula::scheduler::SiteState {
+                green_forecast_mw: (0..window)
+                    .map(|k| {
+                        let idx = (t + k) % p.len();
+                        p.alpha[idx] * solar + p.beta[idx] * wind
+                    })
+                    .collect(),
+                pue_forecast: (0..window).map(|k| p.pue[(t + k) % p.len()]).collect(),
+                current_load_mw: loads[i],
+                capacity_mw: *capacity,
+            },
+        )
+        .collect()
+}
+
 /// Pretty technology label.
 pub fn tech_label(t: TechMix) -> &'static str {
     match t {

@@ -51,8 +51,21 @@ impl Battery {
         }
         let storable = (self.capacity_kwh - self.level_kwh).max(0.0);
         let accepted_source = (kwh).min(storable / self.charge_efficiency);
-        self.level_kwh += accepted_source * self.charge_efficiency;
-        accepted_source
+        let target = self.level_kwh + accepted_source * self.charge_efficiency;
+        if target > self.capacity_kwh {
+            // The `storable / eff * eff` round-trip can land a few ulps
+            // above capacity; clamp the level so `state_of_charge` never
+            // exceeds 1, and report what the clamped fill actually
+            // consumed so callers' energy books stay balanced.
+            // …capped at the offer: rounding must never report consuming
+            // more than was made available.
+            let accepted = ((self.capacity_kwh - self.level_kwh) / self.charge_efficiency).min(kwh);
+            self.level_kwh = self.capacity_kwh;
+            accepted
+        } else {
+            self.level_kwh = target;
+            accepted_source
+        }
     }
 
     /// Requests `kwh` of energy; returns the amount actually delivered
@@ -151,8 +164,24 @@ mod tests {
             } else {
                 b.discharge(rng.gen_range(0.0..20.0));
             }
-            assert!(b.level_kwh() >= -1e-9);
-            assert!(b.level_kwh() <= b.capacity_kwh() + 1e-9);
+            // Exact bounds: the post-charge clamp leaves no ulp overshoot.
+            assert!(b.level_kwh() >= 0.0);
+            assert!(b.level_kwh() <= b.capacity_kwh());
+            assert!(b.state_of_charge() <= 1.0);
         }
+    }
+
+    #[test]
+    fn near_full_charge_never_overshoots_capacity() {
+        // Irrational-ish efficiency and repeated tiny top-ups drive the
+        // `storable / eff * eff` round-trip error that used to push
+        // `level_kwh` a few ulps past capacity.
+        let mut b = Battery::new(10.0, 0.7300000000000001);
+        for _ in 0..1_000 {
+            b.charge(0.1 + f64::EPSILON);
+        }
+        assert!(b.level_kwh() <= b.capacity_kwh());
+        assert!(b.state_of_charge() <= 1.0);
+        assert!((b.level_kwh() - 10.0).abs() < 1e-9, "still fills up");
     }
 }

@@ -113,6 +113,43 @@ pub struct SparseLu {
 /// Smallest acceptable pivot magnitude.
 const PIVOT_TOL: f64 = 1e-11;
 
+/// Structured factorization failure, rich enough to drive basis repair:
+/// a warm-start installer can swap the dead column for the slack of a
+/// not-yet-pivoted row and retry.
+#[derive(Debug, Clone)]
+pub enum FactorizeError {
+    /// The matrix is not square.
+    NotSquare {
+        /// Row count.
+        rows: usize,
+        /// Column count.
+        cols: usize,
+    },
+    /// No acceptable pivot exists for position `col`: that basis column is
+    /// (numerically) dependent on its predecessors.
+    Singular {
+        /// Zero-based position of the failing column.
+        col: usize,
+        /// `pivoted[r]` is `true` for original rows already holding a pivot
+        /// when the factorization gave up; any `false` row is a valid
+        /// replacement target.
+        pivoted: Vec<bool>,
+    },
+}
+
+impl FactorizeError {
+    fn to_solve_error(&self) -> SolveError {
+        match self {
+            FactorizeError::NotSquare { rows, cols } => {
+                SolveError::Numerical(format!("basis not square: {rows}x{cols}"))
+            }
+            FactorizeError::Singular { col, .. } => {
+                SolveError::Numerical(format!("singular basis at column {col}"))
+            }
+        }
+    }
+}
+
 impl SparseLu {
     /// Factorizes the square matrix whose columns are given by `basis`.
     ///
@@ -121,13 +158,22 @@ impl SparseLu {
     /// Returns [`SolveError::Numerical`] if the matrix is (numerically)
     /// singular or not square.
     pub fn factorize(basis: &ColMatrix) -> Result<Self, SolveError> {
+        Self::factorize_detailed(basis).map_err(|e| e.to_solve_error())
+    }
+
+    /// Factorizes, reporting singularity with enough structure for the
+    /// caller to repair the basis (see [`FactorizeError`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FactorizeError::NotSquare`] / [`FactorizeError::Singular`].
+    pub fn factorize_detailed(basis: &ColMatrix) -> Result<Self, FactorizeError> {
         let n = basis.n_rows();
         if basis.n_cols() != n {
-            return Err(SolveError::Numerical(format!(
-                "basis not square: {}x{}",
-                n,
-                basis.n_cols()
-            )));
+            return Err(FactorizeError::NotSquare {
+                rows: n,
+                cols: basis.n_cols(),
+            });
         }
         let mut lu = SparseLu {
             n,
@@ -202,14 +248,10 @@ impl SparseLu {
                 }
             }
             if piv_row == usize::MAX {
-                let best = touched
-                    .iter()
-                    .filter(|&&r| lu.pos_of[r] == usize::MAX)
-                    .map(|&r| x[r].abs())
-                    .fold(0.0f64, f64::max);
-                return Err(SolveError::Numerical(format!(
-                    "singular basis at column {k} (best pivot candidate {best:.3e})"
-                )));
+                return Err(FactorizeError::Singular {
+                    col: k,
+                    pivoted: lu.pos_of.iter().map(|&p| p != usize::MAX).collect(),
+                });
             }
             let piv_val = x[piv_row];
             lu.u_diag[k] = piv_val;

@@ -254,6 +254,29 @@ impl Model {
         v.ub = ub;
     }
 
+    /// Overwrites the right-hand side of `con`. Together with
+    /// [`Model::set_con_term`] this lets rolling-horizon callers shift a
+    /// model in place between solves instead of rebuilding it.
+    pub fn set_rhs(&mut self, con: ConId, rhs: f64) {
+        self.cons[con.index()].rhs = rhs;
+    }
+
+    /// The right-hand side of `con`.
+    pub fn rhs(&self, con: ConId) -> f64 {
+        self.cons[con.index()].rhs
+    }
+
+    /// Sets the coefficient of `var` in `con`, updating the existing term or
+    /// appending a new one when `var` does not yet appear.
+    pub fn set_con_term(&mut self, con: ConId, var: VarId, coeff: f64) {
+        let terms = &mut self.cons[con.index()].terms;
+        if let Some(t) = terms.iter_mut().find(|(v, _)| *v == var) {
+            t.1 = coeff;
+        } else {
+            terms.push((var, coeff));
+        }
+    }
+
     /// The bounds `[lb, ub]` of `var`.
     pub fn bounds(&self, var: VarId) -> (f64, f64) {
         let v = &self.vars[var.index()];
@@ -431,6 +454,38 @@ mod tests {
         e.add_constant(3.0);
         m.add_con_expr("c", e, Sense::Le, 5.0);
         assert_eq!(m.cons[0].rhs, 2.0);
+    }
+
+    #[test]
+    fn in_place_mutation_shifts_the_solved_problem() {
+        // min x subject to x ≥ rhs: the mutated model re-solves correctly,
+        // both cold and warm-started from the previous basis.
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 100.0, 1.0);
+        let c = m.add_con("c", [(x, 1.0)], Sense::Ge, 3.0);
+        let first = m.solve().expect("solve");
+        assert!((first.value(x) - 3.0).abs() < 1e-9);
+        m.set_rhs(c, 7.0);
+        assert_eq!(m.rhs(c), 7.0);
+        let warm = m
+            .solve_with_basis(SimplexOptions::default(), first.basis.as_ref())
+            .expect("warm");
+        assert!((warm.value(x) - 7.0).abs() < 1e-9);
+        // Doubling the coefficient halves the optimum.
+        m.set_con_term(c, x, 2.0);
+        let again = m.solve().expect("resolve");
+        assert!((again.value(x) - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_con_term_appends_missing_vars() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 10.0, 1.0);
+        let y = m.add_var("y", 0.0, 10.0, 1.0);
+        let c = m.add_con("c", [(x, 1.0)], Sense::Ge, 4.0);
+        m.set_con_term(c, y, 1.0);
+        let sol = m.solve().expect("solve");
+        assert!((sol.value(x) + sol.value(y) - 4.0).abs() < 1e-9);
     }
 
     #[test]

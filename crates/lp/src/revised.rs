@@ -14,7 +14,7 @@
 // Index loops here sweep multiple parallel arrays of the numerical kernel;
 // iterator rewrites obscure the linear algebra.
 #![allow(clippy::needless_range_loop)]
-use crate::lu::{ColMatrix, SparseLu};
+use crate::lu::{ColMatrix, FactorizeError, SparseLu};
 use crate::model::{Model, Sense, Solution, SolveError};
 use serde::{Deserialize, Serialize};
 
@@ -154,11 +154,15 @@ impl RevisedSimplex {
     /// Solves the LP relaxation of `model`, optionally warm-starting from a
     /// basis exported by a previous [`Solution`].
     ///
-    /// The warm basis is repaired against the model's current bounds,
-    /// refactorized to detect singularity, and checked for primal
-    /// feasibility; if any of those fail the solver silently falls back to
-    /// the cold crash basis, so the result is always identical (up to
-    /// tolerances) to a cold solve.
+    /// The warm basis is repaired against the model's current bounds and
+    /// refactorized, with singular basic sets repaired column-by-column
+    /// (dependent columns swapped for uncovered-row slacks). A basis whose
+    /// basic solution violates bounds — routine after a rolling-horizon
+    /// caller shifts the model's RHS or coefficients in place — is driven
+    /// back to primal feasibility by dual-simplex pivots before ordinary
+    /// phase 2 certifies optimality. If installation or restoration fails,
+    /// the solver silently rebuilds and runs the cold two-phase path, so
+    /// the result is always identical (up to tolerances) to a cold solve.
     ///
     /// # Errors
     ///
@@ -172,14 +176,26 @@ impl RevisedSimplex {
             // worker untouched, so no rebuild is needed on failure.
             warm_installed = w.try_install_basis(basis).is_ok();
         }
+        // Pivots burned in a warm attempt that later falls back are still
+        // real work; carry them into the reported iteration count.
+        let mut discarded_iterations = 0usize;
         if warm_installed {
-            // The warm basis is primal feasible: phase 1 is unnecessary.
-            w.iterate(false)?;
+            // Phase 2 straight from the installed basis; dual-simplex
+            // restoration recovers primal feasibility when the snapshot
+            // doesn't fit the current RHS. Any failure rebuilds and runs
+            // cold — warm starts never change *what* is solved.
+            if w.warm_optimize().is_err() {
+                discarded_iterations = w.iterations;
+                w = Worker::build(model, &self.options)?;
+                warm_installed = false;
+                w.run()?;
+            }
         } else {
             w.run()?;
         }
         let mut sol = w.extract(model);
         sol.warm_started = warm_installed;
+        sol.iterations += discarded_iterations;
         Ok(sol)
     }
 }
@@ -361,10 +377,10 @@ impl<'a> Worker<'a> {
     /// rebuild.
     ///
     /// The snapshot is *repaired* rather than trusted: nonbasic statuses
-    /// that no longer match the model's bounds are remapped, a singular
-    /// basic set is rejected via the LU factorization, and the recomputed
-    /// basic solution must lie within bounds (up to the feasibility
-    /// tolerance).
+    /// that no longer match the model's bounds are remapped, and a
+    /// singular basic set is repaired column-by-column against the LU
+    /// factorization. The recomputed basic solution may violate bounds —
+    /// [`Worker::warm_optimize`] recovers feasibility by bound shifting.
     fn try_install_basis(&mut self, warm: &Basis) -> Result<(), ()> {
         if warm.statuses().len() != self.art_offset {
             return Err(()); // different model shape
@@ -386,14 +402,40 @@ impl<'a> Worker<'a> {
         if basics.len() != self.m {
             return Err(()); // malformed snapshot; the crash basis handles it
         }
-        let lu = factorize_basis(&self.cols, &basics, self.m).map_err(|_| ())?;
+        // Factorize, repairing singularity the way production solvers do:
+        // a column the LU proves dependent is swapped for the slack of a
+        // row that has no pivot yet (a unit column, so the replacement can
+        // never create a new dependency on the repaired prefix). Bounded
+        // retries: pathological snapshots fall back to the crash basis.
+        let lu = {
+            let mut attempt = 0usize;
+            loop {
+                match factorize_basis_detailed(&self.cols, &basics, self.m) {
+                    Ok(lu) => break lu,
+                    Err(FactorizeError::NotSquare { .. }) => return Err(()),
+                    Err(FactorizeError::Singular { col, pivoted }) => {
+                        attempt += 1;
+                        if attempt > 16 {
+                            return Err(());
+                        }
+                        let replacement = (0..self.m)
+                            .find(|&r| !pivoted[r] && !basics.contains(&(self.n_struct + r)));
+                        let Some(r) = replacement else {
+                            return Err(());
+                        };
+                        basics[col] = self.n_struct + r;
+                    }
+                }
+            }
+        };
 
         // Repaired statuses on scratch: warm nonbasics remapped against the
         // current bounds, artificials parked at zero, basics patched last.
+        // Columns evicted by the singularity repair above fall through the
+        // `Basic` arm to their initial nonbasic status.
         let mut status = vec![ColStatus::AtLower; self.n_total];
         for (j, &st) in warm.statuses().iter().enumerate() {
             status[j] = match st {
-                BasisStatus::Basic => ColStatus::AtLower, // patched below
                 BasisStatus::AtLower if self.lb[j].is_finite() => ColStatus::AtLower,
                 BasisStatus::AtUpper if self.ub[j].is_finite() => ColStatus::AtUpper,
                 _ => initial_status(self.lb[j], self.ub[j]),
@@ -420,21 +462,8 @@ impl<'a> Worker<'a> {
         }
         lu.ftran(&mut resid, &mut self.scratch);
         let xb = resid;
-
-        // Primal feasibility gate: an out-of-bounds basic would need a
-        // phase-1 pass this solver only runs from the crash basis. Basic
-        // artificials must sit at zero (their frozen bounds).
-        let tol = self.opts.feas_tol;
-        for (slot, &j) in basics.iter().enumerate() {
-            let x = xb[slot];
-            let (lo, hi) = if j >= self.art_offset {
-                (0.0, 0.0)
-            } else {
-                (self.lb[j], self.ub[j])
-            };
-            if x < lo - tol || x > hi + tol || !x.is_finite() {
-                return Err(());
-            }
+        if xb.iter().any(|x| !x.is_finite()) {
+            return Err(());
         }
 
         // Commit.
@@ -450,6 +479,191 @@ impl<'a> Worker<'a> {
         self.etas.clear();
         self.xb = xb;
         Ok(())
+    }
+
+    /// Optimizes from an installed warm basis. When the basic solution
+    /// violates bounds (the usual case after the caller shifted the RHS or
+    /// coefficients of a rolling-horizon model), primal feasibility is
+    /// first restored with dual-simplex pivots, then the ordinary primal
+    /// phase 2 certifies optimality. The result is only accepted when both
+    /// succeed.
+    ///
+    /// # Errors
+    ///
+    /// `Err(())` when restoration stalled or the solver hit any error —
+    /// the caller must rebuild and fall back to the cold two-phase solve.
+    fn warm_optimize(&mut self) -> Result<(), ()> {
+        self.restore_primal_feasibility()?;
+        self.iterate(false).map_err(|_| ())
+    }
+
+    /// Dual-simplex feasibility restoration: repeatedly drives the most
+    /// bound-violated basic variable onto its violated bound, choosing the
+    /// entering column by the dual ratio test (smallest |reduced cost| per
+    /// unit of pivot, largest pivot on ties). From a near-optimal warm
+    /// basis this takes a handful of pivots; a stall (no usable pivot or
+    /// too many steps) reports `Err` so the caller can solve cold instead.
+    fn restore_primal_feasibility(&mut self) -> Result<(), ()> {
+        const PIV_TOL: f64 = 1e-9;
+        let tol = self.opts.feas_tol;
+        let max_steps = 2 * self.m + 64;
+        for _ in 0..max_steps {
+            // Leaving row: most violated basic.
+            let mut worst: Option<(usize, f64, f64)> = None; // slot, viol, target
+            for slot in 0..self.m {
+                let j = self.basis[slot];
+                let (lo, hi) = self.basic_bounds(j);
+                let x = self.xb[slot];
+                if !x.is_finite() {
+                    return Err(());
+                }
+                let (viol, target) = if x < lo - tol {
+                    (lo - x, lo)
+                } else if x > hi + tol {
+                    (x - hi, hi)
+                } else {
+                    continue;
+                };
+                if worst.is_none_or(|(_, w, _)| viol > w) {
+                    worst = Some((slot, viol, target));
+                }
+            }
+            let Some((r, _, target)) = worst else {
+                return Ok(()); // primal feasible
+            };
+            if self.iterations >= self.max_iterations {
+                return Err(());
+            }
+            self.iterations += 1;
+
+            // Row r of B⁻¹ (for pivot entries) and the simplex multipliers
+            // (for reduced costs), via two BTRANs.
+            self.work_y.iter_mut().for_each(|v| *v = 0.0);
+            self.work_y[r] = 1.0;
+            self.btran();
+            let rho = self.work_y.clone();
+            for slot in 0..self.m {
+                self.work_y[slot] = self.cost[self.basis[slot]];
+            }
+            self.btran();
+
+            // Entering column: dual ratio test. The required movement of
+            // xb[r] is `delta_r = target − xb[r]`; entering q moving by
+            // t·dir changes xb[r] by −t·dir·α_q, so q is eligible when
+            // dir·α_q opposes delta_r.
+            let delta_r = target - self.xb[r];
+            let mut best: Option<(usize, f64, f64, f64)> = None; // q, dir, ratio, |alpha|
+            for q in 0..self.art_offset {
+                let st = self.status[q];
+                if matches!(st, ColStatus::Basic(_)) || self.lb[q] == self.ub[q] {
+                    continue;
+                }
+                let mut alpha = 0.0;
+                let mut d = self.cost[q];
+                for (row, a) in self.cols.col(q) {
+                    alpha += rho[row] * a;
+                    d -= self.work_y[row] * a;
+                }
+                if alpha.abs() <= PIV_TOL {
+                    continue;
+                }
+                let dir = match st {
+                    ColStatus::AtLower => 1.0,
+                    ColStatus::AtUpper => -1.0,
+                    ColStatus::FreeAtZero => {
+                        if alpha * delta_r < 0.0 {
+                            1.0
+                        } else {
+                            -1.0
+                        }
+                    }
+                    ColStatus::Basic(_) => unreachable!(),
+                };
+                if dir * alpha * delta_r >= 0.0 {
+                    continue; // moves xb[r] the wrong way
+                }
+                let ratio = d.abs() / alpha.abs();
+                let better = match best {
+                    None => true,
+                    Some((_, _, br, ba)) => {
+                        ratio < br - 1e-12 || (ratio <= br + 1e-12 && alpha.abs() > ba)
+                    }
+                };
+                if better {
+                    best = Some((q, dir, ratio, alpha.abs()));
+                }
+            }
+            let Some((q, dir, _, alpha_abs)) = best else {
+                return Err(()); // no usable pivot: let the cold solve decide
+            };
+
+            // w = B⁻¹·A_q, pivot magnitude re-derived through the eta file.
+            self.work_w.iter_mut().for_each(|v| *v = 0.0);
+            for (row, a) in self.cols.col(q) {
+                self.work_w[row] = a;
+            }
+            self.ftran();
+            let wr = self.work_w[r];
+            if wr.abs() <= PIV_TOL {
+                return Err(());
+            }
+            let t = delta_r / (-dir * wr);
+            if !t.is_finite() || t < 0.0 {
+                return Err(());
+            }
+
+            // Bound flip: when reaching the target would push the entering
+            // variable past its own opposite bound, move it exactly there
+            // instead of pivoting (standard bound-flipping dual ratio
+            // test). The violation shrinks by |α|·span and the basis is
+            // untouched; the next sweep picks up the remainder.
+            let span = self.ub[q] - self.lb[q];
+            if span.is_finite() && t > span {
+                for s in 0..self.m {
+                    self.xb[s] -= span * dir * self.work_w[s];
+                }
+                self.status[q] = match self.status[q] {
+                    ColStatus::AtLower => ColStatus::AtUpper,
+                    ColStatus::AtUpper => ColStatus::AtLower,
+                    other => other,
+                };
+                debug_assert!(alpha_abs * span > 0.0);
+                continue;
+            }
+
+            let leaving = self.basis[r];
+            for s in 0..self.m {
+                self.xb[s] -= t * dir * self.work_w[s];
+            }
+            self.xb[r] = nonbasic_value(self.status[q], self.lb[q], self.ub[q]) + dir * t;
+            // The leaving variable lands exactly on its violated bound.
+            let (lo, _hi) = self.basic_bounds(leaving);
+            self.status[leaving] = if target == lo {
+                if lo.is_finite() {
+                    ColStatus::AtLower
+                } else {
+                    ColStatus::FreeAtZero
+                }
+            } else {
+                ColStatus::AtUpper
+            };
+            self.status[q] = ColStatus::Basic(r);
+            self.basis[r] = q;
+            self.push_eta(r);
+            if self.etas.len() >= self.opts.refactor_every {
+                self.refactorize().map_err(|_| ())?;
+            }
+        }
+        Err(())
+    }
+
+    /// Effective bounds of a basic column (artificials are frozen at zero).
+    fn basic_bounds(&self, j: usize) -> (f64, f64) {
+        if j >= self.art_offset {
+            (0.0, 0.0)
+        } else {
+            (self.lb[j], self.ub[j])
+        }
     }
 
     fn run(&mut self) -> Result<(), SolveError> {
@@ -933,6 +1147,18 @@ fn factorize_basis(cols: &ColMatrix, basis: &[usize], m: usize) -> Result<Sparse
         b.push_col(cols.col(j));
     }
     SparseLu::factorize(&b)
+}
+
+fn factorize_basis_detailed(
+    cols: &ColMatrix,
+    basis: &[usize],
+    m: usize,
+) -> Result<SparseLu, FactorizeError> {
+    let mut b = ColMatrix::new(m);
+    for &j in basis {
+        b.push_col(cols.col(j));
+    }
+    SparseLu::factorize_detailed(&b)
 }
 
 #[cfg(test)]

@@ -42,9 +42,9 @@ fn round_trip_converges_in_at_most_one_iteration() {
 #[test]
 fn singular_basis_is_repaired_to_cold_optimum() {
     // x and y have linearly dependent columns; forcing both basic with all
-    // slacks nonbasic builds a singular basis the LU must reject, after
-    // which the solve falls back to the crash basis and still reaches the
-    // cold optimum.
+    // slacks nonbasic builds a singular basis. The installer repairs it by
+    // swapping the dependent column for an uncovered row's slack, and the
+    // repaired warm solve still reaches the cold optimum.
     let mut m = Model::new();
     let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
     let y = m.add_var("y", 0.0, f64::INFINITY, 3.0);
@@ -60,9 +60,17 @@ fn singular_basis_is_repaired_to_cold_optimum() {
     ]);
     let warm = solver()
         .solve_warm(&m, Some(&singular))
-        .expect("falls back to cold");
-    assert!(!warm.warm_started, "singular basis must be rejected");
+        .expect("repairs or falls back");
     assert!((warm.objective - cold.objective).abs() < 1e-9);
+
+    // A snapshot that is beyond repair (more basics than rows) still falls
+    // back to the crash basis.
+    let overfull = Basis::from_statuses(vec![BasisStatus::Basic; 4]);
+    let cold2 = solver()
+        .solve_warm(&m, Some(&overfull))
+        .expect("falls back");
+    assert!(!cold2.warm_started, "malformed snapshot must be rejected");
+    assert!((cold2.objective - cold.objective).abs() < 1e-9);
 }
 
 #[test]
@@ -130,6 +138,43 @@ fn basis_transfers_to_perturbed_neighbour() {
             warm_b.iterations,
             cold_b.iterations
         );
+    }
+}
+
+#[test]
+fn primal_infeasible_warm_basis_is_restored_by_dual_pivots() {
+    // Rolling-horizon pattern: same model shape, drastically moved RHS.
+    // The exported basis is far from primal feasible for the new data; the
+    // dual-simplex restoration must still deliver the cold optimum (and,
+    // being warm, in no more iterations than the cold two-phase solve).
+    let mut m = Model::new();
+    let x = m.add_var("x", 0.0, 100.0, 2.0);
+    let y = m.add_var("y", 0.0, 100.0, 3.0);
+    let z = m.add_var("z", 0.0, 10.0, 1.0);
+    let need = m.add_con("need", [(x, 1.0), (y, 1.0), (z, 1.0)], Sense::Ge, 8.0);
+    let cap = m.add_con("cap", [(x, 1.0), (y, -1.0)], Sense::Le, 3.0);
+    let first = solver().solve(&m).expect("first");
+    let basis = first.basis.clone().expect("basis");
+
+    for rhs in [40.0, 95.0, 1.0, 60.0] {
+        m.set_rhs(need, rhs);
+        m.set_rhs(cap, rhs / 4.0);
+        let cold = solver().solve(&m).expect("cold");
+        let warm = solver().solve_warm(&m, Some(&basis)).expect("warm");
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-7,
+            "rhs {rhs}: warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        if warm.warm_started {
+            assert!(
+                warm.iterations <= cold.iterations,
+                "rhs {rhs}: warm {} > cold {} iterations",
+                warm.iterations,
+                cold.iterations
+            );
+        }
     }
 }
 

@@ -19,8 +19,12 @@
 //! * [`gdfs`] — the HDFS-like mutation-capable distributed file system:
 //!   one master with name bindings, block replicas across datacenters,
 //!   write-locally + invalidate-remotely, background re-replication.
-//! * [`emulation`] — the §V-C experiment: a Table III three-datacenter
-//!   network following the sun through a day (Fig. 15).
+//! * [`emulation`] — the §V-C experiment scaled up: an N-datacenter
+//!   network following the sun for a day or a year, with per-site
+//!   batteries and net metering dispatched green → battery → bank → brown
+//!   (Fig. 15 and beyond).
+//! * [`sweep`] — parallel scenario sweeps over independent emulation
+//!   configs (seasons, storage sizes, forecast noise, WAN bandwidths).
 
 #![warn(missing_docs)]
 
@@ -30,11 +34,13 @@ pub mod gdfs;
 pub mod planner;
 pub mod predictor;
 pub mod scheduler;
+pub mod sweep;
 pub mod vm;
 pub mod wan;
 
 pub use cluster::{Datacenter, DatacenterId, Host};
-pub use emulation::{EmulationConfig, EmulationReport, TraceRow};
+pub use emulation::{EmulationConfig, EmulationReport, MigrationRecord, TraceRow};
 pub use planner::{Migration, MigrationPlan};
-pub use scheduler::{Scheduler, SchedulerConfig};
+pub use scheduler::{RollingScheduler, RollingStats, Scheduler, SchedulerConfig};
+pub use sweep::{run_sweep, Scenario, ScenarioResult};
 pub use vm::{Vm, VmId, VmSpec};

@@ -9,9 +9,10 @@
 use greencloud_energy::profile::EnergyProfile;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
 /// Prediction quality.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum PredictionMode {
     /// Exact future values (the paper's validation setting).
     Perfect,

@@ -1,0 +1,194 @@
+//! Parallel scenario sweeps over the operational emulation.
+//!
+//! Year-scale questions — how much storage is worth installing, how robust
+//! is follow-the-renewables to forecast noise, what does a thin WAN cost —
+//! are answered by running many independent [`EmulationConfig`]s and
+//! comparing annual statistics. Scenarios are embarrassingly parallel, so
+//! the sweep fans them out over scoped crossbeam threads (the same pattern
+//! the siting search uses for its annealing chains) and returns results in
+//! input order regardless of completion order.
+
+use crate::emulation::{self, EmulationConfig, EmulationReport};
+use greencloud_climate::catalog::WorldCatalog;
+use greencloud_lp::SolveError;
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+
+/// One named sweep entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Label carried into the result (e.g. "winter, 20 MWh, noisy σ=0.2").
+    pub name: String,
+    /// The full emulation configuration to run.
+    pub config: EmulationConfig,
+}
+
+impl Scenario {
+    /// Creates a named scenario.
+    pub fn new(name: impl Into<String>, config: EmulationConfig) -> Self {
+        Self {
+            name: name.into(),
+            config,
+        }
+    }
+}
+
+/// Outcome of one scenario: the aggregate statistics an annual comparison
+/// needs, without the per-hour trace (a year of [`crate::TraceRow`]s per
+/// scenario would dominate memory on wide sweeps).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Scenario label.
+    pub name: String,
+    /// Hours emulated.
+    pub hours: usize,
+    /// Fraction of demand served green.
+    pub green_fraction: f64,
+    /// Total brown energy, MWh.
+    pub brown_mwh: f64,
+    /// Total demand, MWh.
+    pub demand_mwh: f64,
+    /// VM migrations executed.
+    pub migrations: usize,
+    /// Total migration payload shipped, GB.
+    pub migrated_gb: f64,
+    /// Battery energy delivered to loads, MWh.
+    pub battery_out_mwh: f64,
+    /// Banked net-meter energy drawn back, MWh.
+    pub net_drawn_mwh: f64,
+    /// Warm-start rate of the rolling scheduler, in `[0, 1]`.
+    pub warm_rate: f64,
+    /// Total simplex iterations spent on hourly re-solves.
+    pub lp_iterations: usize,
+}
+
+impl ScenarioResult {
+    fn from_report(name: String, hours: usize, r: &EmulationReport) -> Self {
+        Self {
+            name,
+            hours,
+            green_fraction: r.green_fraction,
+            brown_mwh: r.total_brown_mwh,
+            demand_mwh: r.total_demand_mwh,
+            migrations: r.migrations,
+            migrated_gb: r.migrated_gb,
+            battery_out_mwh: r.battery_out_mwh,
+            net_drawn_mwh: r.net_drawn_mwh,
+            warm_rate: r.scheduler_stats.warm_rate(),
+            lp_iterations: r.scheduler_stats.iterations,
+        }
+    }
+}
+
+/// Runs every scenario against `catalog`, at most `threads` at a time, and
+/// returns results in scenario order. Each scenario gets its own
+/// [`crate::RollingScheduler`], GDFS master, and storage ledgers, so runs
+/// never share mutable state.
+///
+/// # Errors
+///
+/// Returns the first scenario error in input order (later scenarios still
+/// run to completion before the sweep returns).
+pub fn run_sweep(
+    catalog: &WorldCatalog,
+    scenarios: &[Scenario],
+    threads: usize,
+) -> Result<Vec<ScenarioResult>, SolveError> {
+    let threads = threads.max(1).min(scenarios.len().max(1));
+    let mut slots: Vec<Option<Result<ScenarioResult, SolveError>>> =
+        (0..scenarios.len()).map(|_| None).collect();
+    {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots = Mutex::new(&mut slots);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                let next = &next;
+                let slots = &slots;
+                scope.spawn(move |_| loop {
+                    let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if k >= scenarios.len() {
+                        break;
+                    }
+                    let s = &scenarios[k];
+                    let out = emulation::run(catalog, &s.config)
+                        .map(|r| ScenarioResult::from_report(s.name.clone(), s.config.hours, &r));
+                    slots.lock().expect("sweep slots")[k] = Some(out);
+                });
+            }
+        })
+        .expect("sweep scope");
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every scenario ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::PredictionMode;
+    use crate::scheduler::SchedulerConfig;
+
+    fn tiny(hours: usize) -> EmulationConfig {
+        EmulationConfig {
+            vm_count: 8,
+            hours,
+            scheduler: SchedulerConfig {
+                window_hours: 6,
+                ..SchedulerConfig::default()
+            },
+            ..EmulationConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_preserves_scenario_order_and_matches_serial_runs() {
+        let w = WorldCatalog::anchors_only(4);
+        let scenarios = vec![
+            Scenario::new("plain", tiny(12)),
+            Scenario::new("storage", tiny(12).with_batteries(5_000.0)),
+            Scenario::new(
+                "noisy",
+                EmulationConfig {
+                    prediction: PredictionMode::Noisy {
+                        sigma: 0.2,
+                        seed: 7,
+                    },
+                    ..tiny(12)
+                },
+            ),
+            Scenario::new("long", tiny(30)),
+        ];
+        let parallel = run_sweep(&w, &scenarios, 4).expect("sweep");
+        assert_eq!(
+            parallel.iter().map(|r| r.name.as_str()).collect::<Vec<_>>(),
+            vec!["plain", "storage", "noisy", "long"],
+        );
+        // Parallel execution must not perturb the per-scenario physics.
+        for (got, s) in parallel.iter().zip(&scenarios) {
+            let serial = emulation::run(&w, &s.config).expect("serial");
+            assert_eq!(got.brown_mwh, serial.total_brown_mwh, "{}", s.name);
+            assert_eq!(got.migrations, serial.migrations, "{}", s.name);
+        }
+        assert_eq!(parallel[3].hours, 30);
+    }
+
+    #[test]
+    fn sweep_surfaces_the_first_error() {
+        let w = WorldCatalog::anchors_only(4);
+        let mut bad = tiny(6);
+        bad.sites[0].location_name = "Atlantis".into();
+        let scenarios = vec![Scenario::new("ok", tiny(6)), Scenario::new("bad", bad)];
+        let err = run_sweep(&w, &scenarios, 2).unwrap_err();
+        assert!(matches!(err, SolveError::InvalidModel(_)));
+    }
+
+    #[test]
+    fn single_thread_sweep_works() {
+        let w = WorldCatalog::anchors_only(4);
+        let r = run_sweep(&w, &[Scenario::new("solo", tiny(8))], 1).expect("sweep");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].hours, 8);
+    }
+}

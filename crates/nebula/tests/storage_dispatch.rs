@@ -1,0 +1,208 @@
+//! Integration tests for the storage-aware hourly dispatch: per site-hour
+//! the emulation must spend energy strictly in the order green → battery →
+//! banked net-meter credit → brown, with lossy battery round-trips showing
+//! up in the annual brown totals.
+
+use greencloud_climate::catalog::WorldCatalog;
+use greencloud_nebula::emulation::{self, EmulationConfig};
+use greencloud_nebula::scheduler::SchedulerConfig;
+
+fn storage_config(hours: usize) -> EmulationConfig {
+    EmulationConfig {
+        vm_count: 40,
+        hours,
+        scheduler: SchedulerConfig {
+            window_hours: 12,
+            ..SchedulerConfig::default()
+        },
+        net_meter_credit: Some(1.0),
+        ..EmulationConfig::default()
+    }
+    // 20 MWh per site: enough to matter overnight, small enough to cycle.
+    .with_batteries(20_000.0)
+}
+
+#[test]
+fn dispatch_priority_is_green_battery_bank_brown() {
+    let w = WorldCatalog::anchors_only(4);
+    let r = emulation::run(&w, &storage_config(72)).expect("runs");
+
+    let mut charged_total = 0.0;
+    let mut discharged_total = 0.0;
+    for row in &r.rows {
+        let demand = row.load_mw + row.migration_mw + row.pue_overhead_mw;
+        let green_used = row.green_available_mw.min(demand);
+        let surplus = row.green_available_mw - green_used;
+        let deficit = demand - green_used;
+
+        // Energy balance: demand is exactly covered by the four sources.
+        let covered = green_used + row.battery_discharge_mw + row.net_draw_mw + row.brown_mw;
+        assert!(
+            (covered - demand).abs() < 1e-7,
+            "hour {} dc {}: covered {covered} vs demand {demand}",
+            row.hour,
+            row.dc
+        );
+
+        // Surplus hours only store/push; deficit hours only drain.
+        assert!(row.battery_charge_mw <= surplus + 1e-9);
+        assert!(row.net_push_mw <= surplus + 1e-9);
+        assert!(row.battery_discharge_mw + row.net_draw_mw <= deficit + 1e-9);
+        if row.battery_discharge_mw > 1e-9 || row.net_draw_mw > 1e-9 {
+            assert!(deficit > 0.0, "drain without deficit at hour {}", row.hour);
+        }
+        // The battery sits before the bank: banked credit is only drawn
+        // once the battery has been emptied...
+        if row.net_draw_mw > 1e-9 {
+            assert!(
+                row.battery_soc < 1e-9,
+                "hour {} dc {}: drew from bank with battery at {}",
+                row.hour,
+                row.dc,
+                row.battery_soc
+            );
+        }
+        // ...and brown is the strict last resort.
+        if row.brown_mw > 1e-9 {
+            assert!(
+                row.battery_soc < 1e-9 && row.net_draw_mw <= 1e-9 || row.net_draw_mw > 0.0,
+                "hour {} dc {}: brown while storage remained",
+                row.hour,
+                row.dc
+            );
+        }
+        // Pushing green to the grid implies the battery had no room left.
+        if row.net_push_mw > 1e-9 {
+            assert!(
+                row.battery_soc > 1.0 - 1e-9,
+                "hour {} dc {}: pushed with battery at {}",
+                row.hour,
+                row.dc,
+                row.battery_soc
+            );
+        }
+        assert!((0.0..=1.0).contains(&row.battery_soc));
+        charged_total += row.battery_charge_mw;
+        discharged_total += row.battery_discharge_mw;
+    }
+    assert!(charged_total > 0.0, "batteries cycled");
+    assert!(discharged_total > 0.0, "batteries discharged");
+    // Round-trip losses: what came out is at most efficiency × what went in.
+    assert!(
+        discharged_total <= charged_total * 0.75 + 1e-9,
+        "out {discharged_total} vs in {charged_total}"
+    );
+    assert_eq!(r.battery_in_mwh, charged_total);
+    assert_eq!(r.battery_out_mwh, discharged_total);
+}
+
+/// A solar-scarce variant: plants barely cover daytime demand, so battery
+/// charging is source-limited (never capacity-limited) and the banks drain
+/// to empty overnight — the regime where charge efficiency binds.
+fn scarce_config(hours: usize) -> EmulationConfig {
+    let mut cfg = storage_config(hours);
+    cfg.net_meter_credit = None;
+    for s in &mut cfg.sites {
+        s.solar_mw /= 4.0;
+        s.wind_mw = 0.0;
+        s.battery_kwh = 50_000.0;
+    }
+    cfg
+}
+
+#[test]
+fn battery_round_trip_losses_appear_in_annual_brown() {
+    // Same fleet and migrations, two charge efficiencies: the lossy bank
+    // must buy at least as much brown energy, and deliver less.
+    let w = WorldCatalog::anchors_only(4);
+    let lossy = emulation::run(&w, &scarce_config(96)).expect("lossy");
+    let mut perfect_cfg = scarce_config(96);
+    perfect_cfg.battery_efficiency = 1.0;
+    let perfect = emulation::run(&w, &perfect_cfg).expect("perfect");
+
+    assert!(lossy.battery_in_mwh > 0.0);
+    assert!(
+        lossy.battery_out_mwh < perfect.battery_out_mwh,
+        "lossy delivered {} vs perfect {}",
+        lossy.battery_out_mwh,
+        perfect.battery_out_mwh
+    );
+    assert!(
+        lossy.total_brown_mwh >= perfect.total_brown_mwh - 1e-9,
+        "lossy brown {} vs perfect brown {}",
+        lossy.total_brown_mwh,
+        perfect.total_brown_mwh
+    );
+}
+
+#[test]
+fn storage_cuts_brown_versus_no_storage() {
+    let w = WorldCatalog::anchors_only(4);
+    let stored = emulation::run(&w, &storage_config(96)).expect("stored");
+    let mut bare_cfg = storage_config(96);
+    bare_cfg = EmulationConfig {
+        net_meter_credit: None,
+        ..bare_cfg
+    }
+    .with_batteries(0.0);
+    let bare = emulation::run(&w, &bare_cfg).expect("bare");
+    assert!(
+        stored.total_brown_mwh <= bare.total_brown_mwh + 1e-9,
+        "storage must not increase brown: {} vs {}",
+        stored.total_brown_mwh,
+        bare.total_brown_mwh
+    );
+    assert!(stored.green_fraction >= bare.green_fraction - 1e-12);
+}
+
+#[test]
+fn multiweek_storage_run_is_deterministic() {
+    // Two identical three-week runs with batteries + net metering: every
+    // trace row, migration record, and aggregate must match exactly.
+    let w = WorldCatalog::anchors_only(4);
+    let cfg = storage_config(21 * 24);
+    let a = emulation::run(&w, &cfg).expect("first");
+    let b = emulation::run(&w, &cfg).expect("second");
+    assert_eq!(a.rows, b.rows);
+    assert_eq!(a.migration_log, b.migration_log);
+    assert_eq!(a.total_brown_mwh, b.total_brown_mwh);
+    assert_eq!(a.battery_in_mwh, b.battery_in_mwh);
+    assert_eq!(a.net_pushed_mwh, b.net_pushed_mwh);
+    assert_eq!(a.rereplicated_blocks, b.rereplicated_blocks);
+    assert_eq!(a.scheduler_stats, b.scheduler_stats);
+    // Sanity on the run itself: whole-period green fraction stays high on
+    // the overbuilt Table III plants, and the scheduler stayed warm.
+    assert!(
+        a.green_fraction > 0.8,
+        "green fraction {}",
+        a.green_fraction
+    );
+    assert_eq!(a.scheduler_stats.rounds, 21 * 24);
+    assert_eq!(a.scheduler_stats.rebuilds, 1);
+    assert!(a.scheduler_stats.warm_rate() > 0.5);
+}
+
+#[test]
+fn net_meter_credit_fraction_prices_but_does_not_change_physics() {
+    // The credit fraction is a tariff knob: banked energy nets 1:1
+    // physically, but push credits shrink with the fraction, so a
+    // zero-credit tariff settles strictly more expensive than full credit
+    // whenever surplus was pushed.
+    let w = WorldCatalog::anchors_only(4);
+    let full = emulation::run(&w, &storage_config(72)).expect("full credit");
+    let mut cheap_cfg = storage_config(72);
+    cheap_cfg.net_meter_credit = Some(0.0);
+    let cheap = emulation::run(&w, &cheap_cfg).expect("zero credit");
+
+    assert_eq!(full.rows, cheap.rows, "physics must not depend on credit");
+    assert_eq!(full.total_brown_mwh, cheap.total_brown_mwh);
+    assert!(full.net_pushed_mwh > 0.0, "scenario pushes surplus");
+    assert!(
+        cheap.energy_settlement_usd >= full.energy_settlement_usd,
+        "zero credit cannot settle cheaper: {} vs {}",
+        cheap.energy_settlement_usd,
+        full.energy_settlement_usd
+    );
+    // Settlement is capped at what is payable — never a negative bill.
+    assert!(full.energy_settlement_usd >= 0.0);
+}

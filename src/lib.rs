@@ -41,4 +41,6 @@ pub mod prelude {
     pub use greencloud_core::tool::{PlacementTool, ToolOptions};
     pub use greencloud_cost::params::CostParams;
     pub use greencloud_nebula::emulation::{EmulationConfig, EmulationReport};
+    pub use greencloud_nebula::scheduler::{RollingScheduler, RollingStats};
+    pub use greencloud_nebula::sweep::{run_sweep, Scenario, ScenarioResult};
 }
