@@ -5,7 +5,7 @@ use greencloud_bench::anchor_candidates;
 use greencloud_core::formulation::build_network_lp;
 use greencloud_core::framework::{PlacementInput, SizeClass, StorageMode, TechMix};
 use greencloud_cost::params::CostParams;
-use greencloud_lp::SimplexOptions;
+use greencloud_lp::{PricingMode, SimplexOptions};
 use std::hint::black_box;
 
 fn lp_benches(c: &mut Criterion) {
@@ -93,6 +93,31 @@ fn lp_benches(c: &mut Criterion) {
             )
         })
     });
+
+    // The entering-column rules head to head on the single-site LP: devex
+    // (default), classic Dantzig, and candidate-section partial pricing —
+    // all on the shared incremental-reduced-cost machinery.
+    for (label, pricing) in [
+        ("pricing/devex", PricingMode::Devex),
+        ("pricing/dantzig", PricingMode::Dantzig),
+        ("pricing/partial", PricingMode::Partial),
+    ] {
+        c.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(
+                    single_lp
+                        .solve_warm(
+                            SimplexOptions {
+                                pricing,
+                                ..SimplexOptions::default()
+                            },
+                            None,
+                        )
+                        .expect("solvable"),
+                )
+            })
+        });
+    }
 }
 
 criterion_group! {

@@ -16,8 +16,10 @@
 //! name: neither runs under `all`, which regenerates exactly the paper's
 //! artifacts.
 
+use greencloud_bench::bench_json::{parse_bench_json, render_bench_json};
 use greencloud_bench::{
-    rolling_states, sweep_inputs, table3_profiles, tech_label, tool, world, REPRO_SEED,
+    lp_bench_records, rolling_states, sweep_inputs, table3_profiles, tech_label, tool, world,
+    REPRO_SEED,
 };
 use greencloud_climate::catalog::WorldCatalog;
 use greencloud_core::framework::{PlacementInput, StorageMode, TechMix};
@@ -163,6 +165,52 @@ fn search_report(sol: &greencloud_core::solution::PlacementSolution) {
             st.block_hits,
             st.block_hits + st.block_misses,
         );
+        println!(
+            "solver: {} simplex iterations, {} refactorizations, {} ftrans, {} btrans, {:.0} ms pricing",
+            st.simplex_iterations,
+            st.refactorizations,
+            st.ftrans,
+            st.btrans,
+            st.pricing_ms(),
+        );
+    }
+}
+
+/// Writes the benchmark records to `BENCH_lp.json` in the working
+/// directory and validates the artifact by re-parsing what actually landed
+/// on disk; returns `false` on any failure.
+fn write_bench_lp_json(records: &[greencloud_bench::bench_json::BenchRecord]) -> bool {
+    let text = render_bench_json(records);
+    if let Err(e) = std::fs::write("BENCH_lp.json", &text) {
+        println!("BENCH_lp.json write FAILED: {e}");
+        return false;
+    }
+    match std::fs::read_to_string("BENCH_lp.json").map_err(|e| e.to_string()) {
+        Ok(back) => match parse_bench_json(&back) {
+            Ok(parsed) if parsed.len() == records.len() => {
+                println!(
+                    "BENCH_lp.json: {} records written and validated",
+                    parsed.len()
+                );
+                true
+            }
+            Ok(parsed) => {
+                println!(
+                    "BENCH_lp.json VALIDATION FAILED: {} records in, {} out",
+                    records.len(),
+                    parsed.len()
+                );
+                false
+            }
+            Err(e) => {
+                println!("BENCH_lp.json PARSE FAILED: {e}");
+                false
+            }
+        },
+        Err(e) => {
+            println!("BENCH_lp.json readback FAILED: {e}");
+            false
+        }
     }
 }
 
@@ -595,6 +643,13 @@ fn annual(fast: bool) {
                 st.rebuilds,
                 t0.elapsed().as_secs_f64(),
             );
+            println!(
+                "solver: {} refactorizations, {} ftrans, {} btrans, {:.0} ms pricing",
+                st.refactorizations,
+                st.ftrans,
+                st.btrans,
+                st.pricing_ms(),
+            );
         }
         Err(e) => println!("annual emulation failed: {e}"),
     }
@@ -756,10 +811,14 @@ fn quick() -> bool {
             ok = false;
         }
     }
+    // The machine-readable bench artifact must round-trip: emit a reduced
+    // run of the LP suite and re-parse what lands on disk.
+    ok &= write_bench_lp_json(&lp_bench_records(true));
     ok
 }
 
-/// §V-C: schedule computation times.
+/// §V-C: schedule computation times, plus the LP-substrate benchmark suite
+/// (written to `BENCH_lp.json` for cross-PR tracking).
 fn timing() {
     header("§V-C — schedule computation time");
     let w = WorldCatalog::anchors_only(REPRO_SEED);
@@ -805,4 +864,16 @@ fn timing() {
             "{label:>8}: {ms:>8.1} ms per 48-h schedule (paper: 240–780 ms on 2 GHz hardware)"
         );
     }
+
+    let records = lp_bench_records(false);
+    for r in &records {
+        println!(
+            "{:<34} {:>9.1} ms  {:>7} iters  warm {:>4.0}%",
+            r.name,
+            r.wall_ms,
+            r.iterations,
+            r.warm_rate * 100.0
+        );
+    }
+    write_bench_lp_json(&records);
 }

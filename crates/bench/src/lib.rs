@@ -2,6 +2,9 @@
 
 #![warn(missing_docs)]
 
+pub mod bench_json;
+
+use bench_json::BenchRecord;
 use greencloud_climate::catalog::WorldCatalog;
 use greencloud_climate::profiles::ProfileConfig;
 use greencloud_core::anneal::AnnealOptions;
@@ -115,6 +118,107 @@ pub fn rolling_states(
             },
         )
         .collect()
+}
+
+/// Runs the LP-substrate benchmark suite and returns its machine-readable
+/// records: the single-site siting LP solved cold under each pricing mode,
+/// and the rolling scheduler re-solve warm vs cold. `fast` shrinks the
+/// round counts for the CI smoke; `repro timing` runs the full version and
+/// writes the records to `BENCH_lp.json`.
+pub fn lp_bench_records(fast: bool) -> Vec<BenchRecord> {
+    use greencloud_core::formulation::build_network_lp;
+    use greencloud_core::framework::SizeClass;
+    use greencloud_lp::{PricingMode, SimplexOptions};
+    use greencloud_nebula::scheduler::{RollingScheduler, Scheduler};
+    use std::time::Instant;
+
+    let mut records = Vec::new();
+
+    // Single-site siting LP, cold, one record per pricing mode.
+    let cands = anchor_candidates();
+    let params = greencloud_cost::params::CostParams::default();
+    let single = PlacementInput {
+        total_capacity_mw: 25.0,
+        min_green_fraction: 0.5,
+        min_availability: 0.0,
+        tech: TechMix::WindOnly,
+        storage: StorageMode::NetMetering,
+        ..PlacementInput::default()
+    };
+    let lp = build_network_lp(&params, &single, &[(&cands[3], SizeClass::Large)]);
+    for (label, pricing) in [
+        ("single_site_cold/devex", PricingMode::Devex),
+        ("single_site_cold/dantzig", PricingMode::Dantzig),
+        ("single_site_cold/partial", PricingMode::Partial),
+    ] {
+        let reps = if fast { 1 } else { 3 };
+        let mut best_ms = f64::INFINITY;
+        let mut iterations = 0;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let (d, _) = lp
+                .solve_warm(
+                    SimplexOptions {
+                        pricing,
+                        ..SimplexOptions::default()
+                    },
+                    None,
+                )
+                .expect("single-site LP solvable");
+            best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            iterations = d.iterations;
+        }
+        records.push(BenchRecord {
+            name: label.to_string(),
+            wall_ms: best_ms,
+            iterations,
+            warm_rate: 0.0,
+        });
+    }
+
+    // Rolling hourly re-solves, warm vs cold (the repro-visible form of the
+    // `hourly_resolve_24rounds_3dc` Criterion bench).
+    let w = WorldCatalog::anchors_only(REPRO_SEED);
+    if let Some(profiles) = table3_profiles(&w) {
+        let cfg = greencloud_nebula::emulation::EmulationConfig::default();
+        let window = cfg.scheduler.window_hours;
+        let rounds = if fast { 12 } else { 96 };
+        let start = 4080;
+
+        let mut rolling = RollingScheduler::new(cfg.scheduler.clone());
+        let mut loads = vec![cfg.total_load_mw, 0.0, 0.0];
+        let t0 = Instant::now();
+        for t in start..start + rounds {
+            let states = rolling_states(&profiles, t, window, &loads);
+            loads = rolling.plan(&states).expect("rolling plan").target_mw;
+        }
+        let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let stats = rolling.stats();
+        records.push(BenchRecord {
+            name: format!("hourly_resolve_{rounds}rounds/warm"),
+            wall_ms: warm_ms,
+            iterations: stats.iterations,
+            warm_rate: stats.warm_rate(),
+        });
+
+        let cold = Scheduler::new(cfg.scheduler.clone());
+        let mut loads = vec![cfg.total_load_mw, 0.0, 0.0];
+        let t0 = Instant::now();
+        for t in start..start + rounds {
+            let states = rolling_states(&profiles, t, window, &loads);
+            loads = cold.plan(&states).expect("cold plan").target_mw;
+        }
+        let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // The one-shot scheduler exposes no iteration totals; per the
+        // BenchRecord contract the field is 0 when not applicable.
+        records.push(BenchRecord {
+            name: format!("hourly_resolve_{rounds}rounds/cold"),
+            wall_ms: cold_ms,
+            iterations: 0,
+            warm_rate: 0.0,
+        });
+    }
+    records
 }
 
 /// Pretty technology label.

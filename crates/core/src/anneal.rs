@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// One siting: sorted, de-duplicated `(candidate index, size class)` pairs.
@@ -79,6 +79,16 @@ pub struct SearchStats {
     pub block_hits: usize,
     /// Site blocks compiled (block-cache misses).
     pub block_misses: usize,
+    /// Simplex iterations across all LP solves.
+    pub simplex_iterations: usize,
+    /// Basis refactorizations across all LP solves.
+    pub refactorizations: usize,
+    /// FTRAN solves across all LP solves.
+    pub ftrans: usize,
+    /// BTRAN solves across all LP solves.
+    pub btrans: usize,
+    /// Wall time the LP solver spent pricing, nanoseconds.
+    pub pricing_ns: u64,
 }
 
 impl SearchStats {
@@ -99,6 +109,11 @@ impl SearchStats {
         } else {
             self.cache_hits as f64 / total as f64
         }
+    }
+
+    /// Wall time the LP solver spent pricing, in milliseconds.
+    pub fn pricing_ms(&self) -> f64 {
+        self.pricing_ns as f64 / 1e6
     }
 }
 
@@ -183,6 +198,11 @@ struct Shared {
     cache_hits: AtomicUsize,
     warm_attempts: AtomicUsize,
     warm_hits: AtomicUsize,
+    simplex_iterations: AtomicUsize,
+    refactorizations: AtomicUsize,
+    ftrans: AtomicUsize,
+    btrans: AtomicUsize,
+    pricing_ns: AtomicU64,
 }
 
 /// Runs the search. `candidates` should already be pre-filtered (cheapest
@@ -213,6 +233,11 @@ pub fn anneal(
         cache_hits: AtomicUsize::new(0),
         warm_attempts: AtomicUsize::new(0),
         warm_hits: AtomicUsize::new(0),
+        simplex_iterations: AtomicUsize::new(0),
+        refactorizations: AtomicUsize::new(0),
+        ftrans: AtomicUsize::new(0),
+        btrans: AtomicUsize::new(0),
+        pricing_ns: AtomicU64::new(0),
     };
 
     let class_for = |count: usize| -> SizeClass {
@@ -248,6 +273,11 @@ pub fn anneal(
         warm_hits: shared.warm_hits.load(Ordering::Relaxed),
         block_hits: shared.blocks.hits(),
         block_misses: shared.blocks.misses(),
+        simplex_iterations: shared.simplex_iterations.load(Ordering::Relaxed),
+        refactorizations: shared.refactorizations.load(Ordering::Relaxed),
+        ftrans: shared.ftrans.load(Ordering::Relaxed),
+        btrans: shared.btrans.load(Ordering::Relaxed),
+        pricing_ns: shared.pricing_ns.load(Ordering::Relaxed),
     };
     let best = shared.best.into_inner();
     match best {
@@ -438,6 +468,18 @@ fn evaluate(
             if dispatch.warm_started {
                 shared.warm_hits.fetch_add(1, Ordering::Relaxed);
             }
+            let st = &dispatch.lp_stats;
+            shared
+                .simplex_iterations
+                .fetch_add(st.iterations, Ordering::Relaxed);
+            shared
+                .refactorizations
+                .fetch_add(st.refactorizations, Ordering::Relaxed);
+            shared.ftrans.fetch_add(st.ftrans, Ordering::Relaxed);
+            shared.btrans.fetch_add(st.btrans, Ordering::Relaxed);
+            shared
+                .pricing_ns
+                .fetch_add(st.pricing_ns, Ordering::Relaxed);
             let cost = dispatch.monthly_cost;
             let basis = basis.map(Arc::new);
             let better = shared
@@ -566,6 +608,11 @@ mod tests {
         assert!(st.block_hits > 0, "stats: {st:?}");
         assert!(st.warm_rate() >= 0.0 && st.warm_rate() <= 1.0);
         assert!(st.cache_rate() >= 0.0 && st.cache_rate() <= 1.0);
+        // The per-solve solver counters aggregate across every eval-cache
+        // miss, so a search that solved anything reports pivot work.
+        assert!(st.simplex_iterations > 0, "stats: {st:?}");
+        assert!(st.ftrans > 0 && st.btrans > 0, "stats: {st:?}");
+        assert!(st.refactorizations > 0, "stats: {st:?}");
     }
 
     #[test]

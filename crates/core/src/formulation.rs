@@ -185,6 +185,9 @@ pub struct NetworkDispatch {
     pub iterations: usize,
     /// `true` when the solve was warm-started from a supplied basis.
     pub warm_started: bool,
+    /// Full solver counters for this solve (refactorizations, FTRAN/BTRAN
+    /// counts, pricing time) — see [`greencloud_lp::SolveStats`].
+    pub lp_stats: greencloud_lp::SolveStats,
 }
 
 /// Builds the LP for `sites` under `input`, compiling every site block from
@@ -481,6 +484,7 @@ impl NetworkLp {
             total_capacity_mw: total_capacity,
             iterations: sol.iterations,
             warm_started: sol.warm_started,
+            lp_stats: sol.stats,
         }
     }
 

@@ -1,0 +1,94 @@
+//! Iteration-count regression on the siting LP fixtures: devex pricing
+//! exists to reach the optimum in fewer pivots than Dantzig, and both must
+//! land on the same objective. If devex ever needs *more* iterations than
+//! Dantzig on these fixtures, its weight maintenance has regressed.
+
+use greencloud_climate::catalog::WorldCatalog;
+use greencloud_climate::profiles::ProfileConfig;
+use greencloud_core::candidate::CandidateSite;
+use greencloud_core::formulation::build_network_lp;
+use greencloud_core::framework::{PlacementInput, SizeClass, StorageMode, TechMix};
+use greencloud_cost::params::CostParams;
+use greencloud_lp::{PricingMode, SimplexOptions};
+
+type Fixture = (&'static str, PlacementInput, Vec<(usize, SizeClass)>);
+
+fn solve_iters(lp: &greencloud_core::formulation::NetworkLp, pricing: PricingMode) -> (f64, usize) {
+    let (d, _) = lp
+        .solve_warm(
+            SimplexOptions {
+                pricing,
+                ..SimplexOptions::default()
+            },
+            None,
+        )
+        .expect("siting fixture solvable");
+    (d.monthly_cost, d.iterations)
+}
+
+#[test]
+fn devex_needs_no_more_iterations_than_dantzig_on_siting_fixtures() {
+    let w = WorldCatalog::anchors_only(5);
+    let cands = CandidateSite::build_all(&w, &ProfileConfig::coarse());
+    let params = CostParams::default();
+
+    let fixtures: Vec<Fixture> = vec![
+        (
+            "single wind site, net metering",
+            PlacementInput {
+                total_capacity_mw: 25.0,
+                min_green_fraction: 0.5,
+                min_availability: 0.0,
+                tech: TechMix::WindOnly,
+                storage: StorageMode::NetMetering,
+                ..PlacementInput::default()
+            },
+            vec![(3, SizeClass::Large)],
+        ),
+        (
+            "two-site mixed network",
+            PlacementInput {
+                total_capacity_mw: 30.0,
+                min_green_fraction: 0.5,
+                tech: TechMix::Both,
+                storage: StorageMode::NetMetering,
+                ..PlacementInput::default()
+            },
+            vec![(3, SizeClass::Large), (4, SizeClass::Large)],
+        ),
+        (
+            "single solar site with batteries",
+            PlacementInput {
+                total_capacity_mw: 5.0,
+                min_green_fraction: 0.9,
+                tech: TechMix::SolarOnly,
+                storage: StorageMode::Batteries,
+                ..PlacementInput::default()
+            },
+            vec![(2, SizeClass::Small)],
+        ),
+    ];
+
+    let mut devex_total = 0usize;
+    let mut dantzig_total = 0usize;
+    for (name, input, siting) in &fixtures {
+        let sites: Vec<_> = siting.iter().map(|&(i, c)| (&cands[i], c)).collect();
+        let lp = build_network_lp(&params, input, &sites);
+        let (devex_obj, devex_iters) = solve_iters(&lp, PricingMode::Devex);
+        let (dantzig_obj, dantzig_iters) = solve_iters(&lp, PricingMode::Dantzig);
+        let scale = 1.0 + devex_obj.abs();
+        assert!(
+            (devex_obj - dantzig_obj).abs() < 1e-6 * scale,
+            "{name}: objectives differ: devex {devex_obj} vs dantzig {dantzig_obj}"
+        );
+        devex_total += devex_iters;
+        dantzig_total += dantzig_iters;
+        println!("{name}: devex {devex_iters} iters, dantzig {dantzig_iters} iters");
+    }
+    // Per-fixture counts wobble with tie-breaking; the aggregate is the
+    // regression signal devex must hold.
+    assert!(
+        devex_total <= dantzig_total,
+        "devex spent {devex_total} iterations vs dantzig {dantzig_total} across the fixtures"
+    );
+}

@@ -280,6 +280,10 @@ impl DenseSimplex {
             iterations,
             basis: None,
             warm_started: false,
+            stats: crate::revised::SolveStats {
+                iterations,
+                ..Default::default()
+            },
         })
     }
 }

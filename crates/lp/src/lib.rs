@@ -53,4 +53,4 @@ pub mod validate;
 pub use branch::{BranchAndBound, MilpOptions};
 pub use expr::LinExpr;
 pub use model::{ConId, Model, Sense, Solution, SolveError, VarId, VarKind};
-pub use revised::{Basis, BasisStatus, RevisedSimplex, SimplexOptions};
+pub use revised::{Basis, BasisStatus, PricingMode, RevisedSimplex, SimplexOptions, SolveStats};

@@ -122,6 +122,8 @@ pub struct Solution {
     /// Value of every variable, indexed by [`VarId::index`].
     pub values: Vec<f64>,
     /// Simplex iterations spent (phase 1 + phase 2), when reported.
+    /// Mirrors [`Solution::stats`]`.iterations`; kept as a direct field for
+    /// API stability with earlier callers.
     pub iterations: usize,
     /// Final simplex basis, when the solver maintains one (the revised
     /// simplex does; the dense tableau and branch & bound report `None`).
@@ -130,6 +132,10 @@ pub struct Solution {
     /// `true` when the solve actually started from a supplied warm basis
     /// (rather than falling back to the cold crash basis).
     pub warm_started: bool,
+    /// Per-solve solver counters (iterations, refactorizations,
+    /// FTRAN/BTRAN counts, pricing time). The revised simplex fills every
+    /// field; the dense tableau and branch & bound report iterations only.
+    pub stats: crate::revised::SolveStats,
 }
 
 impl Solution {
@@ -397,6 +403,22 @@ impl Model {
     /// Same as [`Model::solve`].
     pub fn solve_with(&self, options: SimplexOptions) -> Result<Solution, SolveError> {
         RevisedSimplex::new(options).solve(self)
+    }
+
+    /// Solves with default options but an explicit entering-column pricing
+    /// rule (see [`crate::revised::PricingMode`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Model::solve`].
+    pub fn solve_with_pricing(
+        &self,
+        pricing: crate::revised::PricingMode,
+    ) -> Result<Solution, SolveError> {
+        self.solve_with(SimplexOptions {
+            pricing,
+            ..SimplexOptions::default()
+        })
     }
 
     /// Solves with explicit simplex options, warm-starting from a basis

@@ -8,15 +8,26 @@
 //! is refactorized from scratch with [`crate::lu::SparseLu`] and the basic
 //! solution is recomputed to shed accumulated error.
 //!
-//! Degenerate stalls switch pricing from Dantzig (most negative reduced
-//! cost) to Bland's rule, which guarantees termination.
+//! # Pricing
+//!
+//! Nonbasic reduced costs are maintained *incrementally*: each pivot updates
+//! them from the pivot row `αᵣ = ρᵀ·A` (with `ρ = B⁻ᵀ·eᵣ` a hyper-sparse
+//! unit BTRAN, and the gather done by sparse row access over a CSR mirror of
+//! the column matrix), so choosing an entering column is a scan of a dense
+//! array instead of an `O(nnz(A))` rescan plus BTRAN per iteration. The
+//! entering choice itself is governed by [`PricingMode`]: devex
+//! reference-framework pricing by default, with classic Dantzig and
+//! candidate-section partial pricing available. Degenerate stalls switch to
+//! Bland's rule, which guarantees termination; optimality is only ever
+//! declared on freshly recomputed (exact) reduced costs.
 
 // Index loops here sweep multiple parallel arrays of the numerical kernel;
 // iterator rewrites obscure the linear algebra.
 #![allow(clippy::needless_range_loop)]
-use crate::lu::{ColMatrix, FactorizeError, SparseLu};
+use crate::lu::{ColMatrix, FactorizeError, RowMatrix, SparseLu};
 use crate::model::{Model, Sense, Solution, SolveError};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Status of one column in an exported [`Basis`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -100,6 +111,82 @@ impl Basis {
     }
 }
 
+/// Entering-column pricing rule for the revised simplex.
+///
+/// All modes share the same incrementally maintained reduced costs and the
+/// same Bland's-rule anti-cycling escape; they differ only in how the next
+/// entering column is chosen from those reduced costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PricingMode {
+    /// Devex reference-framework pricing: columns are ranked by
+    /// `d²/w` where the weight `w` approximates the steepest-edge norm and
+    /// is updated per pivot from the pivot row. Weights persist across
+    /// refactorizations (resetting them there was measured to cost
+    /// iterations) and restart from 1 at phase entry and after a
+    /// singular-basis repair. Usually the fewest iterations; the default.
+    #[default]
+    Devex,
+    /// Classic Dantzig pricing: most negative reduced cost.
+    Dantzig,
+    /// Candidate-section partial pricing: scan a rotating section of the
+    /// columns and take the best (Dantzig-scored) eligible candidate in
+    /// the first section that has any, wrapping through all sections
+    /// before concluding none exists. Bounds per-iteration pricing work on
+    /// very wide models.
+    Partial,
+}
+
+/// Per-solve counters of the revised simplex, reported in
+/// [`crate::Solution::stats`] so callers can see where the time went.
+///
+/// Equality compares the deterministic pivot/solve counters only:
+/// `pricing_ns` is measured wall time and is excluded, so two replays of
+/// the same solve compare equal even though their clocks differ.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct SolveStats {
+    /// Simplex iterations (phase 1 + phase 2 + dual restoration), including
+    /// any discarded warm attempt that fell back to a cold solve.
+    pub iterations: usize,
+    /// Basis refactorizations (includes the final accuracy refactorization
+    /// before extraction).
+    pub refactorizations: usize,
+    /// FTRAN solves (`B⁻¹·a`) performed.
+    pub ftrans: usize,
+    /// BTRAN solves (`B⁻ᵀ·y`) performed, dense and unit-vector alike.
+    pub btrans: usize,
+    /// Wall time spent pricing: maintaining reduced costs/devex weights and
+    /// selecting entering columns.
+    pub pricing_ns: u64,
+}
+
+impl SolveStats {
+    /// Adds `other`'s counters into `self` (used to carry the work of a
+    /// discarded warm attempt into the reported totals).
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.iterations += other.iterations;
+        self.refactorizations += other.refactorizations;
+        self.ftrans += other.ftrans;
+        self.btrans += other.btrans;
+        self.pricing_ns += other.pricing_ns;
+    }
+
+    /// Pricing time in milliseconds.
+    pub fn pricing_ms(&self) -> f64 {
+        self.pricing_ns as f64 / 1e6
+    }
+}
+
+impl PartialEq for SolveStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.iterations == other.iterations
+            && self.refactorizations == other.refactorizations
+            && self.ftrans == other.ftrans
+            && self.btrans == other.btrans
+    }
+}
+
+impl Eq for SolveStats {}
+
 /// Tuning knobs for [`RevisedSimplex`].
 #[derive(Debug, Clone)]
 pub struct SimplexOptions {
@@ -115,6 +202,8 @@ pub struct SimplexOptions {
     pub refactor_every: usize,
     /// Consecutive degenerate pivots before switching to Bland's rule.
     pub bland_after: usize,
+    /// Entering-column selection rule (see [`PricingMode`]).
+    pub pricing: PricingMode,
 }
 
 impl Default for SimplexOptions {
@@ -124,7 +213,13 @@ impl Default for SimplexOptions {
             feas_tol: 1e-7,
             opt_tol: 1e-7,
             refactor_every: 64,
-            bland_after: 128,
+            // Bland's rule is the last-resort anti-cycling escape, not a
+            // degeneracy strategy: devex pricing walks degenerate plateaus
+            // productively (the battery-chain LPs take hundreds of zero-step
+            // pivots on the way to the optimum), while Bland crawls. Engage
+            // it only after a pathological streak.
+            bland_after: 1000,
+            pricing: PricingMode::default(),
         }
     }
 }
@@ -176,16 +271,16 @@ impl RevisedSimplex {
             // worker untouched, so no rebuild is needed on failure.
             warm_installed = w.try_install_basis(basis).is_ok();
         }
-        // Pivots burned in a warm attempt that later falls back are still
-        // real work; carry them into the reported iteration count.
-        let mut discarded_iterations = 0usize;
+        // Work burned in a warm attempt that later falls back is still
+        // real work; carry it into the reported counters.
+        let mut discarded = SolveStats::default();
         if warm_installed {
             // Phase 2 straight from the installed basis; dual-simplex
             // restoration recovers primal feasibility when the snapshot
             // doesn't fit the current RHS. Any failure rebuilds and runs
             // cold — warm starts never change *what* is solved.
             if w.warm_optimize().is_err() {
-                discarded_iterations = w.iterations;
+                discarded = w.stats();
                 w = Worker::build(model, &self.options)?;
                 warm_installed = false;
                 w.run()?;
@@ -195,7 +290,8 @@ impl RevisedSimplex {
         }
         let mut sol = w.extract(model);
         sol.warm_started = warm_installed;
-        sol.iterations += discarded_iterations;
+        sol.stats.absorb(&discarded);
+        sol.iterations = sol.stats.iterations;
         Ok(sol)
     }
 }
@@ -217,6 +313,9 @@ struct Eta {
     entries: Vec<(usize, f64)>,
 }
 
+/// Partial pricing scans at least this many columns per section.
+const PARTIAL_SECTION_MIN: usize = 256;
+
 struct Worker<'a> {
     opts: &'a SimplexOptions,
     m: usize,
@@ -224,6 +323,9 @@ struct Worker<'a> {
     n_total: usize,
     art_offset: usize,
     cols: ColMatrix,
+    /// CSR mirror of `cols` for pivot-row gathers (`αᵣ = ρᵀ·A` by sparse
+    /// row access instead of scanning every column).
+    rows: RowMatrix,
     lb: Vec<f64>,
     ub: Vec<f64>,
     cost: Vec<f64>,
@@ -237,8 +339,38 @@ struct Worker<'a> {
     scratch: Vec<f64>,
     work_y: Vec<f64>,
     work_w: Vec<f64>,
+    /// Unit-BTRAN output `ρ = B⁻ᵀ·eᵣ` (row `r` of the basis inverse).
+    work_rho: Vec<f64>,
+    /// Dense pivot-row workspace, reset sparsely via `alpha_touched`.
+    work_alpha: Vec<f64>,
+    alpha_mark: Vec<bool>,
+    alpha_touched: Vec<usize>,
+    /// Maintained reduced costs of every column (basic entries are 0).
+    d: Vec<f64>,
+    /// Devex reference-framework weights.
+    devex_w: Vec<f64>,
+    /// `d` must be recomputed from scratch before the next pricing scan
+    /// (set after refactorization, phase changes, and drift detection).
+    d_stale: bool,
+    /// `d` holds exactly recomputed values (no incremental updates since
+    /// the last full recompute). Optimality is only declared when true.
+    d_exact: bool,
+    /// Which phase's costs `d` was last computed for.
+    d_phase1: bool,
+    /// Columns subject to pricing for the current phase (`n_total` in
+    /// phase 1, `art_offset` in phase 2).
+    n_priced: usize,
+    /// Rotating cursor of candidate-section partial pricing.
+    part_cursor: usize,
+    /// `GC_LP_PARANOID` was set at solver construction (env var read once,
+    /// not per iteration).
+    paranoid: bool,
     iterations: usize,
     max_iterations: usize,
+    n_refactor: usize,
+    n_ftran: usize,
+    n_btran: usize,
+    pricing_ns: u64,
 }
 
 impl<'a> Worker<'a> {
@@ -344,6 +476,8 @@ impl<'a> Worker<'a> {
             opts.max_iterations
         };
 
+        let rows = RowMatrix::from_cols(&cols);
+
         Ok(Worker {
             opts,
             m,
@@ -351,6 +485,7 @@ impl<'a> Worker<'a> {
             n_total,
             art_offset,
             cols,
+            rows,
             lb,
             ub,
             cost,
@@ -364,9 +499,35 @@ impl<'a> Worker<'a> {
             scratch: Vec::new(),
             work_y: vec![0.0; m],
             work_w: vec![0.0; m],
+            work_rho: vec![0.0; m],
+            work_alpha: vec![0.0; n_total],
+            alpha_mark: vec![false; n_total],
+            alpha_touched: Vec::new(),
+            d: vec![0.0; n_total],
+            devex_w: vec![1.0; n_total],
+            d_stale: true,
+            d_exact: false,
+            d_phase1: false,
+            n_priced: n_total,
+            part_cursor: 0,
+            paranoid: std::env::var_os("GC_LP_PARANOID").is_some(),
             iterations: 0,
             max_iterations,
+            n_refactor: 0,
+            n_ftran: 0,
+            n_btran: 0,
+            pricing_ns: 0,
         })
+    }
+
+    fn stats(&self) -> SolveStats {
+        SolveStats {
+            iterations: self.iterations,
+            refactorizations: self.n_refactor,
+            ftrans: self.n_ftran,
+            btrans: self.n_btran,
+            pricing_ns: self.pricing_ns,
+        }
     }
 
     /// Attempts to install an exported warm basis over the freshly built
@@ -478,6 +639,7 @@ impl<'a> Worker<'a> {
         self.lu = lu;
         self.etas.clear();
         self.xb = xb;
+        self.d_stale = true;
         Ok(())
     }
 
@@ -493,26 +655,35 @@ impl<'a> Worker<'a> {
     /// `Err(())` when restoration stalled or the solver hit any error —
     /// the caller must rebuild and fall back to the cold two-phase solve.
     fn warm_optimize(&mut self) -> Result<(), ()> {
-        self.restore_primal_feasibility()?;
+        self.restore_primal_feasibility(false)?;
         self.iterate(false).map_err(|_| ())
     }
 
     /// Dual-simplex feasibility restoration: repeatedly drives the most
     /// bound-violated basic variable onto its violated bound, choosing the
     /// entering column by the dual ratio test (smallest |reduced cost| per
-    /// unit of pivot, largest pivot on ties). From a near-optimal warm
-    /// basis this takes a handful of pivots; a stall (no usable pivot or
-    /// too many steps) reports `Err` so the caller can solve cold instead.
-    fn restore_primal_feasibility(&mut self) -> Result<(), ()> {
+    /// unit of pivot, largest pivot on ties). Reduced costs come from the
+    /// maintained array; candidate pivots come from the sparse pivot row,
+    /// so only columns the row actually touches are examined. From a
+    /// near-optimal warm basis this takes a handful of pivots; a stall (no
+    /// usable pivot or too many steps) reports `Err` so the caller can
+    /// solve cold instead.
+    fn restore_primal_feasibility(&mut self, phase1: bool) -> Result<(), ()> {
         const PIV_TOL: f64 = 1e-9;
         let tol = self.opts.feas_tol;
         let max_steps = 2 * self.m + 64;
         for _ in 0..max_steps {
-            // Leaving row: most violated basic.
+            // Leaving row: most violated basic. In phase 1 the artificials
+            // keep their relaxed sign bounds — their infeasibility is the
+            // primal phase-1 objective, not a violation to repair here.
             let mut worst: Option<(usize, f64, f64)> = None; // slot, viol, target
             for slot in 0..self.m {
                 let j = self.basis[slot];
-                let (lo, hi) = self.basic_bounds(j);
+                let (lo, hi) = if phase1 {
+                    (self.lb[j], self.ub[j])
+                } else {
+                    self.basic_bounds(j)
+                };
                 let x = self.xb[slot];
                 if !x.is_finite() {
                     return Err(());
@@ -536,37 +707,35 @@ impl<'a> Worker<'a> {
             }
             self.iterations += 1;
 
-            // Row r of B⁻¹ (for pivot entries) and the simplex multipliers
-            // (for reduced costs), via two BTRANs.
-            self.work_y.iter_mut().for_each(|v| *v = 0.0);
-            self.work_y[r] = 1.0;
-            self.btran();
-            let rho = self.work_y.clone();
-            for slot in 0..self.m {
-                self.work_y[slot] = self.cost[self.basis[slot]];
+            let t0 = Instant::now();
+            if self.d_stale || self.d_phase1 != phase1 {
+                self.compute_reduced_costs(phase1);
             }
-            self.btran();
+            // Row r of B⁻¹ and the pivot row αᵣ = ρᵀ·A, via one
+            // hyper-sparse unit BTRAN plus a CSR row gather.
+            self.pivot_row(r);
+            self.pricing_ns += t0.elapsed().as_nanos() as u64;
 
-            // Entering column: dual ratio test. The required movement of
-            // xb[r] is `delta_r = target − xb[r]`; entering q moving by
-            // t·dir changes xb[r] by −t·dir·α_q, so q is eligible when
-            // dir·α_q opposes delta_r.
+            // Entering column: dual ratio test over the pivot row's
+            // nonzeros. The required movement of xb[r] is `delta_r =
+            // target − xb[r]`; entering q moving by t·dir changes xb[r] by
+            // −t·dir·α_q, so q is eligible when dir·α_q opposes delta_r.
             let delta_r = target - self.xb[r];
             let mut best: Option<(usize, f64, f64, f64)> = None; // q, dir, ratio, |alpha|
-            for q in 0..self.art_offset {
+            for idx in 0..self.alpha_touched.len() {
+                let q = self.alpha_touched[idx];
+                if q >= self.art_offset {
+                    continue;
+                }
                 let st = self.status[q];
                 if matches!(st, ColStatus::Basic(_)) || self.lb[q] == self.ub[q] {
                     continue;
                 }
-                let mut alpha = 0.0;
-                let mut d = self.cost[q];
-                for (row, a) in self.cols.col(q) {
-                    alpha += rho[row] * a;
-                    d -= self.work_y[row] * a;
-                }
+                let alpha = self.work_alpha[q];
                 if alpha.abs() <= PIV_TOL {
                     continue;
                 }
+                let d = self.d[q];
                 let dir = match st {
                     ColStatus::AtLower => 1.0,
                     ColStatus::AtUpper => -1.0,
@@ -598,11 +767,7 @@ impl<'a> Worker<'a> {
             };
 
             // w = B⁻¹·A_q, pivot magnitude re-derived through the eta file.
-            self.work_w.iter_mut().for_each(|v| *v = 0.0);
-            for (row, a) in self.cols.col(q) {
-                self.work_w[row] = a;
-            }
-            self.ftran();
+            self.ftran_col(q);
             let wr = self.work_w[r];
             if wr.abs() <= PIV_TOL {
                 return Err(());
@@ -616,7 +781,8 @@ impl<'a> Worker<'a> {
             // variable past its own opposite bound, move it exactly there
             // instead of pivoting (standard bound-flipping dual ratio
             // test). The violation shrinks by |α|·span and the basis is
-            // untouched; the next sweep picks up the remainder.
+            // untouched — reduced costs are untouched too; the next sweep
+            // picks up the remainder.
             let span = self.ub[q] - self.lb[q];
             if span.is_finite() && t > span {
                 for s in 0..self.m {
@@ -632,12 +798,23 @@ impl<'a> Worker<'a> {
             }
 
             let leaving = self.basis[r];
+            // Maintain reduced costs across the pivot while the pivot row
+            // is still valid (before the eta push).
+            let t0 = Instant::now();
+            if !self.d_stale {
+                self.update_reduced_costs(q, wr, leaving, false);
+            }
+            self.pricing_ns += t0.elapsed().as_nanos() as u64;
             for s in 0..self.m {
                 self.xb[s] -= t * dir * self.work_w[s];
             }
             self.xb[r] = nonbasic_value(self.status[q], self.lb[q], self.ub[q]) + dir * t;
             // The leaving variable lands exactly on its violated bound.
-            let (lo, _hi) = self.basic_bounds(leaving);
+            let (lo, _hi) = if phase1 {
+                (self.lb[leaving], self.ub[leaving])
+            } else {
+                self.basic_bounds(leaving)
+            };
             self.status[leaving] = if target == lo {
                 if lo.is_finite() {
                     ColStatus::AtLower
@@ -700,6 +877,9 @@ impl<'a> Worker<'a> {
     /// Runs pivots until the phase objective is optimal.
     fn iterate(&mut self, phase1: bool) -> Result<(), SolveError> {
         let mut degen_streak = 0usize;
+        let mut prev_bland = false;
+        // A fresh phase restarts the devex reference framework.
+        self.reset_devex();
         loop {
             if phase1 && self.infeasibility() <= self.opts.feas_tol {
                 return Ok(());
@@ -710,81 +890,79 @@ impl<'a> Worker<'a> {
             self.iterations += 1;
 
             let bland = degen_streak >= self.opts.bland_after;
-            let Some((q, dir)) = self.price(phase1, bland) else {
-                return Ok(()); // phase optimal
+            if bland && !prev_bland {
+                // (Re-)entering the anti-cycling regime: Bland's rule must
+                // see exact reduced-cost signs, not incrementally drifted
+                // ones — on every engagement, not just the first.
+                self.d_stale = true;
+            }
+            prev_bland = bland;
+            let t0 = Instant::now();
+            let mut choice = self.price(phase1, bland);
+            if choice.is_none() && !self.d_exact {
+                // The maintained reduced costs say optimal; confirm against
+                // exactly recomputed values before declaring the phase done.
+                self.d_stale = true;
+                choice = self.price(phase1, bland);
+            }
+            self.pricing_ns += t0.elapsed().as_nanos() as u64;
+            let Some((q, _)) = choice else {
+                return Ok(()); // phase optimal (certified on exact values)
             };
 
             // w = B⁻¹ · A_q
-            self.work_w.iter_mut().for_each(|v| *v = 0.0);
-            for (r, a) in self.cols.col(q) {
-                self.work_w[r] = a;
-            }
-            self.ftran();
+            self.ftran_col(q);
 
-            if std::env::var_os("GC_LP_PARANOID").is_some() {
-                if let Ok(lu) = factorize_basis(&self.cols, &self.basis, self.m) {
-                    let mut check = vec![0.0; self.m];
-                    for (r, a) in self.cols.col(q) {
-                        check[r] = a;
-                    }
-                    let mut scratch = Vec::new();
-                    lu.ftran(&mut check, &mut scratch);
-                    let diff = check
-                        .iter()
-                        .zip(self.work_w.iter())
-                        .map(|(a, b)| (a - b).abs())
-                        .fold(0.0f64, f64::max);
-                    if diff > 1e-6 {
-                        let worst = check
-                            .iter()
-                            .zip(self.work_w.iter())
-                            .enumerate()
-                            .max_by(|a, b| {
-                                let da = (a.1 .0 - a.1 .1).abs();
-                                let db = (b.1 .0 - b.1 .1).abs();
-                                da.partial_cmp(&db).unwrap()
-                            })
-                            .unwrap();
-                        eprintln!(
-                            "PARANOID iter {}: ftran drift {diff:.3e} q={q} (etas {}) worst slot {} fresh={} eta={}",
-                            self.iterations,
-                            self.etas.len(),
-                            worst.0,
-                            worst.1 .0,
-                            worst.1 .1,
-                        );
-                        for (k, e) in self.etas.iter().enumerate() {
-                            eprintln!(
-                                "  eta {k}: slot {} pivot {:.6e} nnz {}",
-                                e.slot,
-                                e.pivot,
-                                e.entries.len()
-                            );
-                        }
-                        panic!("paranoid drift");
-                    }
+            if self.paranoid {
+                self.paranoid_check(q);
+            }
+
+            // Anchor the candidate's maintained reduced cost to the exact
+            // value implied by its FTRANed column (`g_q − g_Bᵀ·B⁻¹·A_q`, an
+            // O(m) dot): incremental maintenance drifts, and pivoting on a
+            // column whose true reduced cost is no longer attractive stalls
+            // the solve — or worse, degrades the basis until the LU calls
+            // it singular. A candidate that fails the exact test is
+            // repriced instead of pivoted on.
+            let mut dq = if phase1 {
+                self.cost_phase1[q]
+            } else {
+                self.cost[q]
+            };
+            for slot in 0..self.m {
+                let b = self.basis[slot];
+                let gb = if phase1 {
+                    self.cost_phase1[b]
                 } else {
-                    eprintln!(
-                        "PARANOID iter {}: current basis SINGULAR (etas {})",
-                        self.iterations,
-                        self.etas.len()
-                    );
-                    panic!("paranoid singular");
+                    self.cost[b]
+                };
+                if gb != 0.0 {
+                    dq -= gb * self.work_w[slot];
                 }
             }
+            self.d[q] = dq;
+            let Some((dir, _)) = self.eligible(q) else {
+                self.d_exact = false;
+                continue; // drifted candidate; the corrected entry deselects it
+            };
 
             let mut outcome = self.ratio_test(q, dir, bland);
             // A pivot that is tiny after a long eta chain is often pure
             // round-off; refactorize and re-derive before trusting it.
             if let RatioOutcome::Pivot { slot, .. } = outcome {
                 if self.work_w[slot].abs() < 1e-7 && !self.etas.is_empty() {
-                    self.refactorize()?;
-                    self.work_w.iter_mut().for_each(|v| *v = 0.0);
-                    for (r, a) in self.cols.col(q) {
-                        self.work_w[r] = a;
+                    match self.refactorize() {
+                        Ok(()) => {
+                            self.ftran_col(q);
+                            outcome = self.ratio_test(q, dir, bland);
+                        }
+                        Err(_) => {
+                            // The basis repair may move any column, q
+                            // included — reprice from scratch.
+                            self.repair_singular_basis(phase1)?;
+                            continue;
+                        }
                     }
-                    self.ftran();
-                    outcome = self.ratio_test(q, dir, bland);
                 }
             }
 
@@ -797,7 +975,9 @@ impl<'a> Worker<'a> {
                     };
                 }
                 RatioOutcome::BoundFlip(t) => {
-                    // x_q jumps to its opposite bound; basics absorb the move.
+                    // x_q jumps to its opposite bound; basics absorb the
+                    // move. The basis is unchanged, so the maintained
+                    // reduced costs and devex weights stay valid as-is.
                     let w = &self.work_w;
                     for slot in 0..self.m {
                         self.xb[slot] -= t * dir * w[slot];
@@ -815,6 +995,20 @@ impl<'a> Worker<'a> {
                 }
                 RatioOutcome::Pivot { slot, t, to_upper } => {
                     let leaving = self.basis[slot];
+                    // Maintain reduced costs and devex weights from the
+                    // pivot row while the pre-pivot basis is still in
+                    // place (the eta push below would invalidate ρ).
+                    let t0 = Instant::now();
+                    if !self.d_stale {
+                        self.pivot_row(slot);
+                        self.update_reduced_costs(
+                            q,
+                            self.work_w[slot],
+                            leaving,
+                            self.opts.pricing == PricingMode::Devex,
+                        );
+                    }
+                    self.pricing_ns += t0.elapsed().as_nanos() as u64;
                     for s in 0..self.m {
                         self.xb[s] -= t * dir * self.work_w[s];
                     }
@@ -837,16 +1031,19 @@ impl<'a> Worker<'a> {
                         degen_streak = 0;
                     }
                     if self.etas.len() >= self.opts.refactor_every {
-                        self.refactorize()?;
+                        self.refactorize_or_repair(phase1)?;
                     }
                 }
             }
         }
     }
 
-    /// Chooses an entering column; returns `(column, direction)`.
-    fn price(&mut self, phase1: bool, bland: bool) -> Option<(usize, f64)> {
-        // y = B⁻ᵀ g_B
+    /// Recomputes all reduced costs exactly for the given phase: one dense
+    /// BTRAN of the basic costs plus a full column scan — the `O(nnz(A))`
+    /// sweep the incremental updates amortize away. Called lazily on phase
+    /// entry, after refactorization, on detected drift, and to certify
+    /// optimality.
+    fn compute_reduced_costs(&mut self, phase1: bool) {
         for slot in 0..self.m {
             let b = self.basis[slot];
             self.work_y[slot] = if phase1 {
@@ -856,7 +1053,6 @@ impl<'a> Worker<'a> {
             };
         }
         self.btran();
-
         let g = if phase1 {
             &self.cost_phase1
         } else {
@@ -867,54 +1063,295 @@ impl<'a> Worker<'a> {
         } else {
             self.art_offset
         };
-        let mut best: Option<(usize, f64, f64)> = None; // (col, dir, score)
         for j in 0..limit {
-            let st = self.status[j];
-            if matches!(st, ColStatus::Basic(_)) {
+            if matches!(self.status[j], ColStatus::Basic(_)) {
+                self.d[j] = 0.0;
                 continue;
             }
-            if self.lb[j] == self.ub[j] {
-                continue; // fixed
-            }
-            let mut d = g[j];
+            let mut dj = g[j];
             for (r, a) in self.cols.col(j) {
-                d -= self.work_y[r] * a;
+                dj -= self.work_y[r] * a;
             }
-            let (dir, score) = match st {
-                ColStatus::AtLower => (1.0, -d),
-                ColStatus::AtUpper => (-1.0, d),
-                ColStatus::FreeAtZero => {
-                    if d > 0.0 {
-                        (-1.0, d)
-                    } else {
-                        (1.0, -d)
-                    }
+            self.d[j] = dj;
+        }
+        self.n_priced = limit;
+        self.d_stale = false;
+        self.d_exact = true;
+        self.d_phase1 = phase1;
+    }
+
+    /// Computes `ρ = B⁻ᵀ·eᵣ` into `work_rho` (hyper-sparse unit BTRAN:
+    /// reverse eta pass on the unit vector, then a first-position-bounded
+    /// LU BTRAN) and gathers the pivot row `αᵣ = ρᵀ·A` into
+    /// `work_alpha`/`alpha_touched` by sparse row access over the CSR
+    /// mirror — `O(Σ_{ρᵢ≠0} nnz(rowᵢ))` instead of scanning every column.
+    fn pivot_row(&mut self, r: usize) {
+        self.work_rho.fill(0.0);
+        self.work_rho[r] = 1.0;
+        for eta in self.etas.iter().rev() {
+            let mut s = self.work_rho[eta.slot];
+            for &(i, v) in &eta.entries {
+                s -= v * self.work_rho[i];
+            }
+            self.work_rho[eta.slot] = s / eta.pivot;
+        }
+        self.lu.btran_sparse(&mut self.work_rho, &mut self.scratch);
+        self.n_btran += 1;
+
+        // Sparse reset of the previous pivot row, then the gather. The
+        // mark array (not a zero test) guards `alpha_touched` against
+        // duplicates when a value cancels exactly to zero mid-gather.
+        for idx in 0..self.alpha_touched.len() {
+            let j = self.alpha_touched[idx];
+            self.work_alpha[j] = 0.0;
+            self.alpha_mark[j] = false;
+        }
+        self.alpha_touched.clear();
+        for i in 0..self.m {
+            let rho = self.work_rho[i];
+            if rho == 0.0 {
+                continue;
+            }
+            for (j, a) in self.rows.row(i) {
+                if !self.alpha_mark[j] {
+                    self.alpha_mark[j] = true;
+                    self.alpha_touched.push(j);
                 }
-                ColStatus::Basic(_) => unreachable!(),
-            };
-            if score > self.opts.opt_tol {
-                if bland {
-                    return Some((j, dir));
-                }
-                if best.is_none_or(|(_, _, s)| score > s) {
-                    best = Some((j, dir, score));
+                self.work_alpha[j] += rho * a;
+            }
+        }
+    }
+
+    /// Updates the maintained reduced costs (and, when `devex`, the devex
+    /// weights) across the pivot that brings `q` into the basis replacing
+    /// `leaving`. Must run after [`Worker::pivot_row`] and before the
+    /// statuses/basis/eta file change. `wr` is the FTRAN-derived pivot
+    /// element; it is cross-checked against the BTRAN-derived `α_q` and on
+    /// disagreement the incremental state is discarded (recomputed lazily)
+    /// instead of propagating drift.
+    fn update_reduced_costs(&mut self, q: usize, wr: f64, leaving: usize, devex: bool) {
+        let alpha_q = self.work_alpha[q];
+        if !alpha_q.is_finite() || (alpha_q - wr).abs() > 1e-7 * (1.0 + wr.abs()) {
+            self.d_stale = true;
+            return;
+        }
+        let ratio = self.d[q] / wr;
+        let wq = self.devex_w[q].max(1.0);
+        let aq2 = wr * wr;
+        for idx in 0..self.alpha_touched.len() {
+            let j = self.alpha_touched[idx];
+            if j == q || j >= self.n_priced {
+                continue;
+            }
+            if matches!(self.status[j], ColStatus::Basic(_)) || self.lb[j] == self.ub[j] {
+                continue;
+            }
+            let aj = self.work_alpha[j];
+            self.d[j] -= ratio * aj;
+            if devex {
+                let cand = wq * (aj * aj) / aq2;
+                if cand > self.devex_w[j] {
+                    self.devex_w[j] = cand;
                 }
             }
         }
-        best.map(|(j, dir, _)| (j, dir))
+        // The leaving variable turns nonbasic with d = −d_q/α_q (its pivot
+        // row entry is exactly 1); the entering variable turns basic.
+        self.d[leaving] = -ratio;
+        self.d[q] = 0.0;
+        if devex {
+            self.devex_w[leaving] = (wq / aq2).max(1.0);
+        }
+        self.d_exact = false;
+    }
+
+    fn reset_devex(&mut self) {
+        self.devex_w.fill(1.0);
+    }
+
+    /// Last-resort recovery when refactorization finds the basis
+    /// (numerically) singular — the aftermath of an unavoidable pivot on a
+    /// noise-scale element. Dependent columns are evicted for the slack of
+    /// a row the factorization could not cover (the same repair the warm
+    /// installer uses), the basic solution is recomputed, and primal
+    /// feasibility is re-established by dual-simplex pivots (pricing with
+    /// the phase-1 costs when `phase1`, the real objective otherwise)
+    /// before the caller resumes its phase.
+    fn repair_singular_basis(&mut self, phase1: bool) -> Result<(), SolveError> {
+        let unrepairable = || SolveError::Numerical("unrepairable singular basis".into());
+        let mut attempt = 0usize;
+        let lu = loop {
+            match factorize_basis_detailed(&self.cols, &self.basis, self.m) {
+                Ok(lu) => break lu,
+                Err(FactorizeError::NotSquare { .. }) => return Err(unrepairable()),
+                Err(FactorizeError::Singular { col, pivoted }) => {
+                    attempt += 1;
+                    if attempt > 16 {
+                        return Err(unrepairable());
+                    }
+                    let replacement = (0..self.m).find(|&r| {
+                        !pivoted[r]
+                            && !matches!(self.status[self.n_struct + r], ColStatus::Basic(_))
+                    });
+                    let Some(r) = replacement else {
+                        return Err(unrepairable());
+                    };
+                    let evicted = self.basis[col];
+                    let sj = self.n_struct + r;
+                    self.status[evicted] = initial_status(self.lb[evicted], self.ub[evicted]);
+                    self.status[sj] = ColStatus::Basic(col);
+                    self.basis[col] = sj;
+                }
+            }
+        };
+        self.lu = lu;
+        self.etas.clear();
+        self.n_refactor += 1;
+        self.recompute_xb();
+        self.d_stale = true;
+        self.reset_devex();
+        self.restore_primal_feasibility(phase1)
+            .map_err(|()| SolveError::Numerical("restoration after basis repair failed".into()))
+    }
+
+    /// Refactorizes, recovering from a singular basis via
+    /// [`Worker::repair_singular_basis`].
+    fn refactorize_or_repair(&mut self, phase1: bool) -> Result<(), SolveError> {
+        match self.refactorize() {
+            Ok(()) => Ok(()),
+            Err(_) => self.repair_singular_basis(phase1),
+        }
+    }
+
+    /// Eligibility of column `j` as an entering candidate: `Some((dir,
+    /// viol))` when its maintained reduced cost violates dual feasibility
+    /// by more than the optimality tolerance.
+    #[inline]
+    fn eligible(&self, j: usize) -> Option<(f64, f64)> {
+        let st = self.status[j];
+        if matches!(st, ColStatus::Basic(_)) || self.lb[j] == self.ub[j] {
+            return None;
+        }
+        let d = self.d[j];
+        let (dir, viol) = match st {
+            ColStatus::AtLower => (1.0, -d),
+            ColStatus::AtUpper => (-1.0, d),
+            ColStatus::FreeAtZero => {
+                if d > 0.0 {
+                    (-1.0, d)
+                } else {
+                    (1.0, -d)
+                }
+            }
+            ColStatus::Basic(_) => unreachable!(),
+        };
+        if viol > self.opts.opt_tol {
+            Some((dir, viol))
+        } else {
+            None
+        }
+    }
+
+    /// Chooses an entering column from the maintained reduced costs;
+    /// returns `(column, direction)`. No matrix access: the per-iteration
+    /// cost is one scan of the reduced-cost array (a section of it under
+    /// partial pricing).
+    fn price(&mut self, phase1: bool, bland: bool) -> Option<(usize, f64)> {
+        if self.d_stale || self.d_phase1 != phase1 {
+            self.compute_reduced_costs(phase1);
+        }
+        let limit = self.n_priced;
+        if bland {
+            // Anti-cycling escape: first eligible column by index.
+            return (0..limit).find_map(|j| self.eligible(j).map(|(dir, _)| (j, dir)));
+        }
+        match self.opts.pricing {
+            PricingMode::Dantzig => {
+                let mut best: Option<(usize, f64, f64)> = None;
+                for j in 0..limit {
+                    if let Some((dir, viol)) = self.eligible(j) {
+                        if best.is_none_or(|(_, _, s)| viol > s) {
+                            best = Some((j, dir, viol));
+                        }
+                    }
+                }
+                best.map(|(j, dir, _)| (j, dir))
+            }
+            PricingMode::Devex => {
+                let mut best: Option<(usize, f64, f64)> = None;
+                for j in 0..limit {
+                    if let Some((dir, viol)) = self.eligible(j) {
+                        let score = viol * viol / self.devex_w[j];
+                        if best.is_none_or(|(_, _, s)| score > s) {
+                            best = Some((j, dir, score));
+                        }
+                    }
+                }
+                best.map(|(j, dir, _)| (j, dir))
+            }
+            PricingMode::Partial => self.price_partial(limit),
+        }
+    }
+
+    /// Candidate-section partial pricing: best Dantzig-scored candidate in
+    /// the first section (from a rotating cursor) that has any eligible
+    /// column, wrapping through every section before concluding none
+    /// exists — so a `None` is still a full certification scan. Every 16th
+    /// iteration prices the full array instead: on heavily degenerate
+    /// models, pure section-local choices were observed to stall for
+    /// thousands of near-zero pivots that a global view avoids.
+    fn price_partial(&mut self, limit: usize) -> Option<(usize, f64)> {
+        if limit == 0 {
+            return None;
+        }
+        let section = if self.iterations.is_multiple_of(16) {
+            limit
+        } else {
+            (limit / 8).max(PARTIAL_SECTION_MIN).min(limit)
+        };
+        let mut cursor = self.part_cursor % limit;
+        let mut scanned = 0usize;
+        while scanned < limit {
+            let len = section.min(limit - scanned);
+            let mut best: Option<(usize, f64, f64)> = None;
+            for k in 0..len {
+                let j = (cursor + k) % limit;
+                if let Some((dir, viol)) = self.eligible(j) {
+                    if best.is_none_or(|(_, _, s)| viol > s) {
+                        best = Some((j, dir, viol));
+                    }
+                }
+            }
+            cursor = (cursor + len) % limit;
+            scanned += len;
+            if let Some((j, dir, _)) = best {
+                self.part_cursor = cursor;
+                return Some((j, dir));
+            }
+        }
+        self.part_cursor = cursor;
+        None
     }
 
     /// Bounded-variable ratio test for entering column `q` moving in `dir`.
     ///
-    /// Two-pass (Harris-style): pass 1 finds the tightest ratio, pass 2
-    /// picks, among slots whose ratio ties within a small feasibility
-    /// window, the one with the largest pivot magnitude. Degenerate LPs tie
-    /// at `t = 0` constantly, and always pivoting on the largest entry is
-    /// what keeps the eta file and the basis well conditioned.
+    /// Harris two-pass: pass 1 computes the step limit with every basic
+    /// bound relaxed by the feasibility tolerance, pass 2 picks — among
+    /// slots whose *unrelaxed* ratio fits inside that limit — the one with
+    /// the largest pivot magnitude. Degenerate LPs tie at `t = 0`
+    /// constantly; the relaxed window is what lets the test reach past a
+    /// 1e-9 pivot at `t = 0` to a well-scaled pivot at `t = 1e-8` (the
+    /// bypassed slot then overshoots its bound by ~1e-17 — far inside
+    /// tolerance) instead of corrupting the eta file and, eventually, the
+    /// basis. Under Bland's rule the strict smallest-ratio/smallest-index
+    /// pairing is kept, as the anti-cycling proof requires.
     fn ratio_test(&self, q: usize, dir: f64, bland: bool) -> RatioOutcome {
         const PIV_TOL: f64 = 1e-9;
-        const TIE_TOL: f64 = 1e-7;
-        let mut t_min = f64::INFINITY;
+        const BLAND_TIE: f64 = 1e-12;
+        let tol = self.opts.feas_tol;
+        // Pass 1: the largest step no basic bound rejects by more than the
+        // feasibility tolerance (Bland: the strict minimum ratio).
+        let mut t_lim = f64::INFINITY;
         for slot in 0..self.m {
             let delta = -dir * self.work_w[slot];
             if delta.abs() <= PIV_TOL {
@@ -925,16 +1362,27 @@ impl<'a> Worker<'a> {
             if !limit.is_finite() {
                 continue;
             }
-            let t = ((limit - self.xb[slot]) / delta).max(0.0);
-            if t < t_min {
-                t_min = t;
+            let relaxed = if bland {
+                limit
+            } else if delta > 0.0 {
+                limit + tol
+            } else {
+                limit - tol
+            };
+            let t = ((relaxed - self.xb[slot]) / delta).max(0.0);
+            if t < t_lim {
+                t_lim = t;
             }
         }
 
         let mut leave: Option<(usize, bool)> = None;
-        let mut t_chosen = t_min;
-        if t_min.is_finite() {
+        let mut t_chosen = t_lim;
+        if t_lim.is_finite() {
             let mut best_piv = 0.0f64;
+            // Bland: candidates are the strict minimum-ratio slots (up to
+            // fp round-off) and the step is the strict minimum itself, as
+            // the anti-cycling proof requires.
+            let window = if bland { t_lim + BLAND_TIE } else { t_lim };
             for slot in 0..self.m {
                 let delta = -dir * self.work_w[slot];
                 if delta.abs() <= PIV_TOL {
@@ -950,7 +1398,7 @@ impl<'a> Worker<'a> {
                     continue;
                 }
                 let t = ((limit - self.xb[slot]) / delta).max(0.0);
-                if t <= t_min + TIE_TOL {
+                if t <= window {
                     let piv = self.work_w[slot].abs();
                     let better = match leave {
                         None => true,
@@ -971,9 +1419,11 @@ impl<'a> Worker<'a> {
             }
         }
         // Step by the chosen slot's own ratio so the leaving variable lands
-        // exactly on its bound; other basics may overshoot by at most
-        // TIE_TOL·|delta|, inside the feasibility tolerance.
-        let t_best = t_chosen;
+        // exactly on its bound; every bypassed basic overshoots its own
+        // bound by at most the feasibility tolerance (pass-1 guarantee).
+        // Under Bland the step is the strict minimum ratio, so nothing
+        // overshoots beyond fp round-off.
+        let t_best = if bland { t_chosen.min(t_lim) } else { t_chosen };
 
         // The entering variable may hit its own opposite bound first.
         let span = self.ub[q] - self.lb[q];
@@ -997,9 +1447,13 @@ impl<'a> Worker<'a> {
         }
     }
 
-    /// FTRAN `work_w ← B⁻¹·work_w` through the factorization and eta file.
-    fn ftran(&mut self) {
-        self.lu.ftran(&mut self.work_w, &mut self.scratch);
+    /// FTRAN of column `q`: `work_w ← B⁻¹·A_q` via the sparse-RHS LU solve
+    /// (no dense gather; the forward sweep starts at the first position
+    /// the column touches), then the eta file.
+    fn ftran_col(&mut self, q: usize) {
+        self.work_w.fill(0.0);
+        self.lu
+            .ftran_sparse(self.cols.col(q), &mut self.work_w, &mut self.scratch);
         for eta in &self.etas {
             let t = self.work_w[eta.slot] / eta.pivot;
             if t != 0.0 {
@@ -1009,6 +1463,7 @@ impl<'a> Worker<'a> {
             }
             self.work_w[eta.slot] = t;
         }
+        self.n_ftran += 1;
     }
 
     /// BTRAN `work_y ← B⁻ᵀ·work_y` (etas in reverse, then the factors).
@@ -1021,6 +1476,61 @@ impl<'a> Worker<'a> {
             self.work_y[eta.slot] = s / eta.pivot;
         }
         self.lu.btran(&mut self.work_y, &mut self.scratch);
+        self.n_btran += 1;
+    }
+
+    /// `GC_LP_PARANOID` cross-check: the eta-file FTRAN of the entering
+    /// column must match a fresh factorization's answer.
+    fn paranoid_check(&mut self, q: usize) {
+        if let Ok(lu) = factorize_basis(&self.cols, &self.basis, self.m) {
+            let mut check = vec![0.0; self.m];
+            for (r, a) in self.cols.col(q) {
+                check[r] = a;
+            }
+            let mut scratch = Vec::new();
+            lu.ftran(&mut check, &mut scratch);
+            let diff = check
+                .iter()
+                .zip(self.work_w.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            if diff > 1e-6 {
+                let worst = check
+                    .iter()
+                    .zip(self.work_w.iter())
+                    .enumerate()
+                    .max_by(|a, b| {
+                        let da = (a.1 .0 - a.1 .1).abs();
+                        let db = (b.1 .0 - b.1 .1).abs();
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .unwrap();
+                eprintln!(
+                    "PARANOID iter {}: ftran drift {diff:.3e} q={q} (etas {}) worst slot {} fresh={} eta={}",
+                    self.iterations,
+                    self.etas.len(),
+                    worst.0,
+                    worst.1 .0,
+                    worst.1 .1,
+                );
+                for (k, e) in self.etas.iter().enumerate() {
+                    eprintln!(
+                        "  eta {k}: slot {} pivot {:.6e} nnz {}",
+                        e.slot,
+                        e.pivot,
+                        e.entries.len()
+                    );
+                }
+                panic!("paranoid drift");
+            }
+        } else {
+            eprintln!(
+                "PARANOID iter {}: current basis SINGULAR (etas {})",
+                self.iterations,
+                self.etas.len()
+            );
+            panic!("paranoid singular");
+        }
     }
 
     fn push_eta(&mut self, slot: usize) {
@@ -1050,7 +1560,18 @@ impl<'a> Worker<'a> {
             "duplicate column in basis"
         );
         self.lu = factorize_basis(&self.cols, &self.basis, self.m)?;
-        // Recompute basic values from scratch for accuracy.
+        self.n_refactor += 1;
+        // Refactorization is the accuracy anchor: the basic values are
+        // recomputed from scratch, and the maintained reduced costs are
+        // recomputed the same way (lazily, on the next pricing scan).
+        self.recompute_xb();
+        self.d_stale = true;
+        Ok(())
+    }
+
+    /// Recomputes the basic solution from scratch against the current
+    /// factorization: `x_B = B⁻¹·(b − A_N·x_N)`.
+    fn recompute_xb(&mut self) {
         let mut resid = self.rhs.clone();
         for j in 0..self.n_total {
             if matches!(self.status[j], ColStatus::Basic(_)) {
@@ -1066,7 +1587,6 @@ impl<'a> Worker<'a> {
         self.work_w.copy_from_slice(&resid);
         self.lu.ftran(&mut self.work_w, &mut self.scratch);
         self.xb.copy_from_slice(&self.work_w);
-        Ok(())
     }
 
     fn extract(&mut self, model: &Model) -> Solution {
@@ -1107,6 +1627,7 @@ impl<'a> Worker<'a> {
             iterations: self.iterations,
             basis: Some(Basis::with_artificials(statuses, artificial_rows)),
             warm_started: false,
+            stats: self.stats(),
         }
     }
 }
@@ -1185,6 +1706,51 @@ mod tests {
         assert!((s.objective + 36.0).abs() < 1e-7);
         assert!((s[x] - 2.0).abs() < 1e-7);
         assert!((s[y] - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn all_pricing_modes_agree_on_textbook_problem() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, f64::INFINITY, -3.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, -5.0);
+        m.add_con("c1", [(x, 1.0)], Sense::Le, 4.0);
+        m.add_con("c2", [(y, 2.0)], Sense::Le, 12.0);
+        m.add_con("c3", [(x, 3.0), (y, 2.0)], Sense::Le, 18.0);
+        for pricing in [
+            PricingMode::Devex,
+            PricingMode::Dantzig,
+            PricingMode::Partial,
+        ] {
+            let s = RevisedSimplex::new(SimplexOptions {
+                pricing,
+                ..SimplexOptions::default()
+            })
+            .solve(&m)
+            .expect("solve");
+            assert!(
+                (s.objective + 36.0).abs() < 1e-7,
+                "{pricing:?}: {}",
+                s.objective
+            );
+        }
+    }
+
+    #[test]
+    fn solve_stats_are_reported() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, f64::INFINITY, -3.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, -5.0);
+        m.add_con("c1", [(x, 1.0)], Sense::Le, 4.0);
+        m.add_con("c2", [(y, 2.0)], Sense::Le, 12.0);
+        m.add_con("c3", [(x, 3.0), (y, 2.0)], Sense::Le, 18.0);
+        let s = solve(&m);
+        assert_eq!(s.stats.iterations, s.iterations);
+        assert!(s.stats.iterations > 0);
+        assert!(s.stats.ftrans > 0, "stats: {:?}", s.stats);
+        assert!(s.stats.btrans > 0, "stats: {:?}", s.stats);
+        // extract() always refactorizes once when etas exist; either way
+        // the counter must be consistent with having solved something.
+        assert!(s.stats.refactorizations <= s.stats.iterations + 1);
     }
 
     #[test]
@@ -1355,5 +1921,6 @@ mod tests {
         // as low as the chain allows; just check feasibility + finiteness.
         assert!(s.objective.is_finite());
         crate::validate::assert_feasible(&m, &s.values, 1e-6);
+        assert!(s.stats.refactorizations > 1, "stats: {:?}", s.stats);
     }
 }

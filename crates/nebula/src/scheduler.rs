@@ -78,7 +78,11 @@ pub struct SchedulePlan {
 }
 
 /// Counters describing how a [`RollingScheduler`] spent its solves.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Equality compares the deterministic pivot/solve counters only:
+/// `pricing_ns` is measured wall time and is excluded, so two replays of
+/// the same scenario compare equal even though their clocks differ.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct RollingStats {
     /// Scheduling rounds solved.
     pub rounds: usize,
@@ -88,6 +92,14 @@ pub struct RollingStats {
     pub iterations: usize,
     /// Times the persistent model had to be (re)built from scratch.
     pub rebuilds: usize,
+    /// Basis refactorizations across all rounds.
+    pub refactorizations: usize,
+    /// FTRAN solves across all rounds.
+    pub ftrans: usize,
+    /// BTRAN solves across all rounds.
+    pub btrans: usize,
+    /// Wall time the LP solver spent pricing across all rounds, ns.
+    pub pricing_ns: u64,
 }
 
 impl RollingStats {
@@ -99,7 +111,34 @@ impl RollingStats {
             self.warm_started as f64 / self.rounds as f64
         }
     }
+
+    /// Wall time the LP solver spent pricing, in milliseconds.
+    pub fn pricing_ms(&self) -> f64 {
+        self.pricing_ns as f64 / 1e6
+    }
+
+    fn absorb_solve(&mut self, stats: &greencloud_lp::SolveStats) {
+        self.iterations += stats.iterations;
+        self.refactorizations += stats.refactorizations;
+        self.ftrans += stats.ftrans;
+        self.btrans += stats.btrans;
+        self.pricing_ns += stats.pricing_ns;
+    }
 }
+
+impl PartialEq for RollingStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.rounds == other.rounds
+            && self.warm_started == other.warm_started
+            && self.iterations == other.iterations
+            && self.rebuilds == other.rebuilds
+            && self.refactorizations == other.refactorizations
+            && self.ftrans == other.ftrans
+            && self.btrans == other.btrans
+    }
+}
+
+impl Eq for RollingStats {}
 
 /// The multi-datacenter scheduler (one-shot form).
 #[derive(Debug, Clone, Default)]
@@ -476,7 +515,7 @@ impl RollingScheduler {
             self.stats.rebuilds += 1;
             let sol = BranchAndBound::new(MilpOptions::default()).solve(&window.model)?;
             self.stats.rounds += 1;
-            self.stats.iterations += sol.iterations;
+            self.stats.absorb_solve(&sol.stats);
             return Ok(window.extract(&sol, h_total));
         }
 
@@ -499,7 +538,7 @@ impl RollingScheduler {
             .model
             .solve_with_basis(SimplexOptions::default(), warm)?;
         self.stats.rounds += 1;
-        self.stats.iterations += sol.iterations;
+        self.stats.absorb_solve(&sol.stats);
         if sol.warm_started {
             self.stats.warm_started += 1;
         }
