@@ -1,0 +1,404 @@
+//! The experiment engine: one handle that owns the world catalog and cost
+//! parameters, builds candidate sites once, and runs [`ExperimentSpec`]s.
+//!
+//! The engine is the single front door for every caller — the `repro` CLI,
+//! benches, tests, examples, and (eventually) a service layer. It caches
+//! candidate sets per [`ProfileConfig`] so a batch of experiments over the
+//! same world pays the TMY synthesis cost once, and [`Engine::run_all`]
+//! fans independent specs out over scoped threads (the same crossbeam
+//! worker-pool pattern the sweep and annealing layers use), so concurrent
+//! scenario queries share one engine.
+
+use crate::error::ApiError;
+use crate::harness::{rolling_states, table3_profiles};
+use crate::report::{
+    AnnualReport, Report, ReportBody, SitingReport, SweepReport, SweepRow, TimingRecord,
+    TimingReport, WarmVsCold,
+};
+use crate::spec::{
+    AnnualSpec, ExactSitingSpec, ExperimentSpec, SearchSpec, SitingSpec, SweepSpec, TimingSpec,
+};
+use greencloud_climate::catalog::WorldCatalog;
+use greencloud_climate::profiles::ProfileConfig;
+use greencloud_core::candidate::CandidateSite;
+use greencloud_core::filter::filter_candidates;
+use greencloud_core::framework::SizeClass;
+use greencloud_core::milp::{solve_exact, ExactOptions};
+use greencloud_core::solution::PlacementSolution;
+use greencloud_core::tool::{default_threads, PlacementTool};
+use greencloud_cost::params::CostParams;
+use greencloud_lp::{PricingMode, SimplexOptions};
+use greencloud_nebula::emulation::{self, EmulationConfig};
+use greencloud_nebula::scheduler::{RollingScheduler, Scheduler, SchedulerConfig};
+use greencloud_nebula::sweep::run_sweep;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The experiment engine (see the module docs).
+#[derive(Debug)]
+pub struct Engine {
+    catalog: WorldCatalog,
+    params: CostParams,
+    threads: usize,
+    candidates: Mutex<HashMap<ProfileConfig, Arc<Vec<CandidateSite>>>>,
+}
+
+impl Engine {
+    /// Creates an engine over `catalog` with default cost parameters and
+    /// the machine-derived thread count.
+    pub fn new(catalog: WorldCatalog) -> Self {
+        Self {
+            catalog,
+            params: CostParams::default(),
+            threads: default_threads(),
+            candidates: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Replaces the cost parameters (builder style). Clears the candidate
+    /// cache conservatively — candidates themselves do not depend on cost
+    /// parameters today, but a stale coupling here would be silent.
+    pub fn with_params(mut self, params: CostParams) -> Self {
+        self.params = params;
+        self.candidates.lock().clear();
+        self
+    }
+
+    /// Sets the thread knob used for candidate building, sweeps, and
+    /// [`Engine::run_all`] (`0` = [`default_threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// The world catalog this engine serves.
+    pub fn catalog(&self) -> &WorldCatalog {
+        &self.catalog
+    }
+
+    /// The cost parameters in use.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// The engine's thread knob.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The candidate set for `profile`, built on first use and shared
+    /// across experiments (and threads) thereafter.
+    pub fn candidates(&self, profile: &ProfileConfig) -> Arc<Vec<CandidateSite>> {
+        if let Some(c) = self.candidates.lock().get(profile) {
+            return Arc::clone(c);
+        }
+        // Build outside the lock: candidate synthesis is the expensive
+        // part, and two racing builders produce identical sets (the build
+        // is deterministic), so last-write-wins is benign.
+        let built = Arc::new(CandidateSite::build_all_threaded(
+            &self.catalog,
+            profile,
+            self.threads,
+        ));
+        self.candidates
+            .lock()
+            .entry(*profile)
+            .or_insert_with(|| Arc::clone(&built))
+            .clone()
+    }
+
+    /// A placement tool over this engine's cached candidates — the escape
+    /// hatch for callers that need per-location solves (e.g. the Fig. 6
+    /// cost-CDF study) rather than a whole experiment.
+    pub fn placement_tool(&self, search: &SearchSpec) -> PlacementTool {
+        PlacementTool::with_candidates(
+            self.params.clone(),
+            self.candidates(&search.profile),
+            search.tool_options(self.threads),
+        )
+    }
+
+    /// Runs one experiment.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ApiError`]: input validation, solver failures, or a spec the
+    /// engine's catalog cannot serve.
+    pub fn run(&self, spec: &ExperimentSpec) -> Result<Report, ApiError> {
+        let t0 = Instant::now();
+        let body = match spec {
+            ExperimentSpec::Siting(s) => self.run_siting(s)?,
+            ExperimentSpec::ExactSiting(s) => self.run_exact(s)?,
+            ExperimentSpec::Annual(s) => self.run_annual(s)?,
+            ExperimentSpec::Sweep(s) => self.run_sweep(s)?,
+            ExperimentSpec::Timing(s) => self.run_timing(s)?,
+        };
+        Ok(Report {
+            experiment: spec.kind().to_string(),
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            body,
+        })
+    }
+
+    /// Runs many experiments concurrently (at most [`Engine::threads`] at
+    /// a time) and returns results in spec order. Candidate sets are
+    /// shared through the engine cache, so a batch over one world builds
+    /// its candidates once.
+    pub fn run_all(&self, specs: &[ExperimentSpec]) -> Vec<Result<Report, ApiError>> {
+        let workers = self.threads.min(specs.len().max(1));
+        if workers <= 1 {
+            return specs.iter().map(|s| self.run(s)).collect();
+        }
+        let mut slots: Vec<Option<Result<Report, ApiError>>> =
+            (0..specs.len()).map(|_| None).collect();
+        {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let slots = Mutex::new(&mut slots);
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let next = &next;
+                    let slots = &slots;
+                    scope.spawn(move |_| loop {
+                        let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if k >= specs.len() {
+                            break;
+                        }
+                        let out = self.run(&specs[k]);
+                        slots.lock()[k] = Some(out);
+                    });
+                }
+            })
+            .expect("experiment fan-out never panics");
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every spec ran"))
+            .collect()
+    }
+
+    fn run_siting(&self, spec: &SitingSpec) -> Result<ReportBody, ApiError> {
+        spec.input.validate()?;
+        let tool = self.placement_tool(&spec.search);
+        let sol = tool.solve(&spec.input)?;
+        Ok(ReportBody::Siting(SitingReport::from_solution(&sol)))
+    }
+
+    fn run_exact(&self, spec: &ExactSitingSpec) -> Result<ReportBody, ApiError> {
+        spec.input.validate()?;
+        let candidates = self.candidates(&spec.profile);
+        let kept = filter_candidates(&self.params, &spec.input, &candidates, spec.filter_keep);
+        let filtered: Vec<CandidateSite> = kept.iter().map(|&i| candidates[i].clone()).collect();
+        let options = ExactOptions {
+            max_candidates: spec.max_candidates,
+            max_sites: spec.max_sites,
+        };
+        let (siting, dispatch) = solve_exact(&self.params, &spec.input, &filtered, &options)?;
+        // Map filtered indices back to catalog candidates for reporting.
+        let siting: Vec<(usize, SizeClass)> = siting
+            .iter()
+            .map(|&(fi, class)| (kept[fi], class))
+            .collect();
+        let sol =
+            PlacementSolution::from_dispatch(&self.params, &candidates, &siting, &dispatch, 0);
+        Ok(ReportBody::Siting(SitingReport::from_solution(&sol)))
+    }
+
+    fn run_annual(&self, spec: &AnnualSpec) -> Result<ReportBody, ApiError> {
+        let r = emulation::run(&self.catalog, &spec.config)?;
+        Ok(ReportBody::Annual(AnnualReport::from_emulation(
+            spec.config.hours,
+            &r,
+            spec.include_trace,
+        )))
+    }
+
+    fn run_sweep(&self, spec: &SweepSpec) -> Result<ReportBody, ApiError> {
+        let scenarios = spec.scenarios();
+        let results = run_sweep(&self.catalog, &scenarios, self.threads)?;
+        Ok(ReportBody::Sweep(SweepReport {
+            rows: results.iter().map(SweepRow::from).collect(),
+        }))
+    }
+
+    fn run_timing(&self, spec: &TimingSpec) -> Result<ReportBody, ApiError> {
+        let mut report = TimingReport::default();
+        if spec.schedule_timing {
+            report.schedule_ms = self.schedule_timing()?;
+        }
+        if spec.lp_records {
+            report.records = self.lp_records(spec.fast)?;
+        }
+        if spec.warm_cold_rounds > 0 {
+            report.warm_vs_cold = Some(self.warm_vs_cold(spec.warm_cold_rounds)?);
+        }
+        Ok(ReportBody::Timing(report))
+    }
+
+    /// §V-C: time a 48-hour schedule computation at two load levels.
+    fn schedule_timing(&self) -> Result<Vec<(String, f64)>, ApiError> {
+        let cfg = EmulationConfig::default();
+        let profiles = table3_profiles(&self.catalog).ok_or_else(|| {
+            ApiError::Engine("catalog lacks the Table III anchor sites".to_string())
+        })?;
+        let mut out = Vec::new();
+        for &(label, load) in &[("50 MW", 50.0), ("200 MW", 200.0)] {
+            let mut loads = vec![load, 0.0, 0.0];
+            loads.resize(profiles.len(), 0.0);
+            // Forecast at a fixed summer hour; capacity scaled to the load
+            // level as in the original §V-C experiment.
+            let states: Vec<_> =
+                rolling_states(&profiles, 4080, cfg.scheduler.window_hours, &loads)
+                    .into_iter()
+                    .map(|mut s| {
+                        s.capacity_mw = load;
+                        s
+                    })
+                    .collect();
+            let sched = Scheduler::new(SchedulerConfig::default());
+            sched.plan(&states)?; // warm-up
+            let t0 = Instant::now();
+            let reps = 10;
+            for _ in 0..reps {
+                sched.plan(&states)?;
+            }
+            out.push((
+                label.to_string(),
+                t0.elapsed().as_secs_f64() * 1000.0 / reps as f64,
+            ));
+        }
+        Ok(out)
+    }
+
+    /// The LP-substrate benchmark records: the single-site siting LP cold
+    /// under each pricing mode, plus rolling hourly re-solves warm vs cold.
+    fn lp_records(&self, fast: bool) -> Result<Vec<TimingRecord>, ApiError> {
+        use greencloud_core::formulation::build_network_lp;
+        use greencloud_core::framework::{PlacementInput, StorageMode, TechMix};
+
+        let mut records = Vec::new();
+        let cands = self.candidates(&ProfileConfig::coarse());
+        if cands.is_empty() {
+            return Err(ApiError::Engine("catalog has no candidates".to_string()));
+        }
+        let single = PlacementInput {
+            total_capacity_mw: 25.0,
+            min_green_fraction: 0.5,
+            min_availability: 0.0,
+            tech: TechMix::WindOnly,
+            storage: StorageMode::NetMetering,
+            ..PlacementInput::default()
+        };
+        let site = &cands[3.min(cands.len() - 1)];
+        let lp = build_network_lp(&self.params, &single, &[(site, SizeClass::Large)]);
+        for (label, pricing) in [
+            ("single_site_cold/devex", PricingMode::Devex),
+            ("single_site_cold/dantzig", PricingMode::Dantzig),
+            ("single_site_cold/partial", PricingMode::Partial),
+        ] {
+            let reps = if fast { 1 } else { 3 };
+            let mut best_ms = f64::INFINITY;
+            let mut iterations = 0;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let (d, _) = lp.solve_warm(
+                    SimplexOptions {
+                        pricing,
+                        ..SimplexOptions::default()
+                    },
+                    None,
+                )?;
+                best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+                iterations = d.iterations;
+            }
+            records.push(TimingRecord {
+                name: label.to_string(),
+                wall_ms: best_ms,
+                iterations,
+                warm_rate: 0.0,
+            });
+        }
+
+        // Rolling hourly re-solves, warm vs cold, on the Table III network
+        // (skipped when the catalog lacks the anchors).
+        if let Some(profiles) = table3_profiles(&self.catalog) {
+            let cfg = EmulationConfig::default();
+            let window = cfg.scheduler.window_hours;
+            let rounds = if fast { 12 } else { 96 };
+            let start = 4080;
+
+            let mut rolling = RollingScheduler::new(cfg.scheduler.clone());
+            let mut loads = vec![cfg.total_load_mw, 0.0, 0.0];
+            let t0 = Instant::now();
+            for t in start..start + rounds {
+                let states = rolling_states(&profiles, t, window, &loads);
+                loads = rolling.plan(&states)?.target_mw;
+            }
+            let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let stats = rolling.stats();
+            records.push(TimingRecord {
+                name: format!("hourly_resolve_{rounds}rounds/warm"),
+                wall_ms: warm_ms,
+                iterations: stats.iterations,
+                warm_rate: stats.warm_rate(),
+            });
+
+            let cold = Scheduler::new(cfg.scheduler.clone());
+            let mut loads = vec![cfg.total_load_mw, 0.0, 0.0];
+            let t0 = Instant::now();
+            for t in start..start + rounds {
+                let states = rolling_states(&profiles, t, window, &loads);
+                loads = cold.plan(&states)?.target_mw;
+            }
+            // The one-shot scheduler exposes no iteration totals; the
+            // record contract keeps the field 0 when not applicable.
+            records.push(TimingRecord {
+                name: format!("hourly_resolve_{rounds}rounds/cold"),
+                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                iterations: 0,
+                warm_rate: 0.0,
+            });
+        }
+        Ok(records)
+    }
+
+    /// Times `rounds` consecutive hourly re-solves of the Table III
+    /// network, warm (persistent rolling model) vs cold (rebuild +
+    /// two-phase solve).
+    fn warm_vs_cold(&self, rounds: usize) -> Result<WarmVsCold, ApiError> {
+        let cfg = EmulationConfig::default();
+        let profiles = table3_profiles(&self.catalog).ok_or_else(|| {
+            ApiError::Engine("catalog lacks the Table III anchor sites".to_string())
+        })?;
+        let window = cfg.scheduler.window_hours;
+        let start = 4080;
+
+        let mut rolling = RollingScheduler::new(cfg.scheduler.clone());
+        let mut loads = vec![cfg.total_load_mw, 0.0, 0.0];
+        let t0 = Instant::now();
+        for t in start..start + rounds {
+            let states = rolling_states(&profiles, t, window, &loads);
+            loads = rolling.plan(&states)?.target_mw;
+        }
+        let warm_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+        let cold = Scheduler::new(cfg.scheduler.clone());
+        let mut loads = vec![cfg.total_load_mw, 0.0, 0.0];
+        let t0 = Instant::now();
+        for t in start..start + rounds {
+            let states = rolling_states(&profiles, t, window, &loads);
+            loads = cold.plan(&states)?.target_mw;
+        }
+        Ok(WarmVsCold {
+            rounds,
+            warm_ms,
+            cold_ms: t0.elapsed().as_secs_f64() * 1000.0,
+            warm_rate: rolling.stats().warm_rate(),
+        })
+    }
+}

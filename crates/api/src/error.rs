@@ -1,0 +1,133 @@
+//! The unified error hierarchy of the experiment API.
+//!
+//! Collapses the per-crate error zoo — [`ValidationError`] from the
+//! placement framework, [`SolveError`] from the LP substrate (into which
+//! [`FactorizeError`] already folds at the `greencloud-lp` boundary), JSON
+//! spec problems, and I/O — into one [`ApiError`] that every `Engine` entry
+//! point returns. `From` conversions at each crate boundary keep `?`
+//! working throughout.
+
+use greencloud_core::framework::ValidationError;
+use greencloud_lp::{FactorizeError, SolveError};
+use std::fmt;
+
+/// A problem with a serialized [`crate::spec::ExperimentSpec`] document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    /// Dotted path of the offending field (`"experiment.input.tech"`), or
+    /// `"$"` for document-level problems.
+    pub path: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl SpecError {
+    /// Creates a spec error at `path`.
+    pub fn new(path: impl Into<String>, message: impl Into<String>) -> Self {
+        Self {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec error at {}: {}", self.path, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Any failure of the experiment API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiError {
+    /// The experiment's [`greencloud_core::PlacementInput`] is out of range.
+    Validation(ValidationError),
+    /// The optimization itself failed (infeasible, unbounded, numerical).
+    Solve(SolveError),
+    /// A serialized spec could not be parsed or violates the schema.
+    Spec(SpecError),
+    /// The spec is well-formed but cannot run on this engine (e.g. it names
+    /// a site the engine's catalog does not contain).
+    Engine(String),
+    /// Reading or writing a spec/report file failed.
+    Io(String),
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::Validation(e) => write!(f, "invalid input: {e}"),
+            ApiError::Solve(e) => write!(f, "solve failed: {e}"),
+            ApiError::Spec(e) => write!(f, "{e}"),
+            ApiError::Engine(msg) => write!(f, "engine error: {msg}"),
+            ApiError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ApiError::Validation(e) => Some(e),
+            ApiError::Solve(e) => Some(e),
+            ApiError::Spec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidationError> for ApiError {
+    fn from(e: ValidationError) -> Self {
+        ApiError::Validation(e)
+    }
+}
+
+impl From<SolveError> for ApiError {
+    fn from(e: SolveError) -> Self {
+        ApiError::Solve(e)
+    }
+}
+
+impl From<FactorizeError> for ApiError {
+    fn from(e: FactorizeError) -> Self {
+        ApiError::Solve(e.into())
+    }
+}
+
+impl From<SpecError> for ApiError {
+    fn from(e: SpecError) -> Self {
+        ApiError::Spec(e)
+    }
+}
+
+impl From<std::io::Error> for ApiError {
+    fn from(e: std::io::Error) -> Self {
+        ApiError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_reach_api_error() {
+        let v: ApiError = ValidationError::GreenFractionOutOfRange(1.5).into();
+        assert!(matches!(v, ApiError::Validation(_)));
+        assert!(v.to_string().contains("green fraction"));
+
+        let s: ApiError = SolveError::Infeasible.into();
+        assert_eq!(s, ApiError::Solve(SolveError::Infeasible));
+
+        let f: ApiError = FactorizeError::NotSquare { rows: 2, cols: 3 }.into();
+        assert!(matches!(f, ApiError::Solve(SolveError::Numerical(_))));
+
+        let io: ApiError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(io, ApiError::Io(_)));
+
+        let sp: ApiError = SpecError::new("experiment.kind", "unknown kind").into();
+        assert!(sp.to_string().contains("experiment.kind"));
+    }
+}

@@ -1,0 +1,58 @@
+//! The unified experiment API for the `greencloud` workspace: one typed,
+//! serializable front door for siting, operation, and sweeps.
+//!
+//! Every stage of the paper's pipeline used to have its own ad-hoc entry
+//! point (`PlacementTool`, `anneal`, `milp::solve_exact`, `emulation::run`,
+//! `run_sweep`, a string-dispatching `repro` binary). This crate redesigns
+//! the public surface around three concepts:
+//!
+//! * [`ExperimentSpec`] — a serde-shaped, JSON-round-trippable description
+//!   of one experiment (`Siting`, `ExactSiting`, `Annual`, `Sweep`,
+//!   `Timing`), versioned under [`spec::SPEC_SCHEMA`].
+//! * [`Engine`] — a handle owning the `WorldCatalog` and `CostParams` that
+//!   builds candidate sites once, caches them per profile clock, and runs
+//!   specs (concurrently via [`Engine::run_all`]).
+//! * [`Report`] — the structured result with uniform solver rollups and a
+//!   stable JSON serialization, versioned under [`report::REPORT_SCHEMA`].
+//!
+//! ```no_run
+//! use greencloud_api::{Engine, ExperimentSpec, SitingSpec, SearchSpec};
+//! use greencloud_climate::catalog::WorldCatalog;
+//! use greencloud_core::framework::PlacementInput;
+//!
+//! # fn main() -> Result<(), greencloud_api::ApiError> {
+//! let engine = Engine::new(WorldCatalog::synthetic(120, 42));
+//! let spec = ExperimentSpec::Siting(SitingSpec {
+//!     input: PlacementInput::default(),
+//!     search: SearchSpec::default(),
+//! });
+//! let report = engine.run(&spec)?;
+//! println!("{}", report.render_text());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Specs and reports round-trip through [`json`], a dependency-free JSON
+//! document model (the vendored crate set has no `serde_json`), so a spec
+//! saved with [`ExperimentSpec::to_json_string`] and replayed via
+//! `repro run spec.json` reproduces the equivalent programmatic run.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod error;
+pub mod harness;
+pub mod json;
+pub mod report;
+pub mod spec;
+
+pub use engine::Engine;
+pub use error::{ApiError, SpecError};
+pub use report::{
+    AnnualReport, Report, ReportBody, SitingReport, SolverRollup, SweepReport, SweepRow,
+    TimingRecord, TimingReport, WarmVsCold, REPORT_SCHEMA,
+};
+pub use spec::{
+    AnnualSpec, ExactSitingSpec, ExperimentSpec, SearchSpec, SitingSpec, SweepAxes, SweepMode,
+    SweepSpec, TimingSpec, SPEC_SCHEMA,
+};

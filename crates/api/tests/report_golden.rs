@@ -1,0 +1,207 @@
+//! The `greencloud-report/1` JSON layout is a contract: dashboards and
+//! cross-PR diffing parse it. These golden-file tests pin the exact bytes
+//! produced for hand-built reports of every body type; any schema change
+//! must bump [`REPORT_SCHEMA`] and regenerate the goldens deliberately
+//! (`GC_WRITE_GOLDEN=1 cargo test -p greencloud-api --test report_golden`).
+
+use greencloud_api::report::{
+    AnnualReport, BreakdownReport, Report, ReportBody, SiteReport, SitingReport, SolverRollup,
+    SweepReport, SweepRow, TimingRecord, TimingReport, TraceRowReport, WarmVsCold,
+};
+use greencloud_api::REPORT_SCHEMA;
+
+fn check(report: &Report, golden_path: &str, golden: &str) {
+    let actual = report.to_json_string();
+    if std::env::var_os("GC_WRITE_GOLDEN").is_some() {
+        let path = format!("{}/tests/golden/{golden_path}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    assert!(actual.contains(REPORT_SCHEMA));
+    assert_eq!(
+        actual, golden,
+        "report JSON layout changed; if intentional, bump the schema and \
+         regenerate with GC_WRITE_GOLDEN=1"
+    );
+}
+
+fn rollup() -> SolverRollup {
+    SolverRollup {
+        solves: 120,
+        iterations: 4521,
+        refactorizations: 17,
+        ftrans: 9000,
+        btrans: 8800,
+        warm_rate: 0.9375,
+        pricing_ms: 12.5,
+    }
+}
+
+#[test]
+fn siting_report_layout_is_stable() {
+    let report = Report {
+        experiment: "siting".into(),
+        wall_ms: 1234.5,
+        body: ReportBody::Siting(SitingReport {
+            monthly_cost_usd: 9_500_000.0,
+            green_fraction: 0.5,
+            total_capacity_mw: 50.0,
+            evaluations: 120,
+            sites: vec![SiteReport {
+                name: "Harare, Zimbabwe".into(),
+                size_class: "large".into(),
+                capacity_mw: 25.0,
+                solar_mw: 180.25,
+                wind_mw: 0.0,
+                batt_mwh: 12.5,
+                monthly_cost_usd: 4_750_000.0,
+                green_fraction: 0.625,
+                breakdown: BreakdownReport {
+                    building_dc: 1_000_000.0,
+                    it_equipment: 2_000_000.0,
+                    land: 50_000.0,
+                    plants: 1_200_000.0,
+                    batteries: 100_000.0,
+                    connections: 75_000.0,
+                    bandwidth: 25_000.0,
+                    energy: 300_000.0,
+                },
+            }],
+            solver: Some(rollup()),
+        }),
+    };
+    check(
+        &report,
+        "siting_report.json",
+        include_str!("golden/siting_report.json"),
+    );
+}
+
+#[test]
+fn annual_report_layout_is_stable() {
+    let report = Report {
+        experiment: "annual".into(),
+        wall_ms: 987.0,
+        body: ReportBody::Annual(AnnualReport {
+            hours: 24,
+            trace_rows: 72,
+            green_fraction: 0.875,
+            brown_mwh: 150.0,
+            demand_mwh: 1200.0,
+            migrations: 42,
+            migrated_gb: 512.25,
+            mean_migration_hours: 0.75,
+            peak_inflight_migrations: 6,
+            rereplicated_blocks: 321,
+            battery_in_mwh: 80.0,
+            battery_out_mwh: 60.0,
+            net_pushed_mwh: 200.0,
+            net_drawn_mwh: 120.0,
+            energy_settlement_usd: 54_321.0,
+            rebuilds: 1,
+            solver: rollup(),
+            trace: vec![TraceRowReport {
+                hour: 0,
+                dc: 2,
+                green_available_mw: 310.5,
+                load_mw: 50.0,
+                pue_overhead_mw: 5.25,
+                migration_mw: 0.5,
+                brown_mw: 0.0,
+            }],
+        }),
+    };
+    check(
+        &report,
+        "annual_report.json",
+        include_str!("golden/annual_report.json"),
+    );
+}
+
+#[test]
+fn sweep_and_timing_layouts_are_stable() {
+    let sweep = Report {
+        experiment: "sweep".into(),
+        wall_ms: 55.0,
+        body: ReportBody::Sweep(SweepReport {
+            rows: vec![SweepRow {
+                name: "batt=50000kWh".into(),
+                hours: 672,
+                green_fraction: 0.9,
+                brown_mwh: 99.5,
+                demand_mwh: 995.0,
+                migrations: 100,
+                battery_out_mwh: 44.0,
+                net_drawn_mwh: 0.0,
+                warm_rate: 0.99,
+                lp_iterations: 1234,
+            }],
+        }),
+    };
+    check(
+        &sweep,
+        "sweep_report.json",
+        include_str!("golden/sweep_report.json"),
+    );
+
+    let timing = Report {
+        experiment: "timing".into(),
+        wall_ms: 2000.0,
+        body: ReportBody::Timing(TimingReport {
+            schedule_ms: vec![("50 MW".into(), 8.5)],
+            records: vec![TimingRecord {
+                name: "single_site_cold/devex".into(),
+                wall_ms: 3.25,
+                iterations: 591,
+                warm_rate: 0.0,
+            }],
+            warm_vs_cold: Some(WarmVsCold {
+                rounds: 96,
+                warm_ms: 50.0,
+                cold_ms: 265.0,
+                warm_rate: 0.99,
+            }),
+        }),
+    };
+    check(
+        &timing,
+        "timing_report.json",
+        include_str!("golden/timing_report.json"),
+    );
+}
+
+#[test]
+fn normalized_reports_zero_only_wall_clock_fields() {
+    let timing = Report {
+        experiment: "timing".into(),
+        wall_ms: 2000.0,
+        body: ReportBody::Timing(TimingReport {
+            schedule_ms: vec![("50 MW".into(), 8.5)],
+            records: vec![TimingRecord {
+                name: "r".into(),
+                wall_ms: 3.25,
+                iterations: 591,
+                warm_rate: 0.5,
+            }],
+            warm_vs_cold: Some(WarmVsCold {
+                rounds: 96,
+                warm_ms: 50.0,
+                cold_ms: 265.0,
+                warm_rate: 0.99,
+            }),
+        }),
+    };
+    let n = timing.normalized();
+    assert_eq!(n.wall_ms, 0.0);
+    let ReportBody::Timing(t) = &n.body else {
+        unreachable!()
+    };
+    assert_eq!(t.schedule_ms[0].1, 0.0);
+    assert_eq!(t.records[0].wall_ms, 0.0);
+    assert_eq!(
+        t.records[0].iterations, 591,
+        "iterations are not wall clock"
+    );
+    assert_eq!(t.warm_vs_cold.unwrap().warm_ms, 0.0);
+    assert_eq!(t.warm_vs_cold.unwrap().warm_rate, 0.99);
+}

@@ -3,10 +3,12 @@
 //! `repro timing` (and the `quick` CI smoke, on a reduced workload) write
 //! the LP-substrate benchmark numbers to `BENCH_lp.json` so the perf
 //! trajectory is tracked across PRs instead of living only in stdout logs.
-//! The vendored dependency set has no `serde_json`, so the writer emits the
-//! fixed schema by hand and [`parse_bench_json`] is a minimal JSON reader
-//! used by `repro quick` to prove the artifact round-trips.
+//! The document model comes from [`greencloud_api::json`] (the vendored
+//! dependency set has no `serde_json`); this module keeps the fixed
+//! `greencloud-bench-lp/1` schema on top of it.
 
+use greencloud_api::json::Json;
+use greencloud_api::report::TimingRecord;
 use std::fmt::Write as _;
 
 /// One benchmark row of `BENCH_lp.json`.
@@ -20,6 +22,17 @@ pub struct BenchRecord {
     pub iterations: usize,
     /// Warm-start rate in `[0, 1]` (0 when not applicable).
     pub warm_rate: f64,
+}
+
+impl From<&TimingRecord> for BenchRecord {
+    fn from(r: &TimingRecord) -> Self {
+        Self {
+            name: r.name.clone(),
+            wall_ms: r.wall_ms,
+            iterations: r.iterations,
+            warm_rate: r.warm_rate,
+        }
+    }
 }
 
 /// Schema identifier written to (and required from) `BENCH_lp.json`.
@@ -36,7 +49,7 @@ pub fn render_bench_json(records: &[BenchRecord]) -> String {
         let _ = writeln!(
             out,
             "    {{\"name\": {}, \"wall_ms\": {:.3}, \"iterations\": {}, \"warm_rate\": {:.4}}}{comma}",
-            quote(&r.name),
+            greencloud_api::json::quote(&r.name),
             r.wall_ms,
             r.iterations,
             r.warm_rate
@@ -47,24 +60,6 @@ pub fn render_bench_json(records: &[BenchRecord]) -> String {
     out
 }
 
-fn quote(s: &str) -> String {
-    let mut q = String::with_capacity(s.len() + 2);
-    q.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => q.push_str("\\\""),
-            '\\' => q.push_str("\\\\"),
-            '\n' => q.push_str("\\n"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(q, "\\u{:04x}", c as u32);
-            }
-            c => q.push(c),
-        }
-    }
-    q.push('"');
-    q
-}
-
 /// Parses a `BENCH_lp.json` document back into records, validating the
 /// schema tag and per-record field types.
 ///
@@ -72,56 +67,37 @@ fn quote(s: &str) -> String {
 ///
 /// A human-readable description of the first structural problem found.
 pub fn parse_bench_json(text: &str) -> Result<Vec<BenchRecord>, String> {
-    let mut p = Parser {
-        bytes: text.as_bytes(),
-        at: 0,
-    };
-    p.skip_ws();
-    let doc = p.value()?;
-    p.skip_ws();
-    if p.at != p.bytes.len() {
-        return Err(format!("trailing bytes at offset {}", p.at));
-    }
-    let Json::Object(fields) = doc else {
+    let doc = Json::parse(text)?;
+    if !matches!(&doc, Json::Object(_)) {
         return Err("top level is not an object".into());
-    };
-    let schema = fields
-        .iter()
-        .find(|(k, _)| k == "schema")
-        .ok_or("missing \"schema\"")?;
-    match &schema.1 {
-        Json::String(s) if s == BENCH_SCHEMA => {}
+    }
+    match doc.get("schema") {
+        Some(Json::Str(s)) if s == BENCH_SCHEMA => {}
         other => return Err(format!("unexpected schema: {other:?}")),
     }
-    let benches = fields
-        .iter()
-        .find(|(k, _)| k == "benches")
-        .ok_or("missing \"benches\"")?;
-    let Json::Array(rows) = &benches.1 else {
-        return Err("\"benches\" is not an array".into());
-    };
+    let rows = doc
+        .get("benches")
+        .ok_or("missing \"benches\"")?
+        .as_array()
+        .ok_or("\"benches\" is not an array")?;
     let mut records = Vec::with_capacity(rows.len());
     for (i, row) in rows.iter().enumerate() {
-        let Json::Object(f) = row else {
-            return Err(format!("bench #{i} is not an object"));
-        };
-        let get = |key: &str| f.iter().find(|(k, _)| k == key).map(|(_, v)| v);
-        let name = match get("name") {
-            Some(Json::String(s)) => s.clone(),
+        let name = match row.get("name") {
+            Some(Json::Str(s)) => s.clone(),
             _ => return Err(format!("bench #{i}: missing string \"name\"")),
         };
-        let wall_ms = match get("wall_ms") {
-            Some(Json::Number(x)) => *x,
-            _ => return Err(format!("bench #{i}: missing number \"wall_ms\"")),
-        };
-        let iterations = match get("iterations") {
-            Some(Json::Number(x)) if *x >= 0.0 && x.fract() == 0.0 => *x as usize,
-            _ => return Err(format!("bench #{i}: missing integer \"iterations\"")),
-        };
-        let warm_rate = match get("warm_rate") {
-            Some(Json::Number(x)) => *x,
-            _ => return Err(format!("bench #{i}: missing number \"warm_rate\"")),
-        };
+        let wall_ms = row
+            .get("wall_ms")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("bench #{i}: missing number \"wall_ms\""))?;
+        let iterations = row
+            .get("iterations")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| format!("bench #{i}: missing integer \"iterations\""))?;
+        let warm_rate = row
+            .get("warm_rate")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("bench #{i}: missing number \"warm_rate\""))?;
         records.push(BenchRecord {
             name,
             wall_ms,
@@ -130,197 +106,6 @@ pub fn parse_bench_json(text: &str) -> Result<Vec<BenchRecord>, String> {
         });
     }
     Ok(records)
-}
-
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Number(f64),
-    String(String),
-    Array(Vec<Json>),
-    Object(Vec<(String, Json)>),
-}
-
-/// A minimal recursive-descent JSON reader — just enough to validate the
-/// fixed `BENCH_lp.json` shape above.
-struct Parser<'a> {
-    bytes: &'a [u8],
-    at: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.at)
-            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
-        {
-            self.at += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.at).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.at += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected '{}' at offset {}",
-                char::from(b),
-                self.at
-            ))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::String(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(_) => self.number(),
-            None => Err("unexpected end of input".into()),
-        }
-    }
-
-    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
-        if self.bytes[self.at..].starts_with(word.as_bytes()) {
-            self.at += word.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at offset {}", self.at))
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.at;
-        while self
-            .peek()
-            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.at += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.at])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Json::Number)
-            .ok_or_else(|| format!("bad number at offset {start}"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.at += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.at += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.at + 1..self.at + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let code = std::str::from_utf8(hex)
-                                .ok()
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or("bad \\u escape")?;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.at += 4;
-                        }
-                        _ => return Err(format!("bad escape at offset {}", self.at)),
-                    }
-                    self.at += 1;
-                }
-                Some(_) => {
-                    // Multi-byte UTF-8 sequences pass through untouched.
-                    let s = &self.bytes[self.at..];
-                    let ch_len = match s[0] {
-                        b if b < 0x80 => 1,
-                        b if b >= 0xf0 => 4,
-                        b if b >= 0xe0 => 3,
-                        _ => 2,
-                    };
-                    out.push_str(
-                        std::str::from_utf8(&s[..ch_len.min(s.len())])
-                            .map_err(|_| "bad utf-8 in string")?,
-                    );
-                    self.at += ch_len;
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.at += 1;
-            return Ok(Json::Array(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => {
-                    self.at += 1;
-                }
-                Some(b']') => {
-                    self.at += 1;
-                    return Ok(Json::Array(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at offset {}", self.at)),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.at += 1;
-            return Ok(Json::Object(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            let val = self.value()?;
-            fields.push((key, val));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => {
-                    self.at += 1;
-                }
-                Some(b'}') => {
-                    self.at += 1;
-                    return Ok(Json::Object(fields));
-                }
-                _ => return Err(format!("expected ',' or '}}' at offset {}", self.at)),
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -364,5 +149,18 @@ mod tests {
         .is_err());
         let ok = parse_bench_json("{\"schema\": \"greencloud-bench-lp/1\", \"benches\": []}");
         assert_eq!(ok.expect("valid"), vec![]);
+    }
+
+    #[test]
+    fn converts_timing_records() {
+        let t = greencloud_api::report::TimingRecord {
+            name: "single_site_cold/devex".into(),
+            wall_ms: 3.5,
+            iterations: 120,
+            warm_rate: 0.25,
+        };
+        let b = BenchRecord::from(&t);
+        assert_eq!(b.name, "single_site_cold/devex");
+        assert_eq!(b.iterations, 120);
     }
 }

@@ -1,10 +1,12 @@
-//! `repro` — regenerates every table and figure of the paper's evaluation.
+//! `repro` — regenerates every table and figure of the paper's evaluation,
+//! as a thin CLI over [`greencloud_api::Engine`].
 //!
 //! Usage:
 //!
 //! ```text
-//! repro <experiment> [--locations N] [--fast]
+//! repro <experiment> [--locations N] [--fast] [--threads N]
 //! repro all [--locations N] [--fast]
+//! repro run <spec.json> [--json] [--world anchors|synthetic] [--locations N]
 //! ```
 //!
 //! Experiments: `tab1 fig3 fig4 fig5 fig6 tab2 fig7 fig8 fig9 fig10 fig11
@@ -15,29 +17,35 @@
 //! `quick` (the CI smoke, exits nonzero on failure), must be requested by
 //! name: neither runs under `all`, which regenerates exactly the paper's
 //! artifacts.
+//!
+//! `repro run spec.json` deserializes a [`greencloud_api::ExperimentSpec`]
+//! (schema `greencloud-spec/1`) and runs it — exactly the same code path
+//! as the named experiments, which are all expressed as specs themselves.
 
-use greencloud_bench::bench_json::{parse_bench_json, render_bench_json};
-use greencloud_bench::{
-    lp_bench_records, rolling_states, sweep_inputs, table3_profiles, tech_label, tool, world,
-    REPRO_SEED,
+use greencloud_api::report::ReportBody;
+use greencloud_api::{
+    AnnualSpec, Engine, ExperimentSpec, Report, SitingSpec, SweepAxes, SweepMode, SweepSpec,
+    TimingSpec,
 };
+use greencloud_bench::bench_json::{parse_bench_json, render_bench_json, BenchRecord};
+use greencloud_bench::{siting_search, sweep_inputs, tech_label, world, REPRO_SEED};
 use greencloud_climate::catalog::WorldCatalog;
 use greencloud_core::framework::{PlacementInput, StorageMode, TechMix};
 use greencloud_cost::params::CostParams;
 use greencloud_energy::capacity_factor::CapacityFactors;
 use greencloud_energy::pue::PueModel;
-use greencloud_nebula::emulation::{self, EmulationConfig};
-use greencloud_nebula::predictor::PredictionMode;
-use greencloud_nebula::scheduler::{RollingScheduler, Scheduler, SchedulerConfig, SiteState};
-use greencloud_nebula::sweep::{run_sweep, Scenario};
-use greencloud_nebula::wan::WanModel;
-use std::time::Instant;
+use greencloud_nebula::emulation::EmulationConfig;
+use greencloud_nebula::scheduler::SchedulerConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = String::from("all");
+    let mut spec_path: Option<String> = None;
     let mut locations = 0usize; // 0 = per-experiment default
     let mut fast = false;
+    let mut threads = 0usize; // 0 = auto
+    let mut as_json = false;
+    let mut world_kind = String::from("anchors");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -45,14 +53,41 @@ fn main() {
                 i += 1;
                 locations = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(0);
             }
+            "--threads" => {
+                i += 1;
+                threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(0);
+            }
+            "--world" => {
+                i += 1;
+                world_kind = args.get(i).cloned().unwrap_or_default();
+            }
             "--fast" => fast = true,
+            "--json" => as_json = true,
             "--quick" => experiment = "quick".to_string(),
-            other if !other.starts_with("--") => experiment = other.to_string(),
+            other if !other.starts_with("--") => {
+                if experiment == "run" && spec_path.is_none() {
+                    spec_path = Some(other.to_string());
+                } else {
+                    experiment = other.to_string();
+                }
+            }
             other => eprintln!("ignoring unknown flag {other}"),
         }
         i += 1;
     }
 
+    if experiment == "run" {
+        let Some(path) = spec_path else {
+            eprintln!("usage: repro run <spec.json> [--json] [--world anchors|synthetic]");
+            std::process::exit(2);
+        };
+        if !run_spec_file(&path, &world_kind, locations, threads, as_json) {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let ctx = Ctx { fast, threads };
     let run = |name: &str| experiment == "all" || experiment == name;
     let mut ran = false;
     if run("tab1") {
@@ -72,7 +107,7 @@ fn main() {
         ran = true;
     }
     if run("fig6") {
-        fig6(pick(locations, if fast { 200 } else { 1373 }));
+        fig6(&ctx, pick(locations, if fast { 200 } else { 1373 }));
         ran = true;
     }
     if run("tab2") {
@@ -80,58 +115,58 @@ fn main() {
         ran = true;
     }
     if run("fig7") {
-        fig7(pick(locations, 150), fast);
+        fig7(&ctx, pick(locations, 150));
         ran = true;
     }
     if run("fig8") || run("fig11") {
-        sweep(
+        sweep_fig(
+            &ctx,
             "fig8/fig11 (net metering)",
             StorageMode::NetMetering,
             pick(locations, 150),
-            fast,
         );
         ran = true;
     }
     if run("fig9") {
-        sweep(
+        sweep_fig(
+            &ctx,
             "fig9 (batteries)",
             StorageMode::Batteries,
             pick(locations, 150),
-            fast,
         );
         ran = true;
     }
     if run("fig10") || run("fig12") {
-        sweep(
+        sweep_fig(
+            &ctx,
             "fig10/fig12 (no storage)",
             StorageMode::None,
             pick(locations, 150),
-            fast,
         );
         ran = true;
     }
     if run("fig13") {
-        fig13(pick(locations, 150), fast);
+        fig13(&ctx, pick(locations, 150));
         ran = true;
     }
     if run("tab3") {
-        tab3(pick(locations, 150), fast);
+        tab3(&ctx, pick(locations, 150));
         ran = true;
     }
     if run("fig15") {
-        fig15(fast);
+        fig15(&ctx);
         ran = true;
     }
     if experiment == "annual" {
-        annual(fast);
+        annual(&ctx);
         ran = true;
     }
     if run("timing") {
-        timing();
+        timing(&ctx);
         ran = true;
     }
     if experiment == "quick" {
-        if !quick() {
+        if !quick(&ctx) {
             std::process::exit(1);
         }
         ran = true;
@@ -139,6 +174,32 @@ fn main() {
     if !ran {
         eprintln!("unknown experiment '{experiment}'");
         std::process::exit(2);
+    }
+}
+
+/// CLI-wide context: fast mode and the engine thread knob.
+struct Ctx {
+    fast: bool,
+    threads: usize,
+}
+
+impl Ctx {
+    /// An engine over `n` synthetic locations.
+    fn synthetic_engine(&self, n: usize) -> Engine {
+        Engine::new(world(n)).with_threads(self.threads)
+    }
+
+    /// An engine over the paper's anchor locations.
+    fn anchors_engine(&self) -> Engine {
+        Engine::new(WorldCatalog::anchors_only(REPRO_SEED)).with_threads(self.threads)
+    }
+
+    /// A heuristic siting spec with the standard reproduction search.
+    fn siting(&self, input: PlacementInput) -> ExperimentSpec {
+        ExperimentSpec::Siting(SitingSpec {
+            input,
+            search: siting_search(self.fast),
+        })
     }
 }
 
@@ -150,36 +211,63 @@ fn pick(cli: usize, default: usize) -> usize {
     }
 }
 
-/// One-line account of how the siting search spent its LP budget: eval
-/// cache hit rate, warm-start rate, and site-block reuse.
-fn search_report(sol: &greencloud_core::solution::PlacementSolution) {
-    if let Some(st) = &sol.search_stats {
-        println!(
-            "search: {} LP solves, {} cache hits ({:.0}%), warm starts {}/{} ({:.0}%), site blocks reused {}/{}",
-            st.evaluations,
-            st.cache_hits,
-            st.cache_rate() * 100.0,
-            st.warm_hits,
-            st.warm_attempts,
-            st.warm_rate() * 100.0,
-            st.block_hits,
-            st.block_hits + st.block_misses,
-        );
-        println!(
-            "solver: {} simplex iterations, {} refactorizations, {} ftrans, {} btrans, {:.0} ms pricing",
-            st.simplex_iterations,
-            st.refactorizations,
-            st.ftrans,
-            st.btrans,
-            st.pricing_ms(),
-        );
+fn header(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+/// Loads, runs, and prints one serialized spec. Returns `false` on any
+/// failure.
+fn run_spec_file(
+    path: &str,
+    world_kind: &str,
+    locations: usize,
+    threads: usize,
+    as_json: bool,
+) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return false;
+        }
+    };
+    let spec = match ExperimentSpec::from_json_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return false;
+        }
+    };
+    let catalog = match world_kind {
+        "anchors" => WorldCatalog::anchors_only(REPRO_SEED),
+        "synthetic" => world(pick(locations, 150)),
+        other => {
+            eprintln!("unknown world {other:?} (use anchors or synthetic)");
+            return false;
+        }
+    };
+    let engine = Engine::new(catalog).with_threads(threads);
+    match engine.run(&spec) {
+        Ok(report) => {
+            if as_json {
+                print!("{}", report.to_json_string());
+            } else {
+                header(&format!("{} ({path})", spec.kind()));
+                print!("{}", report.render_text());
+            }
+            true
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            false
+        }
     }
 }
 
 /// Writes the benchmark records to `BENCH_lp.json` in the working
 /// directory and validates the artifact by re-parsing what actually landed
 /// on disk; returns `false` on any failure.
-fn write_bench_lp_json(records: &[greencloud_bench::bench_json::BenchRecord]) -> bool {
+fn write_bench_lp_json(records: &[BenchRecord]) -> bool {
     let text = render_bench_json(records);
     if let Err(e) = std::fs::write("BENCH_lp.json", &text) {
         println!("BENCH_lp.json write FAILED: {e}");
@@ -214,8 +302,12 @@ fn write_bench_lp_json(records: &[greencloud_bench::bench_json::BenchRecord]) ->
     }
 }
 
-fn header(title: &str) {
-    println!("\n==== {title} ====");
+/// The timing records of a report, converted for `BENCH_lp.json`.
+fn bench_records(report: &Report) -> Vec<BenchRecord> {
+    match &report.body {
+        ReportBody::Timing(t) => t.records.iter().map(BenchRecord::from).collect(),
+        _ => Vec::new(),
+    }
 }
 
 /// Table I: the instantiated framework defaults.
@@ -351,12 +443,14 @@ fn fig5(n: usize) {
     println!("(paper: the windiest sites run coolest; sunny sites run warmer)");
 }
 
-/// Fig. 6: single 25 MW datacenter cost CDF.
-fn fig6(n: usize) {
+/// Fig. 6: single 25 MW datacenter cost CDF (per-location solves through
+/// the engine's cached candidate set).
+fn fig6(ctx: &Ctx, n: usize) {
     header(&format!(
         "Fig. 6 — 25 MW single-DC monthly cost CDF ({n} locations, net metering)"
     ));
-    let t = tool(n, true);
+    let engine = ctx.synthetic_engine(n);
+    let t = engine.placement_tool(&siting_search(true));
     let configs: [(&str, PlacementInput); 3] = [
         (
             "brown",
@@ -429,71 +523,92 @@ fn tab2() {
     }
 }
 
-/// Fig. 7: the 50 MW / 50% green case study cost breakdown.
-fn fig7(n: usize, fast: bool) {
+/// Fig. 7: the 50 MW / 50% green case study cost breakdown. The green and
+/// brown sitings run concurrently through the engine.
+fn fig7(ctx: &Ctx, n: usize) {
     header("Fig. 7 — case study: 50 MW, 50% green, net metering");
-    let t = tool(n, fast);
+    let engine = ctx.synthetic_engine(n);
     let input = PlacementInput::default();
-    match t.solve(&input) {
-        Ok(sol) => {
-            print!("{}", sol.summary());
-            search_report(&sol);
-            println!(
-                "{:<28} {:>9} {:>9} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9}",
-                "site", "buildDC", "IT", "land", "plants", "batt", "lines", "bw", "energy"
-            );
-            for dc in &sol.datacenters {
-                let b = &dc.breakdown;
+    let specs = [
+        ctx.siting(input.clone()),
+        ctx.siting(input.with_green(0.0, TechMix::BrownOnly)),
+    ];
+    let mut results = engine.run_all(&specs).into_iter();
+    let green = results.next().expect("green report");
+    let brown = results.next().expect("brown report");
+    match green {
+        Ok(report) => {
+            print!("{}", report.render_text());
+            if let ReportBody::Siting(s) = &report.body {
                 println!(
-                    "{:<28} {:>9.2} {:>9.2} {:>7.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
-                    dc.name,
-                    b.building_dc / 1e6,
-                    b.it_equipment / 1e6,
-                    b.land / 1e6,
-                    (b.building_solar + b.building_wind) / 1e6,
-                    b.batteries / 1e6,
-                    b.connections / 1e6,
-                    b.bandwidth / 1e6,
-                    b.energy / 1e6
+                    "{:<28} {:>9} {:>9} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                    "site", "buildDC", "IT", "land", "plants", "batt", "lines", "bw", "energy"
                 );
-            }
-            // The paper's headline: +13% over the best brown network.
-            let brown = t.solve(&input.with_green(0.0, TechMix::BrownOnly));
-            if let Ok(brown) = brown {
-                println!(
-                    "green ${:.2}M vs brown ${:.2}M → {:+.1}% (paper: +13%)",
-                    sol.monthly_cost / 1e6,
-                    brown.monthly_cost / 1e6,
-                    (sol.monthly_cost / brown.monthly_cost - 1.0) * 100.0
-                );
+                for dc in &s.sites {
+                    let b = &dc.breakdown;
+                    println!(
+                        "{:<28} {:>9.2} {:>9.2} {:>7.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+                        dc.name,
+                        b.building_dc / 1e6,
+                        b.it_equipment / 1e6,
+                        b.land / 1e6,
+                        b.plants / 1e6,
+                        b.batteries / 1e6,
+                        b.connections / 1e6,
+                        b.bandwidth / 1e6,
+                        b.energy / 1e6
+                    );
+                }
+                // The paper's headline: +13% over the best brown network.
+                if let Ok(brown) = brown {
+                    if let ReportBody::Siting(bs) = &brown.body {
+                        println!(
+                            "green ${:.2}M vs brown ${:.2}M → {:+.1}% (paper: +13%)",
+                            s.monthly_cost_usd / 1e6,
+                            bs.monthly_cost_usd / 1e6,
+                            (s.monthly_cost_usd / bs.monthly_cost_usd - 1.0) * 100.0
+                        );
+                    }
+                }
             }
         }
         Err(e) => println!("case study failed: {e}"),
     }
 }
 
-/// Figs. 8–12: cost and provisioned capacity vs green fraction.
-fn sweep(title: &str, storage: StorageMode, n: usize, fast: bool) {
+/// Figs. 8–12: cost and provisioned capacity vs green fraction. All 15
+/// sitings of a panel run concurrently on the engine's shared candidates.
+fn sweep_fig(ctx: &Ctx, title: &str, storage: StorageMode, n: usize) {
     header(&format!("{title} — 50 MW network sweeps"));
-    let t = tool(n, fast);
+    let engine = ctx.synthetic_engine(n);
+    let inputs = sweep_inputs(storage);
+    let specs: Vec<ExperimentSpec> = inputs
+        .iter()
+        .map(|(_, _, input)| ctx.siting(input.clone()))
+        .collect();
+    let results = engine.run_all(&specs);
     println!(
         "{:>7} {:>12} {:>14} {:>14} {:>10}",
         "green%", "tech", "cost $M/mo", "capacity MW", "sites"
     );
-    for (g, tech, input) in sweep_inputs(storage) {
-        match t.solve(&input) {
-            Ok(sol) => println!(
-                "{:>6.0}% {:>12} {:>14.2} {:>14.1} {:>10}",
-                g * 100.0,
-                tech_label(tech),
-                sol.monthly_cost / 1e6,
-                sol.total_capacity_mw,
-                sol.datacenters.len()
-            ),
+    for ((g, tech, _), result) in inputs.iter().zip(results) {
+        match result {
+            Ok(report) => {
+                if let ReportBody::Siting(s) = &report.body {
+                    println!(
+                        "{:>6.0}% {:>12} {:>14.2} {:>14.1} {:>10}",
+                        g * 100.0,
+                        tech_label(*tech),
+                        s.monthly_cost_usd / 1e6,
+                        s.total_capacity_mw,
+                        s.sites.len()
+                    );
+                }
+            }
             Err(e) => println!(
                 "{:>6.0}% {:>12} {:>14} {:>14} {:>10}",
                 g * 100.0,
-                tech_label(tech),
+                tech_label(*tech),
                 format!("{e}"),
                 "-",
                 "-"
@@ -503,13 +618,10 @@ fn sweep(title: &str, storage: StorageMode, n: usize, fast: bool) {
 }
 
 /// Fig. 13: migration overhead sweep at 100% green without storage.
-fn fig13(n: usize, fast: bool) {
+fn fig13(ctx: &Ctx, n: usize) {
     header("Fig. 13 — migration fraction sweep (100% green, no storage)");
-    let t = tool(n, fast);
-    println!(
-        "{:>12} {:>12} {:>14} {:>8}",
-        "migration%", "tech", "cost $M/mo", "sites"
-    );
+    let engine = ctx.synthetic_engine(n);
+    let mut cases = Vec::new();
     for &theta in &[0.0, 0.25, 0.5, 0.75, 1.0] {
         for &tech in &[TechMix::WindOnly, TechMix::SolarOnly, TechMix::Both] {
             let input = PlacementInput {
@@ -518,259 +630,175 @@ fn fig13(n: usize, fast: bool) {
                 ..PlacementInput::default()
             }
             .with_green(1.0, tech);
-            match t.solve(&input) {
-                Ok(sol) => println!(
-                    "{:>11.0}% {:>12} {:>14.2} {:>8}",
-                    theta * 100.0,
-                    tech_label(tech),
-                    sol.monthly_cost / 1e6,
-                    sol.datacenters.len()
-                ),
-                Err(e) => println!(
-                    "{:>11.0}% {:>12} {:>14} {:>8}",
-                    theta * 100.0,
-                    tech_label(tech),
-                    format!("{e}"),
-                    "-"
-                ),
+            cases.push((theta, tech, input));
+        }
+    }
+    let specs: Vec<ExperimentSpec> = cases
+        .iter()
+        .map(|(_, _, input)| ctx.siting(input.clone()))
+        .collect();
+    let results = engine.run_all(&specs);
+    println!(
+        "{:>12} {:>12} {:>14} {:>8}",
+        "migration%", "tech", "cost $M/mo", "sites"
+    );
+    for ((theta, tech, _), result) in cases.iter().zip(results) {
+        match result {
+            Ok(report) => {
+                if let ReportBody::Siting(s) = &report.body {
+                    println!(
+                        "{:>11.0}% {:>12} {:>14.2} {:>8}",
+                        theta * 100.0,
+                        tech_label(*tech),
+                        s.monthly_cost_usd / 1e6,
+                        s.sites.len()
+                    );
+                }
             }
+            Err(e) => println!(
+                "{:>11.0}% {:>12} {:>14} {:>8}",
+                theta * 100.0,
+                tech_label(*tech),
+                format!("{e}"),
+                "-"
+            ),
         }
     }
 }
 
 /// Table III: the 100% green / no-storage network.
-fn tab3(n: usize, fast: bool) {
+fn tab3(ctx: &Ctx, n: usize) {
     header("Table III — 100% green without storage");
-    let t = tool(n, fast);
+    let engine = ctx.synthetic_engine(n);
     let input = PlacementInput {
         storage: StorageMode::None,
         ..PlacementInput::default()
     }
     .with_green(1.0, TechMix::Both);
-    match t.solve(&input) {
-        Ok(sol) => {
-            print!("{}", sol.summary());
-            search_report(&sol);
+    match engine.run(&ctx.siting(input)) {
+        Ok(report) => {
+            print!("{}", report.render_text());
             println!("(paper: 3 sites × 50 MW IT, ~1.1 GW of solar total)");
         }
         Err(e) => println!("failed: {e}"),
     }
 }
 
-/// Fig. 15: the follow-the-renewables day.
-fn fig15(fast: bool) {
+/// Fig. 15: the follow-the-renewables day, with the hourly trace.
+fn fig15(ctx: &Ctx) {
     header("Fig. 15 — follow-the-renewables day (Table III network)");
-    let w = WorldCatalog::anchors_only(REPRO_SEED);
+    let engine = ctx.anchors_engine();
     let cfg = EmulationConfig {
-        vm_count: if fast { 100 } else { 200 },
+        vm_count: if ctx.fast { 100 } else { 200 },
         ..EmulationConfig::default()
     };
-    match emulation::run(&w, &cfg) {
-        Ok(r) => {
-            println!(
-                "{:>5} {:<26} {:>9} {:>9} {:>9} {:>9} {:>9}",
-                "hour", "site", "green MW", "load MW", "pueOv MW", "mig MW", "brown MW"
-            );
-            let names: Vec<String> = cfg.sites.iter().map(|s| s.location_name.clone()).collect();
-            for row in &r.rows {
+    let names: Vec<String> = cfg.sites.iter().map(|s| s.location_name.clone()).collect();
+    let spec = ExperimentSpec::Annual(AnnualSpec {
+        config: cfg,
+        include_trace: true,
+    });
+    match engine.run(&spec) {
+        Ok(report) => {
+            if let ReportBody::Annual(a) = &report.body {
                 println!(
-                    "{:>5} {:<26} {:>9.1} {:>9.1} {:>9.2} {:>9.2} {:>9.2}",
-                    row.hour,
-                    names[row.dc],
-                    row.green_available_mw,
-                    row.load_mw,
-                    row.pue_overhead_mw,
-                    row.migration_mw,
-                    row.brown_mw
+                    "{:>5} {:<26} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                    "hour", "site", "green MW", "load MW", "pueOv MW", "mig MW", "brown MW"
+                );
+                for row in &a.trace {
+                    println!(
+                        "{:>5} {:<26} {:>9.1} {:>9.1} {:>9.2} {:>9.2} {:>9.2}",
+                        row.hour,
+                        names[row.dc],
+                        row.green_available_mw,
+                        row.load_mw,
+                        row.pue_overhead_mw,
+                        row.migration_mw,
+                        row.brown_mw
+                    );
+                }
+                println!(
+                    "day summary: green fraction {:.1}%, {} migrations, {:.1} GB shipped, mean migration {:.2} h, {} blocks re-replicated",
+                    a.green_fraction * 100.0,
+                    a.migrations,
+                    a.migrated_gb,
+                    a.mean_migration_hours,
+                    a.rereplicated_blocks
                 );
             }
-            println!(
-                "day summary: green fraction {:.1}%, {} migrations, {:.1} GB shipped, mean migration {:.2} h, {} blocks re-replicated",
-                r.green_fraction * 100.0,
-                r.migrations,
-                r.migrated_gb,
-                r.mean_migration_hours,
-                r.rereplicated_blocks
-            );
         }
         Err(e) => println!("emulation failed: {e}"),
     }
 }
 
 /// Beyond the paper: a 365-day storage-aware operational simulation, a
-/// parallel scenario sweep, and the warm-vs-cold re-solve ratio.
-fn annual(fast: bool) {
+/// parallel scenario sweep, and the warm-vs-cold re-solve ratio — three
+/// specs against one engine.
+fn annual(ctx: &Ctx) {
     header("Annual — year-long follow-the-renewables with storage");
-    let w = WorldCatalog::anchors_only(REPRO_SEED);
+    let engine = ctx.anchors_engine();
+
     let year = EmulationConfig {
-        vm_count: if fast { 60 } else { 200 },
+        vm_count: if ctx.fast { 60 } else { 200 },
         hours: 8760,
         start_hour: 0,
         net_meter_credit: Some(1.0),
         ..EmulationConfig::default()
     }
     .with_batteries(50_000.0);
-
-    let t0 = Instant::now();
-    match emulation::run(&w, &year) {
-        Ok(r) => {
-            let st = &r.scheduler_stats;
-            println!(
-                "year summary: green fraction {:.1}%, brown {:.0} MWh of {:.0} MWh demand, \
-                 {} migrations ({:.1} GB shipped, mean {:.2} h, peak {} in flight)",
-                r.green_fraction * 100.0,
-                r.total_brown_mwh,
-                r.total_demand_mwh,
-                r.migrations,
-                r.migrated_gb,
-                r.mean_migration_hours,
-                r.peak_inflight_migrations,
-            );
-            println!(
-                "storage: battery {:.0} MWh in / {:.0} MWh out, net meter {:.0} MWh pushed / {:.0} MWh drawn, grid settlement ${:.2}M",
-                r.battery_in_mwh,
-                r.battery_out_mwh,
-                r.net_pushed_mwh,
-                r.net_drawn_mwh,
-                r.energy_settlement_usd / 1e6
-            );
-            println!(
-                "scheduler: {} rounds, {} warm-started ({:.0}%), {} simplex iterations, {} rebuilds, wall {:.1}s",
-                st.rounds,
-                st.warm_started,
-                st.warm_rate() * 100.0,
-                st.iterations,
-                st.rebuilds,
-                t0.elapsed().as_secs_f64(),
-            );
-            println!(
-                "solver: {} refactorizations, {} ftrans, {} btrans, {:.0} ms pricing",
-                st.refactorizations,
-                st.ftrans,
-                st.btrans,
-                st.pricing_ms(),
-            );
-        }
+    match engine.run(&ExperimentSpec::Annual(AnnualSpec {
+        config: year,
+        include_trace: false,
+    })) {
+        Ok(report) => print!("{}", report.render_text()),
         Err(e) => println!("annual emulation failed: {e}"),
     }
 
-    // Scenario sweep: seasons × storage × forecast quality × WAN.
-    let seasonal = |name: &str, start_day: usize| {
-        Scenario::new(
-            name,
-            EmulationConfig {
-                vm_count: 60,
-                hours: if fast { 7 * 24 } else { 28 * 24 },
-                start_hour: start_day * 24,
-                ..EmulationConfig::default()
-            },
-        )
+    // Scenario sweep: season × storage × net metering × forecast quality ×
+    // WAN, one change at a time around a summer baseline.
+    let base = EmulationConfig {
+        vm_count: 60,
+        hours: if ctx.fast { 7 * 24 } else { 28 * 24 },
+        start_hour: 170 * 24,
+        ..EmulationConfig::default()
     };
-    let base = seasonal("summer baseline", 170).config;
-    let scenarios = vec![
-        seasonal("winter, no storage", 352),
-        seasonal("summer baseline", 170),
-        Scenario::new(
-            "summer + 50 MWh batteries",
-            base.clone().with_batteries(50_000.0),
-        ),
-        Scenario::new(
-            "summer + net metering",
-            EmulationConfig {
-                net_meter_credit: Some(1.0),
-                ..base.clone()
-            },
-        ),
-        Scenario::new(
-            "summer, noisy forecast σ=0.3",
-            EmulationConfig {
-                prediction: PredictionMode::Noisy {
-                    sigma: 0.3,
-                    seed: REPRO_SEED,
-                },
-                ..base.clone()
-            },
-        ),
-        Scenario::new(
-            "summer, 100 Mbps WAN",
-            EmulationConfig {
-                wan: WanModel::leased(100.0),
-                ..base
-            },
-        ),
-    ];
-    match run_sweep(&w, &scenarios, 6) {
-        Ok(results) => {
-            println!(
-                "{:<30} {:>7} {:>10} {:>6} {:>9} {:>9} {:>6}",
-                "scenario", "green%", "brown MWh", "migs", "batt MWh", "net MWh", "warm%"
-            );
-            for r in &results {
-                println!(
-                    "{:<30} {:>6.1}% {:>10.1} {:>6} {:>9.1} {:>9.1} {:>5.0}%",
-                    r.name,
-                    r.green_fraction * 100.0,
-                    r.brown_mwh,
-                    r.migrations,
-                    r.battery_out_mwh,
-                    r.net_drawn_mwh,
-                    r.warm_rate * 100.0
-                );
-            }
-        }
+    let sweep = ExperimentSpec::Sweep(SweepSpec {
+        base,
+        axes: SweepAxes {
+            start_hour: vec![352 * 24],
+            battery_kwh: vec![50_000.0],
+            net_meter_credit: vec![Some(1.0)],
+            forecast_sigma: vec![0.3],
+            wan_mbps: vec![100.0],
+        },
+        mode: SweepMode::OneAtATime,
+        seed: REPRO_SEED,
+    });
+    match engine.run(&sweep) {
+        Ok(report) => print!("{}", report.render_text()),
         Err(e) => println!("scenario sweep failed: {e}"),
     }
 
     // Warm-vs-cold hourly re-solve ratio (the Criterion bench tracks the
     // same quantity; this is the repro-visible number).
-    let rounds = if fast { 48 } else { 96 };
-    match warm_vs_cold(&w, rounds) {
-        Some((warm_ms, cold_ms, rate)) => println!(
-            "hourly re-solve: warm {:.1} ms vs cold {:.1} ms → {:.1}x speedup ({:.0}% warm-started)",
-            warm_ms,
-            cold_ms,
-            cold_ms / warm_ms,
-            rate * 100.0
-        ),
-        None => println!("warm-vs-cold measurement failed"),
+    let timing = ExperimentSpec::Timing(TimingSpec {
+        fast: ctx.fast,
+        schedule_timing: false,
+        lp_records: false,
+        warm_cold_rounds: if ctx.fast { 48 } else { 96 },
+    });
+    match engine.run(&timing) {
+        Ok(report) => print!("{}", report.render_text()),
+        Err(e) => println!("warm-vs-cold measurement failed: {e}"),
     }
 }
 
-/// Times `rounds` consecutive hourly re-solves of the Table III network,
-/// warm (persistent rolling model) vs cold (rebuild + two-phase solve).
-/// Returns `(warm_ms_total, cold_ms_total, warm_rate)`.
-fn warm_vs_cold(w: &WorldCatalog, rounds: usize) -> Option<(f64, f64, f64)> {
-    let cfg = EmulationConfig::default();
-    let profiles = table3_profiles(w)?;
-    let window = cfg.scheduler.window_hours;
-    let start = 4080;
-
-    let mut rolling = RollingScheduler::new(cfg.scheduler.clone());
-    let mut loads = vec![cfg.total_load_mw, 0.0, 0.0];
-    let t0 = Instant::now();
-    for t in start..start + rounds {
-        let states = rolling_states(&profiles, t, window, &loads);
-        loads = rolling.plan(&states).ok()?.target_mw;
-    }
-    let warm_ms = t0.elapsed().as_secs_f64() * 1000.0;
-
-    let cold = Scheduler::new(cfg.scheduler.clone());
-    let mut loads = vec![cfg.total_load_mw, 0.0, 0.0];
-    let t0 = Instant::now();
-    for t in start..start + rounds {
-        let states = rolling_states(&profiles, t, window, &loads);
-        loads = cold.plan(&states).ok()?.target_mw;
-    }
-    let cold_ms = t0.elapsed().as_secs_f64() * 1000.0;
-    Some((warm_ms, cold_ms, rolling.stats().warm_rate()))
-}
-
-/// CI smoke: a short storage-aware emulation plus a tiny siting solve.
-/// Prints what it ran and returns `false` on any failure.
-fn quick() -> bool {
+/// CI smoke: a short storage-aware emulation, a tiny siting solve, and the
+/// `BENCH_lp.json` round-trip — all through the engine. Prints what it ran
+/// and returns `false` on any failure.
+fn quick(ctx: &Ctx) -> bool {
     header("quick — CI smoke (operational + siting)");
     let mut ok = true;
-    let w = WorldCatalog::anchors_only(REPRO_SEED);
+    let anchors = ctx.anchors_engine();
     let cfg = EmulationConfig {
         vm_count: 24,
         hours: 24,
@@ -782,98 +810,83 @@ fn quick() -> bool {
         ..EmulationConfig::default()
     }
     .with_batteries(10_000.0);
-    match emulation::run(&w, &cfg) {
-        Ok(r) => {
-            let load_ok = r.rows.len() == 24 * 3 && r.green_fraction > 0.5;
-            println!(
-                "emulation: green {:.1}%, {} migrations, warm rate {:.0}% → {}",
-                r.green_fraction * 100.0,
-                r.migrations,
-                r.scheduler_stats.warm_rate() * 100.0,
-                if load_ok { "ok" } else { "SUSPICIOUS" }
-            );
-            ok &= load_ok;
+    // The emulation and the reduced LP bench suite run concurrently.
+    let specs = [
+        ExperimentSpec::Annual(AnnualSpec {
+            config: cfg,
+            include_trace: false,
+        }),
+        ExperimentSpec::Timing(TimingSpec {
+            fast: true,
+            schedule_timing: false,
+            lp_records: true,
+            warm_cold_rounds: 0,
+        }),
+    ];
+    let mut results = anchors.run_all(&specs).into_iter();
+    match results.next().expect("annual result") {
+        Ok(report) => {
+            if let ReportBody::Annual(a) = &report.body {
+                let load_ok = a.trace_rows == 24 * 3 && a.green_fraction > 0.5;
+                println!(
+                    "emulation: green {:.1}%, {} migrations, warm rate {:.0}% → {}",
+                    a.green_fraction * 100.0,
+                    a.migrations,
+                    a.solver.warm_rate * 100.0,
+                    if load_ok { "ok" } else { "SUSPICIOUS" }
+                );
+                ok &= load_ok;
+            }
         }
         Err(e) => {
             println!("emulation FAILED: {e}");
             ok = false;
         }
     }
-    let t = tool(40, true);
-    match t.solve(&PlacementInput::default()) {
-        Ok(sol) => println!(
-            "siting: {} sites, ${:.2}M/month → ok",
-            sol.datacenters.len(),
-            sol.monthly_cost / 1e6
-        ),
+    // The machine-readable bench artifact must round-trip: emit a reduced
+    // run of the LP suite and re-parse what lands on disk.
+    match results.next().expect("timing result") {
+        Ok(report) => ok &= write_bench_lp_json(&bench_records(&report)),
+        Err(e) => {
+            println!("LP bench suite FAILED: {e}");
+            ok = false;
+        }
+    }
+    let sites = ctx.synthetic_engine(40);
+    match sites.run(&ctx.siting(PlacementInput::default())) {
+        Ok(report) => {
+            if let ReportBody::Siting(s) = &report.body {
+                println!(
+                    "siting: {} sites, ${:.2}M/month → ok",
+                    s.sites.len(),
+                    s.monthly_cost_usd / 1e6
+                );
+            }
+        }
         Err(e) => {
             println!("siting FAILED: {e}");
             ok = false;
         }
     }
-    // The machine-readable bench artifact must round-trip: emit a reduced
-    // run of the LP suite and re-parse what lands on disk.
-    ok &= write_bench_lp_json(&lp_bench_records(true));
     ok
 }
 
 /// §V-C: schedule computation times, plus the LP-substrate benchmark suite
 /// (written to `BENCH_lp.json` for cross-PR tracking).
-fn timing() {
+fn timing(ctx: &Ctx) {
     header("§V-C — schedule computation time");
-    let w = WorldCatalog::anchors_only(REPRO_SEED);
-    let cfg = EmulationConfig::default();
-    // Build the three-site forecast state once per load level.
-    for &(label, load) in &[("50 MW", 50.0), ("200 MW", 200.0)] {
-        let mut profiles = Vec::new();
-        for site in &cfg.sites {
-            let loc = w.find(&site.location_name).expect("anchor");
-            let tmy = w.tmy(loc.id);
-            profiles.push((
-                greencloud_energy::profile::EnergyProfile::from_tmy_hourly(
-                    &tmy,
-                    &Default::default(),
-                    &Default::default(),
-                    &PueModel::new(),
-                ),
-                site,
-            ));
+    let engine = ctx.anchors_engine();
+    let spec = ExperimentSpec::Timing(TimingSpec {
+        fast: ctx.fast,
+        schedule_timing: true,
+        lp_records: true,
+        warm_cold_rounds: 0,
+    });
+    match engine.run(&spec) {
+        Ok(report) => {
+            print!("{}", report.render_text());
+            write_bench_lp_json(&bench_records(&report));
         }
-        let states: Vec<SiteState> = profiles
-            .iter()
-            .enumerate()
-            .map(|(i, (p, site))| SiteState {
-                green_forecast_mw: (0..48)
-                    .map(|h| p.alpha[4080 + h] * site.solar_mw + p.beta[4080 + h] * site.wind_mw)
-                    .collect(),
-                pue_forecast: (0..48).map(|h| p.pue[4080 + h]).collect(),
-                current_load_mw: if i == 0 { load } else { 0.0 },
-                capacity_mw: load,
-            })
-            .collect();
-        let sched = Scheduler::new(SchedulerConfig::default());
-        // Warm-up + timed runs.
-        let _ = sched.plan(&states).expect("plan");
-        let t0 = Instant::now();
-        let reps = 10;
-        for _ in 0..reps {
-            let _ = sched.plan(&states).expect("plan");
-        }
-        let ms = t0.elapsed().as_secs_f64() * 1000.0 / reps as f64;
-        println!(
-            "{label:>8}: {ms:>8.1} ms per 48-h schedule (paper: 240–780 ms on 2 GHz hardware)"
-        );
+        Err(e) => println!("timing failed: {e}"),
     }
-
-    let records = lp_bench_records(false);
-    for r in &records {
-        println!(
-            "{:<34} {:>9.1} ms  {:>7} iters  warm {:>4.0}%",
-            r.name,
-            r.wall_ms,
-            r.iterations,
-            r.warm_rate * 100.0
-        );
-    }
-    write_bench_lp_json(&records);
 }

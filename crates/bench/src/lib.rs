@@ -1,52 +1,40 @@
 //! Shared helpers for the reproduction harness and the Criterion benches.
+//!
+//! The experiment fixtures (seeds, worlds, Table III profiles, rolling
+//! states) live in [`greencloud_api::harness`] so the engine's timing
+//! experiment and the benches agree on them; this crate re-exports the lot
+//! and keeps only the presentation-side helpers the paper-figure
+//! experiments in `repro` use.
 
 #![warn(missing_docs)]
 
 pub mod bench_json;
 
-use bench_json::BenchRecord;
-use greencloud_climate::catalog::WorldCatalog;
-use greencloud_climate::profiles::ProfileConfig;
-use greencloud_core::anneal::AnnealOptions;
-use greencloud_core::candidate::CandidateSite;
+pub use greencloud_api::harness::{
+    anchor_candidates, repro_search, rolling_states, table3_profiles, world, SiteProfile,
+    REPRO_SEED,
+};
+
+use greencloud_api::spec::SearchSpec;
 use greencloud_core::framework::{PlacementInput, StorageMode, TechMix};
-use greencloud_core::tool::{PlacementTool, ToolOptions};
+use greencloud_core::tool::{default_threads, PlacementTool, ToolOptions};
 use greencloud_cost::params::CostParams;
 
-/// The workspace-wide deterministic seed for reproduction runs.
-pub const REPRO_SEED: u64 = 20140701;
-
-/// Builds the standard reproduction world.
-pub fn world(locations: usize) -> WorldCatalog {
-    WorldCatalog::synthetic(locations.max(8), REPRO_SEED)
-}
-
-/// Standard tool options for reproduction runs (coarse but deterministic).
+/// Standard tool options for reproduction runs (coarse but deterministic),
+/// derived from the shared [`repro_search`] tuning.
 pub fn tool_options(fast: bool) -> ToolOptions {
-    ToolOptions {
-        profile: if fast {
-            ProfileConfig::coarse()
-        } else {
-            ProfileConfig::default()
-        },
-        filter_keep: if fast { 7 } else { 14 },
-        anneal: AnnealOptions {
-            iterations: if fast { 18 } else { 60 },
-            chains: if fast { 2 } else { 4 },
-            patience: if fast { 14 } else { 45 },
-            seed: REPRO_SEED,
-            ..AnnealOptions::default()
-        },
-        build_threads: 8,
-    }
+    repro_search(fast).tool_options(default_threads())
 }
 
 /// Builds a ready placement tool over `locations` synthetic sites.
+///
+/// Figure experiments that need per-location solves use this; whole-siting
+/// experiments go through [`greencloud_api::Engine`] instead.
 pub fn tool(locations: usize, fast: bool) -> PlacementTool {
     PlacementTool::new(&world(locations), CostParams::default(), tool_options(fast))
 }
 
-/// The sweep inputs used by Figs. 8–12: green fractions × technology.
+/// The siting specs used by Figs. 8–12: green fractions × technology.
 pub fn sweep_inputs(storage: StorageMode) -> Vec<(f64, TechMix, PlacementInput)> {
     let mut out = Vec::new();
     for &g in &[0.0, 0.25, 0.50, 0.75, 1.0] {
@@ -62,163 +50,10 @@ pub fn sweep_inputs(storage: StorageMode) -> Vec<(f64, TechMix, PlacementInput)>
     out
 }
 
-/// Builds the candidates of the anchors-only world on the coarse clock
-/// (used by benches).
-pub fn anchor_candidates() -> Vec<CandidateSite> {
-    let w = WorldCatalog::anchors_only(REPRO_SEED);
-    CandidateSite::build_all(&w, &ProfileConfig::coarse())
-}
-
-/// One Table III site's hourly energy profile plus its plant/IT sizes:
-/// `(profile, solar_mw, wind_mw, capacity_mw)`.
-pub type SiteProfile = (greencloud_energy::profile::EnergyProfile, f64, f64, f64);
-
-/// Hourly energy profiles of the Table III network in `catalog`, for the
-/// rolling-scheduler benches and `repro annual`'s warm-vs-cold timing.
-pub fn table3_profiles(catalog: &WorldCatalog) -> Option<Vec<SiteProfile>> {
-    let cfg = greencloud_nebula::emulation::EmulationConfig::default();
-    cfg.sites
-        .iter()
-        .map(|site| {
-            let loc = catalog.find(&site.location_name)?;
-            let tmy = catalog.tmy(loc.id);
-            let p = greencloud_energy::profile::EnergyProfile::from_tmy_hourly(
-                &tmy,
-                &Default::default(),
-                &Default::default(),
-                &greencloud_energy::pue::PueModel::new(),
-            );
-            Some((p, site.solar_mw, site.wind_mw, site.capacity_mw))
-        })
-        .collect()
-}
-
-/// The scheduler inputs for one rolling round: a `window`-hour forecast
-/// slice starting at absolute hour `t`, with the given current loads.
-pub fn rolling_states(
-    profiles: &[SiteProfile],
-    t: usize,
-    window: usize,
-    loads: &[f64],
-) -> Vec<greencloud_nebula::scheduler::SiteState> {
-    profiles
-        .iter()
-        .enumerate()
-        .map(
-            |(i, (p, solar, wind, capacity))| greencloud_nebula::scheduler::SiteState {
-                green_forecast_mw: (0..window)
-                    .map(|k| {
-                        let idx = (t + k) % p.len();
-                        p.alpha[idx] * solar + p.beta[idx] * wind
-                    })
-                    .collect(),
-                pue_forecast: (0..window).map(|k| p.pue[(t + k) % p.len()]).collect(),
-                current_load_mw: loads[i],
-                capacity_mw: *capacity,
-            },
-        )
-        .collect()
-}
-
-/// Runs the LP-substrate benchmark suite and returns its machine-readable
-/// records: the single-site siting LP solved cold under each pricing mode,
-/// and the rolling scheduler re-solve warm vs cold. `fast` shrinks the
-/// round counts for the CI smoke; `repro timing` runs the full version and
-/// writes the records to `BENCH_lp.json`.
-pub fn lp_bench_records(fast: bool) -> Vec<BenchRecord> {
-    use greencloud_core::formulation::build_network_lp;
-    use greencloud_core::framework::SizeClass;
-    use greencloud_lp::{PricingMode, SimplexOptions};
-    use greencloud_nebula::scheduler::{RollingScheduler, Scheduler};
-    use std::time::Instant;
-
-    let mut records = Vec::new();
-
-    // Single-site siting LP, cold, one record per pricing mode.
-    let cands = anchor_candidates();
-    let params = greencloud_cost::params::CostParams::default();
-    let single = PlacementInput {
-        total_capacity_mw: 25.0,
-        min_green_fraction: 0.5,
-        min_availability: 0.0,
-        tech: TechMix::WindOnly,
-        storage: StorageMode::NetMetering,
-        ..PlacementInput::default()
-    };
-    let lp = build_network_lp(&params, &single, &[(&cands[3], SizeClass::Large)]);
-    for (label, pricing) in [
-        ("single_site_cold/devex", PricingMode::Devex),
-        ("single_site_cold/dantzig", PricingMode::Dantzig),
-        ("single_site_cold/partial", PricingMode::Partial),
-    ] {
-        let reps = if fast { 1 } else { 3 };
-        let mut best_ms = f64::INFINITY;
-        let mut iterations = 0;
-        for _ in 0..reps {
-            let t0 = Instant::now();
-            let (d, _) = lp
-                .solve_warm(
-                    SimplexOptions {
-                        pricing,
-                        ..SimplexOptions::default()
-                    },
-                    None,
-                )
-                .expect("single-site LP solvable");
-            best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
-            iterations = d.iterations;
-        }
-        records.push(BenchRecord {
-            name: label.to_string(),
-            wall_ms: best_ms,
-            iterations,
-            warm_rate: 0.0,
-        });
-    }
-
-    // Rolling hourly re-solves, warm vs cold (the repro-visible form of the
-    // `hourly_resolve_24rounds_3dc` Criterion bench).
-    let w = WorldCatalog::anchors_only(REPRO_SEED);
-    if let Some(profiles) = table3_profiles(&w) {
-        let cfg = greencloud_nebula::emulation::EmulationConfig::default();
-        let window = cfg.scheduler.window_hours;
-        let rounds = if fast { 12 } else { 96 };
-        let start = 4080;
-
-        let mut rolling = RollingScheduler::new(cfg.scheduler.clone());
-        let mut loads = vec![cfg.total_load_mw, 0.0, 0.0];
-        let t0 = Instant::now();
-        for t in start..start + rounds {
-            let states = rolling_states(&profiles, t, window, &loads);
-            loads = rolling.plan(&states).expect("rolling plan").target_mw;
-        }
-        let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let stats = rolling.stats();
-        records.push(BenchRecord {
-            name: format!("hourly_resolve_{rounds}rounds/warm"),
-            wall_ms: warm_ms,
-            iterations: stats.iterations,
-            warm_rate: stats.warm_rate(),
-        });
-
-        let cold = Scheduler::new(cfg.scheduler.clone());
-        let mut loads = vec![cfg.total_load_mw, 0.0, 0.0];
-        let t0 = Instant::now();
-        for t in start..start + rounds {
-            let states = rolling_states(&profiles, t, window, &loads);
-            loads = cold.plan(&states).expect("cold plan").target_mw;
-        }
-        let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
-        // The one-shot scheduler exposes no iteration totals; per the
-        // BenchRecord contract the field is 0 when not applicable.
-        records.push(BenchRecord {
-            name: format!("hourly_resolve_{rounds}rounds/cold"),
-            wall_ms: cold_ms,
-            iterations: 0,
-            warm_rate: 0.0,
-        });
-    }
-    records
+/// The search spec for a reproduction siting experiment (re-export helper
+/// so `repro` can build [`greencloud_api::SitingSpec`]s in one line).
+pub fn siting_search(fast: bool) -> SearchSpec {
+    repro_search(fast)
 }
 
 /// Pretty technology label.

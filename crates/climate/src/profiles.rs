@@ -24,7 +24,7 @@ pub const YEAR_HOURS: f64 = 8760.0;
 const SEASON_BOUNDS: [(usize, usize); 4] = [(0, 91), (91, 182), (182, 273), (273, 365)];
 
 /// Configuration of representative-day selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ProfileConfig {
     /// Representative days sampled per season (1 = fastest, 2–3 typical).
     pub days_per_season: usize,

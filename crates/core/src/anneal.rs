@@ -218,7 +218,9 @@ pub fn anneal(
     candidates: &[CandidateSite],
     options: &AnnealOptions,
 ) -> Result<AnnealResult, SolveError> {
-    input.validate().map_err(SolveError::InvalidModel)?;
+    input
+        .validate()
+        .map_err(|e| SolveError::InvalidModel(e.to_string()))?;
     let n_min = min_datacenters(input.min_availability, input.dc_availability);
     if candidates.len() < n_min {
         return Err(SolveError::InvalidModel(format!(

@@ -46,7 +46,7 @@ pub mod tiers {
     /// Tier IV: fully redundant paths.
     pub const TIER_IV: f64 = 0.99995;
     /// The near-Tier-III figure the paper's studies assume (from its
-    /// ref [25]).
+    /// ref \[25\]).
     pub const PAPER_DEFAULT: f64 = 0.99827;
 }
 

@@ -56,6 +56,36 @@ impl CandidateSite {
             .collect()
     }
 
+    /// Builds candidates for every location, fanned out over `threads`
+    /// scoped threads (each candidate synthesizes a full TMY year, so large
+    /// catalogs parallelize near-linearly). `threads == 1` or a small
+    /// catalog falls back to the serial path; the result is identical
+    /// either way (catalog order).
+    pub fn build_all_threaded(
+        catalog: &WorldCatalog,
+        config: &ProfileConfig,
+        threads: usize,
+    ) -> Vec<Self> {
+        let ids: Vec<LocationId> = catalog.iter().map(|l| l.id).collect();
+        let threads = threads.max(1);
+        if threads == 1 || ids.len() < 8 {
+            return Self::build_all(catalog, config);
+        }
+        let chunk = ids.len().div_ceil(threads);
+        let mut slots: Vec<Option<CandidateSite>> = vec![None; ids.len()];
+        crossbeam::thread::scope(|scope| {
+            for (slot_chunk, id_chunk) in slots.chunks_mut(chunk).zip(ids.chunks(chunk)) {
+                scope.spawn(move |_| {
+                    for (slot, id) in slot_chunk.iter_mut().zip(id_chunk) {
+                        *slot = Some(CandidateSite::build(catalog, *id, config));
+                    }
+                });
+            }
+        })
+        .expect("candidate building never panics");
+        slots.into_iter().map(|c| c.expect("built")).collect()
+    }
+
     /// The max-PUE used to size the electrical/cooling plant.
     pub fn max_pue(&self) -> f64 {
         self.annual.max_pue

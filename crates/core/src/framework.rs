@@ -1,6 +1,7 @@
 //! The provider-facing problem statement.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Which renewable technologies the provider may build on-site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -97,47 +98,105 @@ impl Default for PlacementInput {
     }
 }
 
+/// A structured reason why a [`PlacementInput`] is rejected.
+///
+/// Replaces the former stringly-typed validation: every variant names the
+/// offending field and carries the offending value, so callers (and the
+/// `greencloud-api` error hierarchy) can match on the failure instead of
+/// parsing a message.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ValidationError {
+    /// `total_capacity_mw` must be positive and finite.
+    NonPositiveCapacity(f64),
+    /// `min_green_fraction` must be in `[0, 1]`.
+    GreenFractionOutOfRange(f64),
+    /// `min_availability` must be in `[0, 1)`.
+    AvailabilityOutOfRange(f64),
+    /// `dc_availability` must be in `[0, 1)`.
+    DcAvailabilityOutOfRange(f64),
+    /// `migration_fraction` must be in `[0, 1]`.
+    MigrationFractionOutOfRange(f64),
+    /// `credit_net_meter` must be in `[0, 1]`.
+    NetMeterCreditOutOfRange(f64),
+    /// A positive green requirement is incompatible with
+    /// [`TechMix::BrownOnly`].
+    GreenWithBrownOnly {
+        /// The requested `min_green_fraction`.
+        min_green_fraction: f64,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::NonPositiveCapacity(v) => {
+                write!(f, "total capacity must be positive and finite, got {v}")
+            }
+            ValidationError::GreenFractionOutOfRange(v) => {
+                write!(f, "green fraction must be in [0,1], got {v}")
+            }
+            ValidationError::AvailabilityOutOfRange(v) => {
+                write!(f, "min availability must be in [0,1), got {v}")
+            }
+            ValidationError::DcAvailabilityOutOfRange(v) => {
+                write!(f, "dc availability must be in [0,1), got {v}")
+            }
+            ValidationError::MigrationFractionOutOfRange(v) => {
+                write!(f, "migration fraction must be in [0,1], got {v}")
+            }
+            ValidationError::NetMeterCreditOutOfRange(v) => {
+                write!(f, "net meter credit must be in [0,1], got {v}")
+            }
+            ValidationError::GreenWithBrownOnly { min_green_fraction } => write!(
+                f,
+                "cannot require {:.0}% green energy with TechMix::BrownOnly",
+                min_green_fraction * 100.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
 impl PlacementInput {
-    /// Validates ranges; returns a description of the first problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates ranges; returns the first problem found.
+    ///
+    /// # Errors
+    ///
+    /// The [`ValidationError`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), ValidationError> {
         if !self.total_capacity_mw.is_finite() || self.total_capacity_mw <= 0.0 {
-            return Err(format!(
-                "total capacity must be positive and finite, got {}",
-                self.total_capacity_mw
-            ));
+            return Err(ValidationError::NonPositiveCapacity(self.total_capacity_mw));
         }
         if !(0.0..=1.0).contains(&self.min_green_fraction) {
-            return Err(format!(
-                "green fraction must be in [0,1], got {}",
-                self.min_green_fraction
+            return Err(ValidationError::GreenFractionOutOfRange(
+                self.min_green_fraction,
             ));
         }
         if !(0.0..1.0).contains(&self.min_availability) {
-            return Err(format!(
-                "min availability must be in [0,1), got {}",
-                self.min_availability
+            return Err(ValidationError::AvailabilityOutOfRange(
+                self.min_availability,
             ));
         }
         if !(0.0..1.0).contains(&self.dc_availability) {
-            return Err(format!(
-                "dc availability must be in [0,1), got {}",
-                self.dc_availability
+            return Err(ValidationError::DcAvailabilityOutOfRange(
+                self.dc_availability,
             ));
         }
         if !(0.0..=1.0).contains(&self.migration_fraction) {
-            return Err(format!(
-                "migration fraction must be in [0,1], got {}",
-                self.migration_fraction
+            return Err(ValidationError::MigrationFractionOutOfRange(
+                self.migration_fraction,
             ));
         }
         if !(0.0..=1.0).contains(&self.credit_net_meter) {
-            return Err(format!(
-                "net meter credit must be in [0,1], got {}",
-                self.credit_net_meter
+            return Err(ValidationError::NetMeterCreditOutOfRange(
+                self.credit_net_meter,
             ));
         }
         if self.min_green_fraction > 0.0 && self.tech == TechMix::BrownOnly {
-            return Err("cannot require green energy with TechMix::BrownOnly".into());
+            return Err(ValidationError::GreenWithBrownOnly {
+                min_green_fraction: self.min_green_fraction,
+            });
         }
         Ok(())
     }

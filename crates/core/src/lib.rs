@@ -40,6 +40,6 @@ pub mod solution;
 pub mod tool;
 
 pub use candidate::CandidateSite;
-pub use framework::{PlacementInput, SizeClass, StorageMode, TechMix};
+pub use framework::{PlacementInput, SizeClass, StorageMode, TechMix, ValidationError};
 pub use solution::{PlacementSolution, SitedDatacenter};
-pub use tool::{PlacementTool, ToolOptions};
+pub use tool::{default_threads, PlacementTool, ToolOptions};

@@ -57,7 +57,9 @@ pub fn solve_exact(
     candidates: &[CandidateSite],
     options: &ExactOptions,
 ) -> Result<(Vec<(usize, SizeClass)>, NetworkDispatch), SolveError> {
-    input.validate().map_err(SolveError::InvalidModel)?;
+    input
+        .validate()
+        .map_err(|e| SolveError::InvalidModel(e.to_string()))?;
     let n = candidates.len();
     if n > options.max_candidates {
         return Err(SolveError::InvalidModel(format!(

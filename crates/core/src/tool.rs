@@ -16,6 +16,19 @@ use greencloud_climate::catalog::{LocationId, WorldCatalog};
 use greencloud_climate::profiles::ProfileConfig;
 use greencloud_cost::params::CostParams;
 use greencloud_lp::SolveError;
+use std::sync::Arc;
+
+/// The machine-derived default thread count for candidate building, sweep
+/// fan-out, and concurrent experiment execution:
+/// [`std::thread::available_parallelism`], clamped to `[1, 16]` (the
+/// workloads stop scaling well before that, and unclamped values would
+/// oversubscribe CI runners).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(1, 16)
+}
 
 /// Configuration of the placement tool.
 #[derive(Debug, Clone)]
@@ -26,7 +39,7 @@ pub struct ToolOptions {
     pub filter_keep: usize,
     /// Simulated-annealing search options.
     pub anneal: AnnealOptions,
-    /// Threads used to build candidates.
+    /// Threads used to build candidates (defaults to [`default_threads`]).
     pub build_threads: usize,
 }
 
@@ -36,7 +49,7 @@ impl Default for ToolOptions {
             profile: ProfileConfig::default(),
             filter_keep: 20,
             anneal: AnnealOptions::default(),
-            build_threads: 4,
+            build_threads: default_threads(),
         }
     }
 }
@@ -45,7 +58,7 @@ impl Default for ToolOptions {
 #[derive(Debug)]
 pub struct PlacementTool {
     params: CostParams,
-    candidates: Vec<CandidateSite>,
+    candidates: Arc<Vec<CandidateSite>>,
     options: ToolOptions,
 }
 
@@ -53,30 +66,26 @@ impl PlacementTool {
     /// Builds the tool for a world catalog (synthesizes every location's
     /// TMY; parallelized across `build_threads`).
     pub fn new(catalog: &WorldCatalog, params: CostParams, options: ToolOptions) -> Self {
-        let ids: Vec<LocationId> = catalog.iter().map(|l| l.id).collect();
-        let threads = options.build_threads.max(1);
-        let chunk = ids.len().div_ceil(threads);
-        let mut candidates: Vec<Option<CandidateSite>> = vec![None; ids.len()];
-        if threads == 1 || ids.len() < 8 {
-            for (k, id) in ids.iter().enumerate() {
-                candidates[k] = Some(CandidateSite::build(catalog, *id, &options.profile));
-            }
-        } else {
-            let profile = options.profile;
-            crossbeam::thread::scope(|scope| {
-                for (slot_chunk, id_chunk) in candidates.chunks_mut(chunk).zip(ids.chunks(chunk)) {
-                    scope.spawn(move |_| {
-                        for (slot, id) in slot_chunk.iter_mut().zip(id_chunk) {
-                            *slot = Some(CandidateSite::build(catalog, *id, &profile));
-                        }
-                    });
-                }
-            })
-            .expect("candidate building never panics");
-        }
+        let candidates = Arc::new(CandidateSite::build_all_threaded(
+            catalog,
+            &options.profile,
+            options.build_threads,
+        ));
+        Self::with_candidates(params, candidates, options)
+    }
+
+    /// Builds the tool over pre-built candidates (which must share
+    /// `options.profile`'s slot clock). The `greencloud-api` engine uses
+    /// this to reuse one candidate set across many experiments instead of
+    /// re-synthesizing every location's TMY per run.
+    pub fn with_candidates(
+        params: CostParams,
+        candidates: Arc<Vec<CandidateSite>>,
+        options: ToolOptions,
+    ) -> Self {
         PlacementTool {
             params,
-            candidates: candidates.into_iter().map(|c| c.expect("built")).collect(),
+            candidates,
             options,
         }
     }

@@ -71,6 +71,10 @@ impl BranchAndBound {
         let lp = RevisedSimplex::new(self.options.lp.clone());
 
         let mut incumbent: Option<Solution> = None;
+        // Solver work accumulated across every explored node, so the
+        // returned solution reports the whole tree's effort rather than
+        // the incumbent node's single LP solve.
+        let mut total_stats = crate::revised::SolveStats::default();
         let mut nodes_explored = 0usize;
         // Best-first: nodes sorted by parent LP bound (min-heap behaviour via
         // sorted insertion into a Vec used as a stack from the back).
@@ -82,7 +86,14 @@ impl BranchAndBound {
         while let Some(node) = open.pop() {
             nodes_explored += 1;
             if nodes_explored > self.options.max_nodes {
-                return incumbent.ok_or(SolveError::IterationLimit);
+                return match incumbent {
+                    Some(mut sol) => {
+                        sol.iterations = total_stats.iterations;
+                        sol.stats = total_stats;
+                        Ok(sol)
+                    }
+                    None => Err(SolveError::IterationLimit),
+                };
             }
             // Prune against the incumbent before solving.
             if let Some(inc) = &incumbent {
@@ -116,6 +127,7 @@ impl BranchAndBound {
                 Err(SolveError::Unbounded) => continue,
                 Err(e) => return Err(e),
             };
+            total_stats.absorb(&relax.stats);
             if let Some(inc) = &incumbent {
                 if relax.objective >= inc.objective - self.options.rel_gap * inc.objective.abs() {
                     continue;
@@ -171,7 +183,14 @@ impl BranchAndBound {
             }
         }
 
-        incumbent.ok_or(SolveError::Infeasible)
+        match incumbent {
+            Some(mut sol) => {
+                sol.iterations = total_stats.iterations;
+                sol.stats = total_stats;
+                Ok(sol)
+            }
+            None => Err(SolveError::Infeasible),
+        }
     }
 }
 

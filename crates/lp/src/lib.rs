@@ -52,5 +52,6 @@ pub mod validate;
 
 pub use branch::{BranchAndBound, MilpOptions};
 pub use expr::LinExpr;
+pub use lu::FactorizeError;
 pub use model::{ConId, Model, Sense, Solution, SolveError, VarId, VarKind};
 pub use revised::{Basis, BasisStatus, PricingMode, RevisedSimplex, SimplexOptions, SolveStats};

@@ -206,14 +206,31 @@ pub enum FactorizeError {
 
 impl FactorizeError {
     fn to_solve_error(&self) -> SolveError {
+        self.clone().into()
+    }
+}
+
+impl std::fmt::Display for FactorizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FactorizeError::NotSquare { rows, cols } => {
-                SolveError::Numerical(format!("basis not square: {rows}x{cols}"))
+                write!(f, "basis not square: {rows}x{cols}")
             }
             FactorizeError::Singular { col, .. } => {
-                SolveError::Numerical(format!("singular basis at column {col}"))
+                write!(f, "singular basis at column {col}")
             }
         }
+    }
+}
+
+impl std::error::Error for FactorizeError {}
+
+/// The crate-boundary collapse into the solver error type: callers that do
+/// not repair singular bases themselves treat a failed factorization as
+/// numerical trouble.
+impl From<FactorizeError> for SolveError {
+    fn from(e: FactorizeError) -> Self {
+        SolveError::Numerical(e.to_string())
     }
 }
 

@@ -134,7 +134,9 @@ pub struct Solution {
     pub warm_started: bool,
     /// Per-solve solver counters (iterations, refactorizations,
     /// FTRAN/BTRAN counts, pricing time). The revised simplex fills every
-    /// field; the dense tableau and branch & bound report iterations only.
+    /// field; branch & bound reports the totals accumulated across every
+    /// node relaxation it solved; the dense tableau reports iterations
+    /// only.
     pub stats: crate::revised::SolveStats,
 }
 

@@ -45,7 +45,7 @@ use greencloud_simkernel::{Engine, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// One emulated site.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EmulationSite {
     /// Catalog name substring identifying the location (e.g. "Harare").
     pub location_name: String,
@@ -60,7 +60,7 @@ pub struct EmulationSite {
 }
 
 /// Emulation parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EmulationConfig {
     /// Total IT load, MW (the paper's 50 MW requirement).
     pub total_load_mw: f64,

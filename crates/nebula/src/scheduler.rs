@@ -2,7 +2,7 @@
 //!
 //! Every hour the GreenNebula scheduler collects current load and a 48-hour
 //! green-energy forecast per datacenter, then solves a small optimization —
-//! "a variant of the [siting] problem where we fix the locations and
+//! "a variant of the \[siting\] problem where we fix the locations and
 //! provisioning and remove the minimum-green constraint" — minimizing the
 //! brown energy consumed over the window, including the energy overhead of
 //! migrations. The first hour of the resulting trajectory becomes the
@@ -25,7 +25,7 @@ use greencloud_lp::{
 use serde::{Deserialize, Serialize};
 
 /// Scheduler tuning.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SchedulerConfig {
     /// Look-ahead window, hours (the paper uses 48).
     pub window_hours: usize,

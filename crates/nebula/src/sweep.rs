@@ -80,10 +80,10 @@ impl ScenarioResult {
     }
 }
 
-/// Runs every scenario against `catalog`, at most `threads` at a time, and
-/// returns results in scenario order. Each scenario gets its own
-/// [`crate::RollingScheduler`], GDFS master, and storage ledgers, so runs
-/// never share mutable state.
+/// Runs every scenario against `catalog`, at most `threads` at a time
+/// (`0` = one per available core, clamped), and returns results in
+/// scenario order. Each scenario gets its own [`crate::RollingScheduler`],
+/// GDFS master, and storage ledgers, so runs never share mutable state.
 ///
 /// # Errors
 ///
@@ -94,7 +94,17 @@ pub fn run_sweep(
     scenarios: &[Scenario],
     threads: usize,
 ) -> Result<Vec<ScenarioResult>, SolveError> {
-    let threads = threads.max(1).min(scenarios.len().max(1));
+    let threads = if threads == 0 {
+        // Mirrors `greencloud_core::tool::default_threads` (this crate
+        // sits below `core`, so the helper cannot be shared directly).
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(1, 16)
+    } else {
+        threads
+    };
+    let threads = threads.min(scenarios.len().max(1));
     let mut slots: Vec<Option<Result<ScenarioResult, SolveError>>> =
         (0..scenarios.len()).map(|_| None).collect();
     {

@@ -1,25 +1,36 @@
 //! GreenNebula day: run the Table III three-datacenter network through 24
-//! emulated hours and watch the load follow the sun (the paper's Fig. 15).
+//! emulated hours and watch the load follow the sun (the paper's Fig. 15),
+//! through the experiment API.
 //!
 //! ```text
 //! cargo run --release --example follow_renewables
 //! ```
 
 use greencloud::prelude::*;
-use greencloud_nebula::emulation;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The anchor catalog contains the paper's Table III sites.
-    let world = WorldCatalog::anchors_only(2014);
+    let engine = Engine::new(WorldCatalog::anchors_only(2014));
     let config = EmulationConfig {
         vm_count: 120,
         ..EmulationConfig::default()
     };
-    let report: EmulationReport = emulation::run(&world, &config)?;
+    let names: Vec<String> = config
+        .sites
+        .iter()
+        .map(|s| s.location_name.clone())
+        .collect();
+    let report = engine.run(&ExperimentSpec::Annual(AnnualSpec {
+        config,
+        include_trace: true,
+    }))?;
+    let ReportBody::Annual(day) = &report.body else {
+        unreachable!("annual spec yields an annual report");
+    };
 
     println!("hour | dominant site                 | load MW | green MW | brown MW");
-    for hour in 0..config.hours {
-        let rows: Vec<_> = report.rows.iter().filter(|r| r.hour == hour).collect();
+    for hour in 0..day.hours {
+        let rows: Vec<_> = day.trace.iter().filter(|r| r.hour == hour).collect();
         let host = rows
             .iter()
             .max_by(|a, b| a.load_mw.partial_cmp(&b.load_mw).unwrap())
@@ -27,16 +38,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let brown: f64 = rows.iter().map(|r| r.brown_mw).sum();
         println!(
             "{hour:>4} | {:<28} | {:>7.1} | {:>8.1} | {:>8.2}",
-            config.sites[host.dc].location_name, host.load_mw, host.green_available_mw, brown
+            names[host.dc], host.load_mw, host.green_available_mw, brown
         );
     }
     println!(
         "\nday total: {:.1}% green, {} migrations, {:.1} GB moved (mean {:.2} h each), {} GDFS blocks re-replicated",
-        report.green_fraction * 100.0,
-        report.migrations,
-        report.migrated_gb,
-        report.mean_migration_hours,
-        report.rereplicated_blocks
+        day.green_fraction * 100.0,
+        day.migrations,
+        day.migrated_gb,
+        day.mean_migration_hours,
+        day.rereplicated_blocks
     );
     Ok(())
 }

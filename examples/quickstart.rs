@@ -1,47 +1,52 @@
-//! Quickstart: site a 50 MW, 50%-green HPC cloud and print the solution.
+//! Quickstart: site a 50 MW, 50%-green HPC cloud and print the solution —
+//! the 5-line `Engine::new(catalog).run(spec)` path.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use greencloud::prelude::*;
-use greencloud_core::anneal::AnnealOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. A synthetic world of candidate locations (deterministic seed).
-    //    `WorldCatalog::paper_scale(seed)` gives the full 1373 sites; a
-    //    smaller world keeps the example fast.
-    let world = WorldCatalog::synthetic(120, 42);
+    // 1. An engine over a synthetic world of candidate locations
+    //    (deterministic seed). `WorldCatalog::paper_scale(seed)` gives the
+    //    full 1373 sites; a smaller world keeps the example fast.
+    let engine = Engine::new(WorldCatalog::synthetic(120, 42));
 
-    // 2. The placement tool: Table I costs + representative-day profiles.
-    let tool = PlacementTool::new(
-        &world,
-        CostParams::default(),
-        ToolOptions {
-            profile: ProfileConfig::coarse(),
-            filter_keep: 10,
-            anneal: AnnealOptions {
-                iterations: 40,
-                seed: 42,
-                ..AnnealOptions::default()
-            },
-            ..ToolOptions::default()
-        },
-    );
+    // 2. The provider's ask as a typed, serializable spec: 50 MW of
+    //    compute, at least half the energy from on-site renewables,
+    //    five-nines availability, a quick search.
+    let search = SearchSpec {
+        profile: ProfileConfig::coarse(),
+        filter_keep: 10,
+        iterations: 40,
+        seed: 42,
+        ..SearchSpec::default()
+    };
+    let spec = ExperimentSpec::Siting(SitingSpec {
+        input: PlacementInput::default(),
+        search: search.clone(),
+    });
 
-    // 3. The provider's ask: 50 MW of compute, at least half the energy
-    //    from on-site renewables, five-nines availability.
-    let input = PlacementInput::default();
+    // 3. Run it; the report carries the siting, costs, and solver rollups.
+    let report = engine.run(&spec)?;
+    println!("{}", report.render_text());
 
-    let solution = tool.solve(&input)?;
-    println!("{}", solution.summary());
+    // Specs serialize — `repro run quickstart.spec.json` replays this run:
+    println!("spec JSON:\n{}", spec.to_json_string());
 
     // Compare against the cheapest possible brown network (the paper's
-    // headline: ~13% premium at 50% green).
-    let brown = tool.solve(&input.with_green(0.0, TechMix::BrownOnly))?;
-    println!(
-        "premium over brown: {:+.1}%",
-        (solution.monthly_cost / brown.monthly_cost - 1.0) * 100.0
-    );
+    // headline: ~13% premium at 50% green). The engine reuses the cached
+    // candidate set, so the second experiment skips the TMY synthesis.
+    let brown = engine.run(&ExperimentSpec::Siting(SitingSpec {
+        input: PlacementInput::default().with_green(0.0, TechMix::BrownOnly),
+        search,
+    }))?;
+    if let (ReportBody::Siting(g), ReportBody::Siting(b)) = (&report.body, &brown.body) {
+        println!(
+            "premium over brown: {:+.1}%",
+            (g.monthly_cost_usd / b.monthly_cost_usd - 1.0) * 100.0
+        );
+    }
     Ok(())
 }

@@ -1,67 +1,80 @@
 //! Storage-technology study: how the cost of a 100%-green network depends
 //! on the storage option (net metering / batteries / none) and the allowed
-//! plant technology — the heart of the paper's §IV.
+//! plant technology — the heart of the paper's §IV. All nine sitings run
+//! concurrently through [`Engine::run_all`] on one shared candidate set.
 //!
 //! ```text
 //! cargo run --release --example site_green_network
 //! ```
 
 use greencloud::prelude::*;
-use greencloud_core::anneal::AnnealOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let world = WorldCatalog::synthetic(120, 7);
-    let tool = PlacementTool::new(
-        &world,
-        CostParams::default(),
-        ToolOptions {
-            profile: ProfileConfig::coarse(),
-            filter_keep: 10,
-            anneal: AnnealOptions {
-                iterations: 40,
-                seed: 7,
-                ..AnnealOptions::default()
-            },
-            ..ToolOptions::default()
-        },
-    );
+    let engine = Engine::new(WorldCatalog::synthetic(120, 7));
+    let search = SearchSpec {
+        profile: ProfileConfig::coarse(),
+        filter_keep: 10,
+        iterations: 40,
+        seed: 7,
+        ..SearchSpec::default()
+    };
+
+    let storages = [
+        ("net metering", StorageMode::NetMetering),
+        ("batteries", StorageMode::Batteries),
+        ("none", StorageMode::None),
+    ];
+    let techs = [
+        ("wind", TechMix::WindOnly),
+        ("solar", TechMix::SolarOnly),
+        ("both", TechMix::Both),
+    ];
+    let mut cases = Vec::new();
+    for (slabel, storage) in storages {
+        for (tlabel, tech) in techs {
+            cases.push((
+                slabel,
+                tlabel,
+                ExperimentSpec::Siting(SitingSpec {
+                    input: PlacementInput {
+                        min_green_fraction: 1.0,
+                        tech,
+                        storage,
+                        ..PlacementInput::default()
+                    },
+                    search: search.clone(),
+                }),
+            ));
+        }
+    }
+
+    let specs: Vec<ExperimentSpec> = cases.iter().map(|(_, _, s)| s.clone()).collect();
+    let results = engine.run_all(&specs);
 
     println!(
         "{:>14} {:>12} {:>14} {:>14} {:>7}",
         "storage", "tech", "cost $M/mo", "capacity MW", "sites"
     );
-    for (label, storage) in [
-        ("net metering", StorageMode::NetMetering),
-        ("batteries", StorageMode::Batteries),
-        ("none", StorageMode::None),
-    ] {
-        for (tlabel, tech) in [
-            ("wind", TechMix::WindOnly),
-            ("solar", TechMix::SolarOnly),
-            ("both", TechMix::Both),
-        ] {
-            let input = PlacementInput {
-                min_green_fraction: 1.0,
-                tech,
-                storage,
-                ..PlacementInput::default()
-            };
-            match tool.solve(&input) {
-                Ok(sol) => println!(
-                    "{:>14} {:>12} {:>14.2} {:>14.1} {:>7}",
-                    label,
-                    tlabel,
-                    sol.monthly_cost / 1e6,
-                    sol.total_capacity_mw,
-                    sol.datacenters.len()
-                ),
-                Err(e) => println!(
-                    "{label:>14} {tlabel:>12} {:>14} {:>14} {:>7}",
-                    format!("{e}"),
-                    "-",
-                    "-"
-                ),
+    for ((slabel, tlabel, _), result) in cases.iter().zip(results) {
+        match result {
+            Ok(report) => {
+                if let ReportBody::Siting(s) = &report.body {
+                    println!(
+                        "{:>14} {:>12} {:>14.2} {:>14.1} {:>7}",
+                        slabel,
+                        tlabel,
+                        s.monthly_cost_usd / 1e6,
+                        s.total_capacity_mw,
+                        s.sites.len()
+                    );
+                }
             }
+            Err(e) => println!(
+                "{slabel:>14} {tlabel:>12} {:>14} {:>14} {:>7}",
+                format!("{e}"),
+                "-",
+                "-"
+            ),
         }
     }
     println!("\nExpected shape (paper §IV): storage cuts 100%-green cost by >60%;");

@@ -8,6 +8,9 @@
 //!
 //! This facade crate re-exports the workspace members:
 //!
+//! * [`api`] — **the front door**: typed, serializable
+//!   [`api::ExperimentSpec`]s run by an [`api::Engine`] into structured
+//!   [`api::Report`]s (`Engine::new(catalog).run(spec)`).
 //! * [`lp`] — LP/MILP solver substrate (simplex, sparse LU, branch & bound).
 //! * [`climate`] — synthetic typical-meteorological-year data and the world
 //!   location catalog with per-location economics.
@@ -24,6 +27,7 @@
 //! See `examples/quickstart.rs` for an end-to-end run: build a world, site a
 //! 50 MW / 50%-green datacenter network, and print the solution.
 
+pub use greencloud_api as api;
 pub use greencloud_climate as climate;
 pub use greencloud_core as core;
 pub use greencloud_cost as cost;
@@ -34,6 +38,10 @@ pub use greencloud_simkernel as simkernel;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
+    pub use greencloud_api::{
+        AnnualSpec, ApiError, Engine, ExperimentSpec, Report, ReportBody, SearchSpec, SitingSpec,
+        SweepAxes, SweepMode, SweepSpec, TimingSpec,
+    };
     pub use greencloud_climate::catalog::{Location, LocationId, WorldCatalog};
     pub use greencloud_climate::profiles::{ProfileConfig, WeatherProfile, WeatherSlot};
     pub use greencloud_core::framework::{PlacementInput, StorageMode, TechMix};
