@@ -30,11 +30,24 @@ use greencloud_cost::params::CostParams;
 use greencloud_lp::{PricingMode, SimplexOptions};
 use greencloud_nebula::emulation::{self, EmulationConfig};
 use greencloud_nebula::scheduler::{RollingScheduler, Scheduler, SchedulerConfig};
-use greencloud_nebula::sweep::run_sweep;
+use greencloud_nebula::sweep::run_sweep_with_cancel;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Renders a captured panic payload for an [`ApiError::Engine`] message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// The experiment engine (see the module docs).
 #[derive(Debug)]
@@ -131,12 +144,37 @@ impl Engine {
     /// Any [`ApiError`]: input validation, solver failures, or a spec the
     /// engine's catalog cannot serve.
     pub fn run(&self, spec: &ExperimentSpec) -> Result<Report, ApiError> {
+        let cancel = AtomicBool::new(false);
+        self.run_cancellable(spec, &cancel)
+    }
+
+    /// Runs one experiment with a per-spec deadline: the long-running
+    /// experiment kinds (annual emulations, sweeps) are cancelled
+    /// cooperatively once the deadline passes, and the result is reported
+    /// as [`ApiError::Deadline`].
+    pub fn run_with_deadline(
+        &self,
+        spec: &ExperimentSpec,
+        deadline: Duration,
+    ) -> Result<Report, ApiError> {
+        self.run_all_with_deadline(std::slice::from_ref(spec), Some(deadline))
+            .pop()
+            .unwrap_or_else(|| Err(ApiError::Engine("spec did not run".into())))
+    }
+
+    /// [`Engine::run`] with a cooperative cancellation flag threaded into
+    /// the experiment kinds that can run for a long time.
+    fn run_cancellable(
+        &self,
+        spec: &ExperimentSpec,
+        cancel: &AtomicBool,
+    ) -> Result<Report, ApiError> {
         let t0 = Instant::now();
         let body = match spec {
             ExperimentSpec::Siting(s) => self.run_siting(s)?,
             ExperimentSpec::ExactSiting(s) => self.run_exact(s)?,
-            ExperimentSpec::Annual(s) => self.run_annual(s)?,
-            ExperimentSpec::Sweep(s) => self.run_sweep(s)?,
+            ExperimentSpec::Annual(s) => self.run_annual(s, cancel)?,
+            ExperimentSpec::Sweep(s) => self.run_sweep(s, cancel)?,
             ExperimentSpec::Timing(s) => self.run_timing(s)?,
         };
         Ok(Report {
@@ -150,35 +188,123 @@ impl Engine {
     /// a time) and returns results in spec order. Candidate sets are
     /// shared through the engine cache, so a batch over one world builds
     /// its candidates once.
+    ///
+    /// A panicking experiment is captured at this boundary and reported as
+    /// [`ApiError::Engine`] for that spec alone; sibling specs still run
+    /// to completion and return their own results.
     pub fn run_all(&self, specs: &[ExperimentSpec]) -> Vec<Result<Report, ApiError>> {
+        self.run_all_with_deadline(specs, None)
+    }
+
+    /// [`Engine::run_all`] with an optional per-spec deadline, measured
+    /// from the moment a worker picks the spec up. A watchdog fires the
+    /// spec's cancellation token once the deadline passes; the emulation
+    /// layers poll it hourly, and a fired token turns the outcome into
+    /// [`ApiError::Deadline`] regardless of what the run returned.
+    pub fn run_all_with_deadline(
+        &self,
+        specs: &[ExperimentSpec],
+        deadline: Option<Duration>,
+    ) -> Vec<Result<Report, ApiError>> {
+        let limit_ms = deadline.map(|d| d.as_millis() as u64).unwrap_or(0);
         let workers = self.threads.min(specs.len().max(1));
-        if workers <= 1 {
-            return specs.iter().map(|s| self.run(s)).collect();
+        if workers <= 1 && deadline.is_none() {
+            // Serial fast path: no watchdog needed, but panics are still
+            // isolated per spec.
+            let cancel = AtomicBool::new(false);
+            return specs
+                .iter()
+                .map(|s| {
+                    catch_unwind(AssertUnwindSafe(|| self.run_cancellable(s, &cancel)))
+                        .unwrap_or_else(|p| {
+                            Err(ApiError::Engine(format!(
+                                "experiment panicked: {}",
+                                panic_message(p.as_ref())
+                            )))
+                        })
+                })
+                .collect();
         }
         let mut slots: Vec<Option<Result<Report, ApiError>>> =
             (0..specs.len()).map(|_| None).collect();
+        let tokens: Vec<AtomicBool> = specs.iter().map(|_| AtomicBool::new(false)).collect();
+        let started: Vec<Mutex<Option<Instant>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+        let completed = AtomicUsize::new(0);
+        let all_done = AtomicBool::new(false);
         {
-            let next = std::sync::atomic::AtomicUsize::new(0);
+            let next = AtomicUsize::new(0);
             let slots = Mutex::new(&mut slots);
-            crossbeam::thread::scope(|scope| {
+            let scope_out = crossbeam::thread::scope(|scope| {
+                if let Some(dl) = deadline {
+                    // Watchdog: fires a spec's token once its deadline
+                    // passes; exits when every spec has completed.
+                    let tokens = &tokens;
+                    let started = &started;
+                    let all_done = &all_done;
+                    scope.spawn(move |_| {
+                        while !all_done.load(Ordering::Relaxed) {
+                            for (token, t0) in tokens.iter().zip(started) {
+                                if !token.load(Ordering::Relaxed)
+                                    && t0.lock().is_some_and(|t| t.elapsed() >= dl)
+                                {
+                                    token.store(true, Ordering::Relaxed);
+                                }
+                            }
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                    });
+                }
                 for _ in 0..workers {
                     let next = &next;
                     let slots = &slots;
+                    let tokens = &tokens;
+                    let started = &started;
+                    let completed = &completed;
+                    let all_done = &all_done;
                     scope.spawn(move |_| loop {
-                        let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let k = next.fetch_add(1, Ordering::Relaxed);
                         if k >= specs.len() {
                             break;
                         }
-                        let out = self.run(&specs[k]);
+                        *started[k].lock() = Some(Instant::now());
+                        let out = catch_unwind(AssertUnwindSafe(|| {
+                            self.run_cancellable(&specs[k], &tokens[k])
+                        }))
+                        .unwrap_or_else(|p| {
+                            Err(ApiError::Engine(format!(
+                                "experiment panicked: {}",
+                                panic_message(p.as_ref())
+                            )))
+                        });
+                        // A fired deadline dominates: even if the run
+                        // limped to a result, the contract is Deadline.
+                        let out = if tokens[k].load(Ordering::Relaxed) {
+                            Err(ApiError::Deadline { limit_ms })
+                        } else {
+                            out
+                        };
                         slots.lock()[k] = Some(out);
+                        if completed.fetch_add(1, Ordering::Relaxed) + 1 == specs.len() {
+                            all_done.store(true, Ordering::Relaxed);
+                        }
                     });
                 }
-            })
-            .expect("experiment fan-out never panics");
+            });
+            if scope_out.is_err() {
+                // A worker died outside the catch_unwind window; the slots
+                // it owned stay None and are reported below.
+                all_done.store(true, Ordering::Relaxed);
+            }
         }
         slots
             .into_iter()
-            .map(|slot| slot.expect("every spec ran"))
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    Err(ApiError::Engine(
+                        "spec did not run: a worker thread died".into(),
+                    ))
+                })
+            })
             .collect()
     }
 
@@ -209,8 +335,8 @@ impl Engine {
         Ok(ReportBody::Siting(SitingReport::from_solution(&sol)))
     }
 
-    fn run_annual(&self, spec: &AnnualSpec) -> Result<ReportBody, ApiError> {
-        let r = emulation::run(&self.catalog, &spec.config)?;
+    fn run_annual(&self, spec: &AnnualSpec, cancel: &AtomicBool) -> Result<ReportBody, ApiError> {
+        let r = emulation::run_with_cancel(&self.catalog, &spec.config, cancel)?;
         Ok(ReportBody::Annual(AnnualReport::from_emulation(
             spec.config.hours,
             &r,
@@ -218,9 +344,9 @@ impl Engine {
         )))
     }
 
-    fn run_sweep(&self, spec: &SweepSpec) -> Result<ReportBody, ApiError> {
+    fn run_sweep(&self, spec: &SweepSpec, cancel: &AtomicBool) -> Result<ReportBody, ApiError> {
         let scenarios = spec.scenarios();
-        let results = run_sweep(&self.catalog, &scenarios, self.threads)?;
+        let results = run_sweep_with_cancel(&self.catalog, &scenarios, self.threads, cancel)?;
         Ok(ReportBody::Sweep(SweepReport {
             rows: results.iter().map(SweepRow::from).collect(),
         }))

@@ -9,6 +9,7 @@
 
 use greencloud_core::framework::ValidationError;
 use greencloud_lp::{FactorizeError, SolveError};
+use greencloud_nebula::NebulaError;
 use std::fmt;
 
 /// A problem with a serialized [`crate::spec::ExperimentSpec`] document.
@@ -49,8 +50,15 @@ pub enum ApiError {
     /// A serialized spec could not be parsed or violates the schema.
     Spec(SpecError),
     /// The spec is well-formed but cannot run on this engine (e.g. it names
-    /// a site the engine's catalog does not contain).
+    /// a site the engine's catalog does not contain), or the experiment
+    /// panicked and the panic was captured at the fan-out boundary.
     Engine(String),
+    /// The experiment exceeded its per-spec deadline and was cancelled
+    /// cooperatively.
+    Deadline {
+        /// The configured limit, milliseconds.
+        limit_ms: u64,
+    },
     /// Reading or writing a spec/report file failed.
     Io(String),
 }
@@ -62,6 +70,9 @@ impl fmt::Display for ApiError {
             ApiError::Solve(e) => write!(f, "solve failed: {e}"),
             ApiError::Spec(e) => write!(f, "{e}"),
             ApiError::Engine(msg) => write!(f, "engine error: {msg}"),
+            ApiError::Deadline { limit_ms } => {
+                write!(f, "deadline exceeded after {limit_ms} ms")
+            }
             ApiError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
@@ -102,6 +113,20 @@ impl From<SpecError> for ApiError {
     }
 }
 
+impl From<NebulaError> for ApiError {
+    fn from(e: NebulaError) -> Self {
+        match e {
+            // Solver failures keep their typed identity; the rest carry
+            // the nebula error's rendered message.
+            NebulaError::Solve(s) => ApiError::Solve(s),
+            NebulaError::Cancelled => {
+                ApiError::Engine("emulation cancelled before completion".into())
+            }
+            other => ApiError::Engine(other.to_string()),
+        }
+    }
+}
+
 impl From<std::io::Error> for ApiError {
     fn from(e: std::io::Error) -> Self {
         ApiError::Io(e.to_string())
@@ -129,5 +154,18 @@ mod tests {
 
         let sp: ApiError = SpecError::new("experiment.kind", "unknown kind").into();
         assert!(sp.to_string().contains("experiment.kind"));
+
+        let n: ApiError = NebulaError::UnknownSite("Atlantis".into()).into();
+        assert_eq!(n, ApiError::Engine("unknown site Atlantis".into()));
+        let ns: ApiError = NebulaError::Solve(SolveError::Infeasible).into();
+        assert_eq!(ns, ApiError::Solve(SolveError::Infeasible));
+        let nc: ApiError = NebulaError::Cancelled.into();
+        assert!(matches!(nc, ApiError::Engine(_)));
+    }
+
+    #[test]
+    fn deadline_display_names_the_limit() {
+        let d = ApiError::Deadline { limit_ms: 250 };
+        assert_eq!(d.to_string(), "deadline exceeded after 250 ms");
     }
 }

@@ -50,7 +50,7 @@ pub use engine::Engine;
 pub use error::{ApiError, SpecError};
 pub use report::{
     AnnualReport, Report, ReportBody, SitingReport, SolverRollup, SweepReport, SweepRow,
-    TimingRecord, TimingReport, WarmVsCold, REPORT_SCHEMA,
+    TimingRecord, TimingReport, WarmVsCold, REPORT_SCHEMA, RESILIENCE_SCHEMA,
 };
 pub use spec::{
     AnnualSpec, ExactSitingSpec, ExperimentSpec, SearchSpec, SitingSpec, SweepAxes, SweepMode,

@@ -14,11 +14,16 @@ use crate::json::Json;
 use greencloud_core::anneal::SearchStats;
 use greencloud_core::solution::PlacementSolution;
 use greencloud_nebula::emulation::{EmulationReport, TraceRow};
+use greencloud_nebula::faults::ResilienceReport;
 use greencloud_nebula::scheduler::RollingStats;
 use greencloud_nebula::sweep::ScenarioResult;
 
 /// Schema identifier written to serialized reports.
 pub const REPORT_SCHEMA: &str = "greencloud-report/1";
+
+/// Schema identifier of the embedded resilience body (present on annual
+/// reports whose spec injected faults).
+pub const RESILIENCE_SCHEMA: &str = "greencloud-resilience/1";
 
 /// The result of one experiment run.
 #[derive(Debug, Clone, PartialEq)]
@@ -267,6 +272,11 @@ pub struct AnnualReport {
     pub rebuilds: usize,
     /// Rolling-scheduler solver rollup.
     pub solver: SolverRollup,
+    /// Resilience accounting under [`RESILIENCE_SCHEMA`], present iff the
+    /// spec injected faults (deterministic — not zeroed by
+    /// [`Report::normalized`]). Boxed: the body is large and usually
+    /// absent, and it should not bloat every [`ReportBody`].
+    pub resilience: Option<Box<ResilienceReport>>,
     /// The per-datacenter-hour trace, when the spec asked for it.
     pub trace: Vec<TraceRowReport>,
 }
@@ -293,6 +303,7 @@ impl AnnualReport {
             energy_settlement_usd: r.energy_settlement_usd,
             rebuilds: r.scheduler_stats.rebuilds,
             solver: SolverRollup::from(&r.scheduler_stats),
+            resilience: r.resilience.clone().map(Box::new),
             trace: if include_trace {
                 r.rows.iter().map(TraceRowReport::from).collect()
             } else {
@@ -325,6 +336,10 @@ pub struct SweepRow {
     pub warm_rate: f64,
     /// Simplex iterations spent.
     pub lp_iterations: usize,
+    /// Fraction of requested VM-hours served (1.0 when fault-free).
+    pub slo_attainment: f64,
+    /// VM-hours lost to outages (0.0 when fault-free).
+    pub vm_downtime_hours: f64,
 }
 
 impl From<&ScenarioResult> for SweepRow {
@@ -340,6 +355,8 @@ impl From<&ScenarioResult> for SweepRow {
             net_drawn_mwh: r.net_drawn_mwh,
             warm_rate: r.warm_rate,
             lp_iterations: r.lp_iterations,
+            slo_attainment: r.slo_attainment,
+            vm_downtime_hours: r.vm_downtime_hours,
         }
     }
 }
@@ -509,24 +526,52 @@ impl Report {
                     st.btrans,
                     st.pricing_ms
                 );
+                if let Some(res) = &a.resilience {
+                    let _ = writeln!(
+                        out,
+                        "resilience: SLO {:.3}%, {} fault events ({} site / {} grid / {} wan outages, {} shocks), \
+                         {:.1} VM-h down, {} evacuations ({:.1} GB), mean recovery {:.2} h, \
+                         incidents cost {:.1} MWh brown / ${:.0}",
+                        res.slo_attainment * 100.0,
+                        res.fault_events,
+                        res.site_outages,
+                        res.grid_outages,
+                        res.wan_outages,
+                        res.forecast_shocks,
+                        res.vm_downtime_hours,
+                        res.evacuations,
+                        res.evacuated_gb,
+                        res.mean_recovery_hours,
+                        res.incident_brown_mwh,
+                        res.incident_cost_usd
+                    );
+                }
             }
             ReportBody::Sweep(s) => {
                 let _ = writeln!(
                     out,
-                    "{:<30} {:>7} {:>10} {:>6} {:>9} {:>9} {:>6}",
-                    "scenario", "green%", "brown MWh", "migs", "batt MWh", "net MWh", "warm%"
+                    "{:<30} {:>7} {:>10} {:>6} {:>9} {:>9} {:>6} {:>7}",
+                    "scenario",
+                    "green%",
+                    "brown MWh",
+                    "migs",
+                    "batt MWh",
+                    "net MWh",
+                    "warm%",
+                    "slo%"
                 );
                 for r in &s.rows {
                     let _ = writeln!(
                         out,
-                        "{:<30} {:>6.1}% {:>10.1} {:>6} {:>9.1} {:>9.1} {:>5.0}%",
+                        "{:<30} {:>6.1}% {:>10.1} {:>6} {:>9.1} {:>9.1} {:>5.0}% {:>6.2}%",
                         r.name,
                         r.green_fraction * 100.0,
                         r.brown_mwh,
                         r.migrations,
                         r.battery_out_mwh,
                         r.net_drawn_mwh,
-                        r.warm_rate * 100.0
+                        r.warm_rate * 100.0,
+                        r.slo_attainment * 100.0
                     );
                 }
             }
@@ -648,6 +693,13 @@ fn annual_to_json(a: &AnnualReport) -> Json {
         ("rebuilds", Json::from(a.rebuilds)),
         ("solver", rollup_to_json(&a.solver)),
         (
+            "resilience",
+            match &a.resilience {
+                Some(res) => resilience_to_json(res),
+                None => Json::Null,
+            },
+        ),
+        (
             "trace",
             Json::Array(
                 a.trace
@@ -669,6 +721,28 @@ fn annual_to_json(a: &AnnualReport) -> Json {
     ])
 }
 
+fn resilience_to_json(r: &ResilienceReport) -> Json {
+    Json::obj([
+        ("schema", Json::from(RESILIENCE_SCHEMA)),
+        ("fault_events", Json::from(r.fault_events)),
+        ("site_outages", Json::from(r.site_outages)),
+        ("grid_outages", Json::from(r.grid_outages)),
+        ("wan_outages", Json::from(r.wan_outages)),
+        ("forecast_shocks", Json::from(r.forecast_shocks)),
+        ("site_down_hours", Json::from(r.site_down_hours)),
+        ("vm_downtime_hours", Json::from(r.vm_downtime_hours)),
+        ("shed_vm_hours", Json::from(r.shed_vm_hours)),
+        ("evacuations", Json::from(r.evacuations)),
+        ("evacuated_gb", Json::from(r.evacuated_gb)),
+        ("recoveries", Json::from(r.recoveries)),
+        ("mean_recovery_hours", Json::from(r.mean_recovery_hours)),
+        ("slo_attainment", Json::from(r.slo_attainment)),
+        ("unserved_mwh", Json::from(r.unserved_mwh)),
+        ("incident_brown_mwh", Json::from(r.incident_brown_mwh)),
+        ("incident_cost_usd", Json::from(r.incident_cost_usd)),
+    ])
+}
+
 fn sweep_to_json(s: &SweepReport) -> Json {
     Json::obj([(
         "rows",
@@ -687,6 +761,8 @@ fn sweep_to_json(s: &SweepReport) -> Json {
                         ("net_drawn_mwh", Json::from(r.net_drawn_mwh)),
                         ("warm_rate", Json::from(r.warm_rate)),
                         ("lp_iterations", Json::from(r.lp_iterations)),
+                        ("slo_attainment", Json::from(r.slo_attainment)),
+                        ("vm_downtime_hours", Json::from(r.vm_downtime_hours)),
                     ])
                 })
                 .collect(),

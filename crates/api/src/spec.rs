@@ -19,6 +19,7 @@ use greencloud_core::anneal::AnnealOptions;
 use greencloud_core::framework::{PlacementInput, StorageMode, TechMix};
 use greencloud_core::tool::ToolOptions;
 use greencloud_nebula::emulation::{EmulationConfig, EmulationSite};
+use greencloud_nebula::faults::{FaultKind, FaultSpec, ScheduledFault};
 use greencloud_nebula::predictor::PredictionMode;
 use greencloud_nebula::scheduler::SchedulerConfig;
 use greencloud_nebula::wan::WanModel;
@@ -789,6 +790,13 @@ fn emulation_to_json(c: &EmulationConfig) -> Json {
         ("battery_efficiency", Json::from(c.battery_efficiency)),
         ("net_meter_credit", opt(c.net_meter_credit)),
         (
+            "faults",
+            match &c.faults {
+                Some(f) => faults_to_json(f),
+                None => Json::Null,
+            },
+        ),
+        (
             "prediction",
             match c.prediction {
                 PredictionMode::Perfect => Json::from("perfect"),
@@ -863,6 +871,110 @@ fn emulation_from_json(j: &Json, path: &str) -> Result<EmulationConfig, SpecErro
         wan,
         battery_efficiency: num(j, "battery_efficiency", path)?,
         net_meter_credit: opt_num(j, "net_meter_credit", path)?,
+        faults: match j.get("faults") {
+            // Absent or null both mean "no fault injection": specs written
+            // before greencloud-spec/1 grew this field keep parsing.
+            None | Some(Json::Null) => None,
+            Some(f) => Some(faults_from_json(f, &sub(path, "faults"))?),
+        },
         prediction,
+    })
+}
+
+fn faults_to_json(f: &FaultSpec) -> Json {
+    Json::obj([
+        ("seed", Json::from(f.seed)),
+        (
+            "site_availability",
+            match f.site_availability {
+                Some(a) => Json::from(a),
+                None => Json::Null,
+            },
+        ),
+        ("site_mttr_hours", Json::from(f.site_mttr_hours)),
+        (
+            "grid_outage_rate_per_khour",
+            Json::from(f.grid_outage_rate_per_khour),
+        ),
+        ("grid_mttr_hours", Json::from(f.grid_mttr_hours)),
+        ("grid_residual_factor", Json::from(f.grid_residual_factor)),
+        (
+            "wan_outage_rate_per_khour",
+            Json::from(f.wan_outage_rate_per_khour),
+        ),
+        ("wan_mttr_hours", Json::from(f.wan_mttr_hours)),
+        ("wan_residual_factor", Json::from(f.wan_residual_factor)),
+        ("shock_rate_per_khour", Json::from(f.shock_rate_per_khour)),
+        ("shock_mttr_hours", Json::from(f.shock_mttr_hours)),
+        ("shock_green_factor", Json::from(f.shock_green_factor)),
+        (
+            "battery_fade_per_khour",
+            Json::from(f.battery_fade_per_khour),
+        ),
+        (
+            "scheduled",
+            Json::Array(
+                f.scheduled
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("kind", Json::from(s.kind.as_str())),
+                            (
+                                "site",
+                                match s.site {
+                                    Some(i) => Json::from(i),
+                                    None => Json::Null,
+                                },
+                            ),
+                            ("start_hour", Json::from(s.start_hour)),
+                            ("duration_hours", Json::from(s.duration_hours)),
+                            ("magnitude", Json::from(s.magnitude)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn faults_from_json(j: &Json, path: &str) -> Result<FaultSpec, SpecError> {
+    let scheduled_j = array(j, "scheduled", path)?;
+    let mut scheduled = Vec::with_capacity(scheduled_j.len());
+    for (i, s) in scheduled_j.iter().enumerate() {
+        let sp = format!("{path}.scheduled[{i}]");
+        let kind_s = string(s, "kind", &sp)?;
+        let kind = FaultKind::parse(&kind_s).ok_or_else(|| {
+            SpecError::new(sub(&sp, "kind"), format!("unknown fault kind {kind_s:?}"))
+        })?;
+        let site =
+            match need(s, "site", &sp)? {
+                Json::Null => None,
+                other => Some(other.as_usize().ok_or_else(|| {
+                    SpecError::new(sub(&sp, "site"), "expected site index or null")
+                })?),
+            };
+        scheduled.push(ScheduledFault {
+            kind,
+            site,
+            start_hour: int(s, "start_hour", &sp)?,
+            duration_hours: int(s, "duration_hours", &sp)?,
+            magnitude: num(s, "magnitude", &sp)?,
+        });
+    }
+    Ok(FaultSpec {
+        seed: seed(j, "seed", path)?,
+        site_availability: opt_num(j, "site_availability", path)?,
+        site_mttr_hours: num(j, "site_mttr_hours", path)?,
+        grid_outage_rate_per_khour: num(j, "grid_outage_rate_per_khour", path)?,
+        grid_mttr_hours: num(j, "grid_mttr_hours", path)?,
+        grid_residual_factor: num(j, "grid_residual_factor", path)?,
+        wan_outage_rate_per_khour: num(j, "wan_outage_rate_per_khour", path)?,
+        wan_mttr_hours: num(j, "wan_mttr_hours", path)?,
+        wan_residual_factor: num(j, "wan_residual_factor", path)?,
+        shock_rate_per_khour: num(j, "shock_rate_per_khour", path)?,
+        shock_mttr_hours: num(j, "shock_mttr_hours", path)?,
+        shock_green_factor: num(j, "shock_green_factor", path)?,
+        battery_fade_per_khour: num(j, "battery_fade_per_khour", path)?,
+        scheduled,
     })
 }

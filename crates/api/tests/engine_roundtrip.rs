@@ -150,7 +150,7 @@ fn invalid_input_surfaces_as_typed_validation_error() {
 }
 
 #[test]
-fn unknown_site_surfaces_as_solve_error() {
+fn unknown_site_surfaces_as_typed_engine_error() {
     let engine = Engine::new(WorldCatalog::anchors_only(4));
     let mut config = tiny_emulation(4);
     config.sites[0].location_name = "Atlantis".into();
@@ -160,7 +160,7 @@ fn unknown_site_surfaces_as_solve_error() {
             include_trace: false,
         }))
         .unwrap_err();
-    assert!(matches!(err, ApiError::Solve(_)), "{err}");
+    assert_eq!(err, ApiError::Engine("unknown site Atlantis".into()));
 }
 
 #[test]

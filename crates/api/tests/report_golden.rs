@@ -9,6 +9,7 @@ use greencloud_api::report::{
     SweepReport, SweepRow, TimingRecord, TimingReport, TraceRowReport, WarmVsCold,
 };
 use greencloud_api::REPORT_SCHEMA;
+use greencloud_nebula::faults::ResilienceReport;
 
 fn check(report: &Report, golden_path: &str, golden: &str) {
     let actual = report.to_json_string();
@@ -100,6 +101,24 @@ fn annual_report_layout_is_stable() {
             energy_settlement_usd: 54_321.0,
             rebuilds: 1,
             solver: rollup(),
+            resilience: Some(Box::new(ResilienceReport {
+                fault_events: 6,
+                site_outages: 2,
+                grid_outages: 1,
+                wan_outages: 0,
+                forecast_shocks: 0,
+                site_down_hours: 9.0,
+                vm_downtime_hours: 36.5,
+                shed_vm_hours: 4.0,
+                evacuations: 120,
+                evacuated_gb: 384.5,
+                recoveries: 120,
+                mean_recovery_hours: 1.25,
+                slo_attainment: 0.9746,
+                unserved_mwh: 12.5,
+                incident_brown_mwh: 7.75,
+                incident_cost_usd: 930.0,
+            })),
             trace: vec![TraceRowReport {
                 hour: 0,
                 dc: 2,
@@ -135,6 +154,8 @@ fn sweep_and_timing_layouts_are_stable() {
                 net_drawn_mwh: 0.0,
                 warm_rate: 0.99,
                 lp_iterations: 1234,
+                slo_attainment: 0.9875,
+                vm_downtime_hours: 84.0,
             }],
         }),
     };

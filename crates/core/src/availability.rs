@@ -18,12 +18,14 @@ pub fn network_availability(n: usize, a: f64) -> f64 {
 ///
 /// # Panics
 ///
-/// Panics if `a == 0` while `min_availability > 0` (unreachable target) or
-/// arguments are outside `[0, 1)`.
+/// Panics if `a == 0` while `min_availability > 0` (unreachable target),
+/// `min_availability` is outside `[0, 1)`, or `a` is outside `[0, 1]`.
 pub fn min_datacenters(min_availability: f64, a: f64) -> usize {
     assert!((0.0..1.0).contains(&min_availability));
-    assert!((0.0..1.0).contains(&a));
-    if min_availability == 0.0 {
+    assert!((0.0..=1.0).contains(&a), "availability must be in [0, 1]");
+    if min_availability == 0.0 || a == 1.0 {
+        // A perfectly available datacenter (or a vacuous target) needs no
+        // replicas; the log-ratio below would divide by ln(0).
         return 1;
     }
     assert!(
@@ -107,6 +109,30 @@ mod tests {
     fn single_dc_suffices_for_lax_targets() {
         assert_eq!(min_datacenters(0.99, tiers::TIER_III), 1);
         assert_eq!(min_datacenters(0.0, tiers::TIER_I), 1);
+    }
+
+    #[test]
+    fn perfect_availability_boundary() {
+        // a == 1.0 used to trip the `(0.0..1.0)` range assert; one perfect
+        // datacenter satisfies any sub-1 target.
+        assert_eq!(min_datacenters(0.99999, 1.0), 1);
+        assert_eq!(min_datacenters(0.0, 1.0), 1);
+        assert_eq!(network_availability(1, 1.0), 1.0);
+        assert_eq!(network_availability(3, 1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "availability must be in [0, 1]")]
+    fn availability_above_one_is_rejected() {
+        min_datacenters(0.9, 1.0001);
+    }
+
+    #[test]
+    #[should_panic]
+    fn target_of_exactly_one_is_rejected() {
+        // A hard 1.0 target is unreachable with any a < 1 and ambiguous at
+        // a == 1; the contract keeps the target in [0, 1).
+        min_datacenters(1.0, tiers::TIER_IV);
     }
 
     #[test]

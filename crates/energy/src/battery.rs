@@ -79,6 +79,15 @@ impl Battery {
         delivered
     }
 
+    /// Shrinks (or restores) the usable capacity to `capacity_kwh` —
+    /// lead-acid banks fade over their 4-year life, and fault-injection
+    /// scenarios model that as stepwise derating. Negative values clamp to
+    /// zero; stored energy above the new capacity is forfeited.
+    pub fn derate_to(&mut self, capacity_kwh: f64) {
+        self.capacity_kwh = capacity_kwh.max(0.0);
+        self.level_kwh = self.level_kwh.min(self.capacity_kwh);
+    }
+
     /// Current stored energy, kWh.
     pub fn level_kwh(&self) -> f64 {
         self.level_kwh
@@ -169,6 +178,22 @@ mod tests {
             assert!(b.level_kwh() <= b.capacity_kwh());
             assert!(b.state_of_charge() <= 1.0);
         }
+    }
+
+    #[test]
+    fn derating_clamps_level_and_restores() {
+        let mut b = Battery::with_default_efficiency(100.0);
+        b.charge(80.0); // 60 stored
+        b.derate_to(40.0);
+        assert_eq!(b.capacity_kwh(), 40.0);
+        assert_eq!(b.level_kwh(), 40.0, "overfull energy is forfeited");
+        assert_eq!(b.state_of_charge(), 1.0);
+        b.derate_to(100.0);
+        assert_eq!(b.capacity_kwh(), 100.0);
+        assert_eq!(b.level_kwh(), 40.0, "restoring capacity keeps the level");
+        b.derate_to(-5.0);
+        assert_eq!(b.capacity_kwh(), 0.0, "negative derate clamps to zero");
+        assert_eq!(b.level_kwh(), 0.0);
     }
 
     #[test]

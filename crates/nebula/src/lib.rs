@@ -25,11 +25,18 @@
 //!   (Fig. 15 and beyond).
 //! * [`sweep`] — parallel scenario sweeps over independent emulation
 //!   configs (seasons, storage sizes, forecast noise, WAN bandwidths).
+//! * [`faults`] — deterministic fault injection: seeded schedules of site
+//!   outages (tier availability model), grid blackouts/brownouts, WAN
+//!   degradation, forecast shocks, and battery fade, replayed through the
+//!   simulation kernel so the emulation degrades gracefully instead of
+//!   assuming the paper's availability figures.
 
 #![warn(missing_docs)]
 
 pub mod cluster;
 pub mod emulation;
+pub mod error;
+pub mod faults;
 pub mod gdfs;
 pub mod planner;
 pub mod predictor;
@@ -40,7 +47,9 @@ pub mod wan;
 
 pub use cluster::{Datacenter, DatacenterId, Host};
 pub use emulation::{EmulationConfig, EmulationReport, MigrationRecord, TraceRow};
+pub use error::NebulaError;
+pub use faults::{FaultKind, FaultSchedule, FaultSpec, ResilienceReport, ScheduledFault};
 pub use planner::{Migration, MigrationPlan};
 pub use scheduler::{RollingScheduler, RollingStats, Scheduler, SchedulerConfig};
-pub use sweep::{run_sweep, Scenario, ScenarioResult};
+pub use sweep::{run_sweep, run_sweep_with_cancel, Scenario, ScenarioResult};
 pub use vm::{Vm, VmId, VmSpec};

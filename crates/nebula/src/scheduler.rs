@@ -92,6 +92,10 @@ pub struct RollingStats {
     pub iterations: usize,
     /// Times the persistent model had to be (re)built from scratch.
     pub rebuilds: usize,
+    /// Rounds that needed the graceful-degradation retry ladder (cold
+    /// restart, rebuild, escalating tolerances) after a numerically failed
+    /// warm solve.
+    pub recoveries: usize,
     /// Basis refactorizations across all rounds.
     pub refactorizations: usize,
     /// FTRAN solves across all rounds.
@@ -132,6 +136,7 @@ impl PartialEq for RollingStats {
             && self.warm_started == other.warm_started
             && self.iterations == other.iterations
             && self.rebuilds == other.rebuilds
+            && self.recoveries == other.recoveries
             && self.refactorizations == other.refactorizations
             && self.ftrans == other.ftrans
             && self.btrans == other.btrans
@@ -527,25 +532,78 @@ impl RollingScheduler {
                 self.stats.rebuilds += 1;
             }
         }
-        let window = self.window.as_ref().expect("window model built");
-        // Successive rounds are one-hour advances of the window, so the
-        // previous basis is translated one hour before installation; an
-        // unshiftable snapshot is offered as-is and the LP layer's
-        // validate-then-commit decides.
-        let shifted = self.basis.as_ref().and_then(|b| window.shift_basis(b));
-        let warm = shifted.as_ref().or(self.basis.as_ref());
-        let sol = window
-            .model
-            .solve_with_basis(SimplexOptions::default(), warm)?;
+        let first = {
+            let window = self.window.as_ref().expect("window model built");
+            // Successive rounds are one-hour advances of the window, so the
+            // previous basis is translated one hour before installation; an
+            // unshiftable snapshot is offered as-is and the LP layer's
+            // validate-then-commit decides.
+            let shifted = self.basis.as_ref().and_then(|b| window.shift_basis(b));
+            let warm = shifted.as_ref().or(self.basis.as_ref());
+            window
+                .model
+                .solve_with_basis(SimplexOptions::default(), warm)
+        };
+        let sol = match first {
+            Ok(s) => s,
+            Err(e) if recoverable(&e) => self.recover(sites)?,
+            Err(e) => return Err(e),
+        };
         self.stats.rounds += 1;
         self.stats.absorb_solve(&sol.stats);
         if sol.warm_started {
             self.stats.warm_started += 1;
         }
+        let window = self.window.as_ref().expect("window model built");
         let plan = window.extract(&sol, h_total);
         self.basis = sol.basis;
         Ok(plan)
     }
+
+    /// The graceful-degradation retry ladder for a numerically failed
+    /// round (topology changes — a site's capacity collapsing to zero —
+    /// can leave the LP singular from the warm basis): first a cold solve
+    /// of the shifted model, then a rebuild from scratch, then rebuilt
+    /// solves with 10× and 100× relaxed tolerances.
+    fn recover(&mut self, sites: &[SiteState]) -> Result<greencloud_lp::Solution, SolveError> {
+        self.stats.recoveries += 1;
+        self.basis = None;
+        let cold = {
+            let window = self.window.as_ref().expect("window model built");
+            window
+                .model
+                .solve_with_basis(SimplexOptions::default(), None)
+        };
+        let mut last = match cold {
+            Ok(s) => return Ok(s),
+            Err(e) if recoverable(&e) => e,
+            Err(e) => return Err(e),
+        };
+        self.window = Some(build_window_model(&self.config, sites));
+        self.stats.rebuilds += 1;
+        let window = self.window.as_ref().expect("window model built");
+        let base = SimplexOptions::default();
+        for mult in [1.0, 10.0, 100.0] {
+            let opts = SimplexOptions {
+                feas_tol: base.feas_tol * mult,
+                opt_tol: base.opt_tol * mult,
+                ..base.clone()
+            };
+            match window.model.solve_with_basis(opts, None) {
+                Ok(s) => return Ok(s),
+                Err(e) if recoverable(&e) => last = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+}
+
+/// Errors worth retrying through the recovery ladder: numerical trouble
+/// and iteration stalls. Infeasible/unbounded/invalid models are facts
+/// about the inputs, not the arithmetic.
+fn recoverable(e: &SolveError) -> bool {
+    matches!(e, SolveError::Numerical(_) | SolveError::IterationLimit)
 }
 
 #[cfg(test)]
@@ -790,6 +848,40 @@ mod tests {
         assert_eq!(rolling.stats().rebuilds, 2);
         rolling.plan(&three).expect("steady state");
         assert_eq!(rolling.stats().rebuilds, 2, "no extra rebuild");
+    }
+
+    #[test]
+    fn capacity_collapse_shifts_without_rebuild() {
+        // A site outage is presented to the scheduler as capacity (and
+        // forecast) dropping to zero with the site count unchanged; the
+        // persistent model must absorb it through `shift` and plan all
+        // load onto the survivor, then recover when the site returns.
+        let mut rolling = RollingScheduler::new(SchedulerConfig {
+            window_hours: 4,
+            ..SchedulerConfig::default()
+        });
+        let healthy = [
+            site(vec![30.0; 4], 10.0, 20.0),
+            site(vec![30.0; 4], 0.0, 20.0),
+        ];
+        rolling.plan(&healthy).expect("healthy round");
+        let dead0 = [
+            SiteState {
+                green_forecast_mw: vec![0.0; 4],
+                pue_forecast: vec![1.0; 4],
+                current_load_mw: 0.0, // evacuated before the round
+                capacity_mw: 0.0,
+            },
+            site(vec![30.0; 4], 10.0, 20.0),
+        ];
+        let plan = rolling.plan(&dead0).expect("degraded round");
+        assert!(plan.target_mw[0] < 1e-9, "dead site hosts nothing");
+        assert!((plan.target_mw[1] - 10.0).abs() < 1e-6);
+        let back = rolling.plan(&healthy).expect("recovered round");
+        let sum: f64 = back.target_mw.iter().sum();
+        assert!((sum - 10.0).abs() < 1e-6);
+        assert_eq!(rolling.stats().rebuilds, 1, "no rebuild across the outage");
+        assert_eq!(rolling.stats().recoveries, 0, "shift alone sufficed");
     }
 
     #[test]

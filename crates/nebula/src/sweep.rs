@@ -6,11 +6,13 @@
 //! comparing annual statistics. Scenarios are embarrassingly parallel, so
 //! the sweep fans them out over scoped crossbeam threads (the same pattern
 //! the siting search uses for its annealing chains) and returns results in
-//! input order regardless of completion order.
+//! input order regardless of completion order. Fault-injecting scenarios
+//! compose transparently: their resilience aggregates ride along in the
+//! per-scenario row.
 
 use crate::emulation::{self, EmulationConfig, EmulationReport};
+use crate::error::NebulaError;
 use greencloud_climate::catalog::WorldCatalog;
-use greencloud_lp::SolveError;
 use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
 
@@ -60,6 +62,11 @@ pub struct ScenarioResult {
     pub warm_rate: f64,
     /// Total simplex iterations spent on hourly re-solves.
     pub lp_iterations: usize,
+    /// Fraction of requested VM-hours actually served (1.0 for fault-free
+    /// scenarios).
+    pub slo_attainment: f64,
+    /// VM-hours lost to outages (0.0 for fault-free scenarios).
+    pub vm_downtime_hours: f64,
 }
 
 impl ScenarioResult {
@@ -76,6 +83,16 @@ impl ScenarioResult {
             net_drawn_mwh: r.net_drawn_mwh,
             warm_rate: r.scheduler_stats.warm_rate(),
             lp_iterations: r.scheduler_stats.iterations,
+            slo_attainment: r
+                .resilience
+                .as_ref()
+                .map(|res| res.slo_attainment)
+                .unwrap_or(1.0),
+            vm_downtime_hours: r
+                .resilience
+                .as_ref()
+                .map(|res| res.vm_downtime_hours)
+                .unwrap_or(0.0),
         }
     }
 }
@@ -93,7 +110,20 @@ pub fn run_sweep(
     catalog: &WorldCatalog,
     scenarios: &[Scenario],
     threads: usize,
-) -> Result<Vec<ScenarioResult>, SolveError> {
+) -> Result<Vec<ScenarioResult>, NebulaError> {
+    let cancel = std::sync::atomic::AtomicBool::new(false);
+    run_sweep_with_cancel(catalog, scenarios, threads, &cancel)
+}
+
+/// [`run_sweep`] with cooperative cancellation: the flag propagates into
+/// every scenario's emulation (polled hourly) and also stops workers from
+/// claiming further scenarios.
+pub fn run_sweep_with_cancel(
+    catalog: &WorldCatalog,
+    scenarios: &[Scenario],
+    threads: usize,
+    cancel: &std::sync::atomic::AtomicBool,
+) -> Result<Vec<ScenarioResult>, NebulaError> {
     let threads = if threads == 0 {
         // Mirrors `greencloud_core::tool::default_threads` (this crate
         // sits below `core`, so the helper cannot be shared directly).
@@ -105,12 +135,12 @@ pub fn run_sweep(
         threads
     };
     let threads = threads.min(scenarios.len().max(1));
-    let mut slots: Vec<Option<Result<ScenarioResult, SolveError>>> =
+    let mut slots: Vec<Option<Result<ScenarioResult, NebulaError>>> =
         (0..scenarios.len()).map(|_| None).collect();
     {
         let next = std::sync::atomic::AtomicUsize::new(0);
         let slots = Mutex::new(&mut slots);
-        crossbeam::thread::scope(|scope| {
+        let scope_out = crossbeam::thread::scope(|scope| {
             for _ in 0..threads {
                 let next = &next;
                 let slots = &slots;
@@ -120,23 +150,40 @@ pub fn run_sweep(
                         break;
                     }
                     let s = &scenarios[k];
-                    let out = emulation::run(catalog, &s.config)
-                        .map(|r| ScenarioResult::from_report(s.name.clone(), s.config.hours, &r));
-                    slots.lock().expect("sweep slots")[k] = Some(out);
+                    let out = if cancel.load(std::sync::atomic::Ordering::Relaxed) {
+                        Err(NebulaError::Cancelled)
+                    } else {
+                        emulation::run_with_cancel(catalog, &s.config, cancel).map(|r| {
+                            ScenarioResult::from_report(s.name.clone(), s.config.hours, &r)
+                        })
+                    };
+                    // Tolerate a poisoned lock: a sibling panicking between
+                    // scenarios must not take this worker's result with it.
+                    let mut guard = slots.lock().unwrap_or_else(|p| p.into_inner());
+                    guard[k] = Some(out);
                 });
             }
-        })
-        .expect("sweep scope");
+        });
+        if scope_out.is_err() {
+            return Err(NebulaError::Config("a sweep worker thread panicked".into()));
+        }
     }
     slots
         .into_iter()
-        .map(|slot| slot.expect("every scenario ran"))
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                Err(NebulaError::Config(
+                    "a scenario was claimed but never finished".into(),
+                ))
+            })
+        })
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultSpec;
     use crate::predictor::PredictionMode;
     use crate::scheduler::SchedulerConfig;
 
@@ -180,6 +227,7 @@ mod tests {
             let serial = emulation::run(&w, &s.config).expect("serial");
             assert_eq!(got.brown_mwh, serial.total_brown_mwh, "{}", s.name);
             assert_eq!(got.migrations, serial.migrations, "{}", s.name);
+            assert_eq!(got.slo_attainment, 1.0, "{}", s.name);
         }
         assert_eq!(parallel[3].hours, 30);
     }
@@ -191,7 +239,7 @@ mod tests {
         bad.sites[0].location_name = "Atlantis".into();
         let scenarios = vec![Scenario::new("ok", tiny(6)), Scenario::new("bad", bad)];
         let err = run_sweep(&w, &scenarios, 2).unwrap_err();
-        assert!(matches!(err, SolveError::InvalidModel(_)));
+        assert_eq!(err, NebulaError::UnknownSite("Atlantis".into()));
     }
 
     #[test]
@@ -200,5 +248,32 @@ mod tests {
         let r = run_sweep(&w, &[Scenario::new("solo", tiny(8))], 1).expect("sweep");
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].hours, 8);
+    }
+
+    #[test]
+    fn faulty_scenarios_compose_with_the_sweep() {
+        // A chaos scenario rides next to a clean one; its resilience
+        // aggregates surface in the row without perturbing the sibling.
+        let w = WorldCatalog::anchors_only(4);
+        let chaos = EmulationConfig {
+            faults: Some(FaultSpec {
+                site_availability: Some(0.95),
+                site_mttr_hours: 3.0,
+                ..FaultSpec::default()
+            }),
+            hours: 72,
+            ..tiny(72)
+        };
+        let scenarios = vec![
+            Scenario::new("clean", tiny(72)),
+            Scenario::new("chaos", chaos),
+        ];
+        let rows = run_sweep(&w, &scenarios, 2).expect("sweep");
+        assert_eq!(rows[0].slo_attainment, 1.0);
+        assert_eq!(rows[0].vm_downtime_hours, 0.0);
+        assert!(rows[1].slo_attainment <= 1.0);
+        // 5% unavailability over 72 h on 3 sites essentially always fires
+        // at least one outage with the default seed.
+        assert!(rows[1].vm_downtime_hours > 0.0, "{:?}", rows[1]);
     }
 }

@@ -43,6 +43,15 @@ impl WanModel {
         self.bandwidth_mbps / 8.0
     }
 
+    /// This link with its bandwidth scaled by `factor` (fault-injection
+    /// WAN degradation; `factor ≤ 0` models a partition).
+    pub fn degraded(&self, factor: f64) -> Self {
+        Self {
+            bandwidth_mbps: self.bandwidth_mbps * factor.max(0.0),
+            ..*self
+        }
+    }
+
     /// Duration of a pre-copy live migration, in hours.
     ///
     /// `mem_mb` is the VM's memory, `dirty_mb_per_hour` its write rate, and
@@ -51,6 +60,10 @@ impl WanModel {
     /// memory dirtied during the previous round; after
     /// `max_precopy_rounds` (or when the dirty set stops shrinking) the VM
     /// briefly stops and the remainder is copied.
+    ///
+    /// A dead link (bandwidth ≤ 0, e.g. a WAN partition) returns
+    /// `f64::INFINITY` — the transfer never completes — rather than
+    /// panicking; callers decide whether to park or retry.
     pub fn migration_hours(
         &self,
         mem_mb: f64,
@@ -58,7 +71,13 @@ impl WanModel {
         disk_payload_mb: f64,
     ) -> f64 {
         let bw_mb_h = self.mb_per_s() * 3600.0;
-        assert!(bw_mb_h > 0.0, "zero bandwidth");
+        if bw_mb_h <= 0.0 {
+            return if mem_mb.max(0.0) + disk_payload_mb.max(0.0) > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+        }
         let dirty_per_hour = dirty_mb_per_hour.max(0.0);
 
         // Disk payload streams first (GDFS background copy).
@@ -117,6 +136,27 @@ mod tests {
     fn zero_memory_zero_payload_is_instant() {
         let wan = WanModel::default();
         assert_eq!(wan.migration_hours(0.0, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn dead_link_is_infinite_not_a_panic() {
+        let wan = WanModel::leased(0.0);
+        assert_eq!(wan.migration_hours(512.0, 50.0, 100.0), f64::INFINITY);
+        assert_eq!(wan.migration_hours(0.0, 0.0, 0.0), 0.0, "nothing to move");
+        let partitioned = WanModel::default().degraded(0.0);
+        assert_eq!(partitioned.bandwidth_mbps, 0.0);
+        assert_eq!(partitioned.migration_hours(512.0, 50.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn degraded_scales_bandwidth() {
+        let wan = WanModel::leased(100.0);
+        let half = wan.degraded(0.5);
+        assert_eq!(half.bandwidth_mbps, 50.0);
+        let slow = half.migration_hours(512.0, 50.0, 200.0);
+        let fast = wan.migration_hours(512.0, 50.0, 200.0);
+        assert!(slow > fast * 1.5);
+        assert_eq!(wan.degraded(-1.0).bandwidth_mbps, 0.0, "negative clamps");
     }
 
     #[test]
