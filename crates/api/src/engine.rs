@@ -38,6 +38,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::wallclock::{self, Stopwatch};
+
 /// Renders a captured panic payload for an [`ApiError::Engine`] message.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -169,7 +171,7 @@ impl Engine {
         spec: &ExperimentSpec,
         cancel: &AtomicBool,
     ) -> Result<Report, ApiError> {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let body = match spec {
             ExperimentSpec::Siting(s) => self.run_siting(s)?,
             ExperimentSpec::ExactSiting(s) => self.run_exact(s)?,
@@ -179,7 +181,7 @@ impl Engine {
         };
         Ok(Report {
             experiment: spec.kind().to_string(),
-            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            wall_ms: t0.elapsed_ms(),
             body,
         })
     }
@@ -266,7 +268,7 @@ impl Engine {
                         if k >= specs.len() {
                             break;
                         }
-                        *started[k].lock() = Some(Instant::now());
+                        *started[k].lock() = Some(wallclock::now());
                         let out = catch_unwind(AssertUnwindSafe(|| {
                             self.run_cancellable(&specs[k], &tokens[k])
                         }))
@@ -388,15 +390,12 @@ impl Engine {
                     .collect();
             let sched = Scheduler::new(SchedulerConfig::default());
             sched.plan(&states)?; // warm-up
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             let reps = 10;
             for _ in 0..reps {
                 sched.plan(&states)?;
             }
-            out.push((
-                label.to_string(),
-                t0.elapsed().as_secs_f64() * 1000.0 / reps as f64,
-            ));
+            out.push((label.to_string(), t0.elapsed_ms() / reps as f64));
         }
         Ok(out)
     }
@@ -431,7 +430,7 @@ impl Engine {
             let mut best_ms = f64::INFINITY;
             let mut iterations = 0;
             for _ in 0..reps {
-                let t0 = Instant::now();
+                let t0 = Stopwatch::start();
                 let (d, _) = lp.solve_warm(
                     SimplexOptions {
                         pricing,
@@ -439,7 +438,7 @@ impl Engine {
                     },
                     None,
                 )?;
-                best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+                best_ms = best_ms.min(t0.elapsed_ms());
                 iterations = d.iterations;
             }
             records.push(TimingRecord {
@@ -460,12 +459,12 @@ impl Engine {
 
             let mut rolling = RollingScheduler::new(cfg.scheduler.clone());
             let mut loads = vec![cfg.total_load_mw, 0.0, 0.0];
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             for t in start..start + rounds {
                 let states = rolling_states(&profiles, t, window, &loads);
                 loads = rolling.plan(&states)?.target_mw;
             }
-            let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let warm_ms = t0.elapsed_ms();
             let stats = rolling.stats();
             records.push(TimingRecord {
                 name: format!("hourly_resolve_{rounds}rounds/warm"),
@@ -476,7 +475,7 @@ impl Engine {
 
             let cold = Scheduler::new(cfg.scheduler.clone());
             let mut loads = vec![cfg.total_load_mw, 0.0, 0.0];
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             for t in start..start + rounds {
                 let states = rolling_states(&profiles, t, window, &loads);
                 loads = cold.plan(&states)?.target_mw;
@@ -485,7 +484,7 @@ impl Engine {
             // record contract keeps the field 0 when not applicable.
             records.push(TimingRecord {
                 name: format!("hourly_resolve_{rounds}rounds/cold"),
-                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                wall_ms: t0.elapsed_ms(),
                 iterations: 0,
                 warm_rate: 0.0,
             });
@@ -506,16 +505,16 @@ impl Engine {
 
         let mut rolling = RollingScheduler::new(cfg.scheduler.clone());
         let mut loads = vec![cfg.total_load_mw, 0.0, 0.0];
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         for t in start..start + rounds {
             let states = rolling_states(&profiles, t, window, &loads);
             loads = rolling.plan(&states)?.target_mw;
         }
-        let warm_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let warm_ms = t0.elapsed_ms();
 
         let cold = Scheduler::new(cfg.scheduler.clone());
         let mut loads = vec![cfg.total_load_mw, 0.0, 0.0];
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         for t in start..start + rounds {
             let states = rolling_states(&profiles, t, window, &loads);
             loads = cold.plan(&states)?.target_mw;
@@ -523,7 +522,7 @@ impl Engine {
         Ok(WarmVsCold {
             rounds,
             warm_ms,
-            cold_ms: t0.elapsed().as_secs_f64() * 1000.0,
+            cold_ms: t0.elapsed_ms(),
             warm_rate: rolling.stats().warm_rate(),
         })
     }

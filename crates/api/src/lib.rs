@@ -37,6 +37,7 @@
 //! saved with [`ExperimentSpec::to_json_string`] and replayed via
 //! `repro run spec.json` reproduces the equivalent programmatic run.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
@@ -45,6 +46,7 @@ pub mod harness;
 pub mod json;
 pub mod report;
 pub mod spec;
+pub mod wallclock;
 
 pub use engine::Engine;
 pub use error::{ApiError, SpecError};

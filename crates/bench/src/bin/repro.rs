@@ -7,6 +7,7 @@
 //! repro <experiment> [--locations N] [--fast] [--threads N]
 //! repro all [--locations N] [--fast]
 //! repro run <spec.json> [--json] [--world anchors|synthetic] [--locations N]
+//! repro lint
 //! ```
 //!
 //! Experiments: `tab1 fig3 fig4 fig5 fig6 tab2 fig7 fig8 fig9 fig10 fig11
@@ -74,6 +75,10 @@ fn main() {
             other => eprintln!("ignoring unknown flag {other}"),
         }
         i += 1;
+    }
+
+    if experiment == "lint" {
+        std::process::exit(run_lint());
     }
 
     if experiment == "run" {
@@ -217,6 +222,27 @@ fn header(title: &str) {
 
 /// Loads, runs, and prints one serialized spec. Returns `false` on any
 /// failure.
+/// `repro lint` — the gclint static-analysis pass over the workspace
+/// (determinism, panic-freedom, float-safety; see `cargo run -p gclint --
+/// --help` for the rule catalog). Returns the process exit code.
+fn run_lint() -> i32 {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let Some(root) = gclint::find_workspace_root(&cwd) else {
+        eprintln!("repro lint: no workspace root above {}", cwd.display());
+        return 2;
+    };
+    match gclint::lint_workspace(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            i32::from(!report.is_clean())
+        }
+        Err(e) => {
+            eprintln!("repro lint: {e}");
+            2
+        }
+    }
+}
+
 fn run_spec_file(
     path: &str,
     world_kind: &str,

@@ -6,6 +6,7 @@
 //! and keeps only the presentation-side helpers the paper-figure
 //! experiments in `repro` use.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench_json;

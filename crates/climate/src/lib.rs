@@ -19,6 +19,7 @@
 //!   weighted time slots for the optimization.
 //! * [`geo`] — coordinates, distances, time zones.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod catalog;

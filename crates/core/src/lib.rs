@@ -26,6 +26,7 @@
 //! * [`tool`] — [`tool::PlacementTool`], the end-to-end siting tool.
 //! * [`solution`] — the reported siting/provisioning/cost result.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod anneal;

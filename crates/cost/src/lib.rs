@@ -12,6 +12,7 @@
 //! * [`breakdown`] — `CAP_ind`, `CAP_dep`, and `OP` for a provisioned
 //!   datacenter, itemized exactly as the paper's Fig. 7 stacks them.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod breakdown;

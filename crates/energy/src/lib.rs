@@ -19,6 +19,7 @@
 //! * [`profile::EnergyProfile`] — α/β/PUE on the representative-day slot
 //!   clock, the direct input of the siting LP.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod battery;

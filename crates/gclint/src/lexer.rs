@@ -1,0 +1,329 @@
+//! A minimal Rust lexer for lint purposes: it does not tokenize, it
+//! *classifies* — every byte of a source file is attributed to code,
+//! string/char literal, or comment, line by line, so the rule engine can
+//! pattern-match on code with literals blanked out and read comments for
+//! `gclint: allow(...)` directives and `// SAFETY:` justifications.
+//!
+//! Handled: line comments, nested block comments, doc comments, string
+//! literals with escapes, raw strings (`r"…"`, `r#"…"#`, any `#` count),
+//! byte strings, char literals, and the char-literal/lifetime ambiguity
+//! (`'a'` vs `<'a>`). `#[cfg(test)]` items (mods or fns) are detected by
+//! brace matching and their lines flagged so hot-path rules can skip test
+//! code.
+
+/// One source line, split into its code text and its comment text.
+///
+/// `code` has the same length as the original line with every string and
+/// char literal's interior replaced by spaces and every comment character
+/// replaced by a space, so column positions still line up with the file.
+#[derive(Debug, Clone)]
+pub struct ScannedLine {
+    /// Code text with literals blanked and comments removed.
+    pub code: String,
+    /// Concatenated comment text that appeared on this line.
+    pub comment: String,
+    /// True if this line sits inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A whole file run through the classifier.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    /// Lines in file order; line numbers are `index + 1`.
+    pub lines: Vec<ScannedLine>,
+}
+
+#[derive(PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str { raw_hashes: Option<u32> },
+    Char,
+}
+
+/// Classifies `source` into per-line code and comment streams.
+pub fn scan(source: &str) -> ScannedFile {
+    let mut lines: Vec<ScannedLine> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let n = chars.len();
+
+    macro_rules! end_line {
+        () => {{
+            lines.push(ScannedLine {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: false,
+            });
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            end_line!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                // Comment openers.
+                if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+                    state = State::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    state = State::BlockComment(1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                // Raw strings: r"…", r#"…"#, br"…", br#"…"# — but not raw
+                // identifiers like r#fn.
+                if c == 'r' || (c == 'b' && i + 1 < n && chars[i + 1] == 'r') {
+                    let start = if c == 'b' { i + 2 } else { i + 1 };
+                    let mut j = start;
+                    while j < n && chars[j] == '#' {
+                        j += 1;
+                    }
+                    if j < n && chars[j] == '"' {
+                        for _ in i..start {
+                            code.push('r');
+                        }
+                        let hashes = (j - start) as u32;
+                        for _ in start..j {
+                            code.push('#');
+                        }
+                        code.push('"');
+                        state = State::Str {
+                            raw_hashes: Some(hashes),
+                        };
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                // Ordinary and byte strings.
+                if c == '"' || (c == 'b' && i + 1 < n && chars[i + 1] == '"') {
+                    if c == 'b' {
+                        code.push('b');
+                        i += 1;
+                    }
+                    code.push('"');
+                    state = State::Str { raw_hashes: None };
+                    i += 1;
+                    continue;
+                }
+                // Char literal vs lifetime: 'x' or '\…' is a literal,
+                // anything else ('a in <'a>, 'static) is a lifetime.
+                if c == '\'' || (c == 'b' && i + 1 < n && chars[i + 1] == '\'') {
+                    let q = if c == 'b' { i + 1 } else { i };
+                    let is_literal =
+                        q + 1 < n && (chars[q + 1] == '\\' || (q + 2 < n && chars[q + 2] == '\''));
+                    if is_literal {
+                        if c == 'b' {
+                            code.push('b');
+                        }
+                        code.push('\'');
+                        state = State::Char;
+                        i = q + 1;
+                        continue;
+                    }
+                }
+                code.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str { raw_hashes } => match raw_hashes {
+                None => {
+                    if c == '\\' && i + 1 < n && chars[i + 1] != '\n' {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Some(hashes) => {
+                    let h = hashes as usize;
+                    if c == '"' && i + h < n && chars[i + 1..].iter().take(h).all(|&x| x == '#') {
+                        code.push('"');
+                        for _ in 0..h {
+                            code.push('#');
+                        }
+                        state = State::Code;
+                        i += 1 + h;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            },
+            State::Char => {
+                if c == '\\' && i + 1 < n && chars[i + 1] != '\n' {
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == '\'' {
+                    code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    end_line!();
+
+    let mut file = ScannedFile { lines };
+    mark_test_regions(&mut file);
+    file
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item (the attribute line
+/// through the item's closing brace) so rules can skip test code.
+fn mark_test_regions(file: &mut ScannedFile) {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Arm {
+        Idle,
+        /// Saw `cfg(test)`; waiting for the item's opening brace.
+        Armed {
+            attr_line: usize,
+            depth: i32,
+        },
+        /// Inside the braces of a test item.
+        Skipping {
+            from_line: usize,
+            depth: i32,
+        },
+    }
+    let mut arm = Arm::Idle;
+    let mut depth: i32 = 0;
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+
+    for li in 0..file.lines.len() {
+        let line = file.lines[li].code.clone();
+        if arm == Arm::Idle && line.contains("cfg(test)") {
+            arm = Arm::Armed {
+                attr_line: li,
+                depth,
+            };
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if let Arm::Armed { attr_line, .. } = arm {
+                        arm = Arm::Skipping {
+                            from_line: attr_line,
+                            depth,
+                        };
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Arm::Skipping {
+                        from_line,
+                        depth: d,
+                    } = arm
+                    {
+                        if depth == d {
+                            regions.push((from_line, li));
+                            arm = Arm::Idle;
+                        }
+                    }
+                }
+                ';' => {
+                    // `#[cfg(test)] use …;` — attribute applied to a
+                    // braceless item; disarm.
+                    if let Arm::Armed { depth: d, .. } = arm {
+                        if depth == d {
+                            arm = Arm::Idle;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if let Arm::Skipping { from_line, .. } = arm {
+        regions.push((from_line, file.lines.len().saturating_sub(1)));
+    }
+    for (a, b) in regions {
+        for line in &mut file.lines[a..=b] {
+            line.in_test = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = scan("let x = \"HashMap.iter()\"; // Instant::now\n");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].comment.contains("Instant::now"));
+        assert!(!f.lines[0].code.contains("Instant"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let f = scan("let s = r#\"panic!(\"x\")\"#; let c = 'a'; let l: &'static str = \"\";\n");
+        assert!(!f.lines[0].code.contains("panic!"));
+        assert!(f.lines[0].code.contains("'static"), "{}", f.lines[0].code);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = scan("a /* outer /* inner */ still */ b\n");
+        assert!(f.lines[0].code.contains('a') && f.lines[0].code.contains('b'));
+        assert!(!f.lines[0].code.contains("inner"));
+    }
+
+    #[test]
+    fn cfg_test_region_marked() {
+        let src = "fn hot() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn hot2() {}\n";
+        let f = scan(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test && f.lines[2].in_test && f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+}

@@ -1,0 +1,372 @@
+//! `gclint` — repo-specific static analysis for the greencloud workspace.
+//!
+//! The repo's headline guarantees (byte-identical fault replay under a
+//! pinned `GC_FAULT_SEED`, golden-file-pinned `greencloud-report/1`
+//! bodies, warm/cold LP agreement) hold only as long as nobody iterates a
+//! `HashMap` into a report, reads the wall clock into a compared field, or
+//! hides a panic in an LP hot path. This crate machine-checks those
+//! invariants with a hand-rolled lexer + rule engine ([`rules::RULES`]) in
+//! the workspace's no-external-deps style — no `syn`, no `regex`, just
+//! [`lexer::scan`] classifying every byte and path-scoped pattern rules.
+//!
+//! Run it as `cargo run -p gclint` (or `repro lint`); it walks
+//! `src/` and `crates/*/src/`, prints `file:line: [rule] message`
+//! diagnostics, and exits nonzero on any finding.
+//!
+//! # Escape hatch
+//!
+//! A violation that is genuinely intended carries an inline directive on
+//! its own line or the line above:
+//!
+//! ```text
+//! // gclint: allow(panic-path) — opt-in GC_LP_PARANOID crash-on-drift mode
+//! ```
+//!
+//! The reason after the dash is mandatory, unused allows are themselves
+//! violations, and the total allow count across the workspace is capped at
+//! [`ALLOW_BUDGET`] so the hatch cannot quietly become a door.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{Diagnostic, RULES};
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Workspace-wide cap on `gclint: allow(...)` directives. Reaching the cap
+/// is an error: either fix the code or argue (in the PR) for a higher one.
+pub const ALLOW_BUDGET: usize = 10;
+
+/// A used `gclint: allow(rule)` directive and its mandatory reason.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the directive.
+    pub line: usize,
+    /// Rule the directive suppresses.
+    pub rule: String,
+    /// Justification text after the rule id.
+    pub reason: String,
+}
+
+/// A finding bound to a file.
+#[derive(Debug, Clone)]
+pub struct FileDiagnostic {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// The underlying rule finding.
+    pub diag: Diagnostic,
+}
+
+impl fmt::Display for FileDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.diag.line, self.diag.rule, self.diag.message
+        )
+    }
+}
+
+/// Everything one lint run produced.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Violations that survived allow-filtering (nonzero exit if any).
+    pub diagnostics: Vec<FileDiagnostic>,
+    /// Allow directives that suppressed a finding.
+    pub allows: Vec<Allow>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when the workspace is clean and the allow budget holds.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty() && self.allows.len() < ALLOW_BUDGET
+    }
+
+    /// Renders the human-readable report (diagnostics, allow inventory,
+    /// summary line) exactly as the CLI prints it.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{d}\n"));
+        }
+        if !self.allows.is_empty() {
+            out.push_str(&format!(
+                "\n{} inline allow{} (budget {}):\n",
+                self.allows.len(),
+                if self.allows.len() == 1 { "" } else { "s" },
+                ALLOW_BUDGET
+            ));
+            for a in &self.allows {
+                out.push_str(&format!(
+                    "  {}:{}: allow({}) — {}\n",
+                    a.file, a.line, a.rule, a.reason
+                ));
+            }
+        }
+        if self.allows.len() >= ALLOW_BUDGET {
+            out.push_str(&format!(
+                "error: {} allows meets or exceeds the budget of {}\n",
+                self.allows.len(),
+                ALLOW_BUDGET
+            ));
+        }
+        out.push_str(&format!(
+            "gclint: {} file{} scanned, {} violation{}, {} allow{}\n",
+            self.files_scanned,
+            if self.files_scanned == 1 { "" } else { "s" },
+            self.diagnostics.len(),
+            if self.diagnostics.len() == 1 { "" } else { "s" },
+            self.allows.len(),
+            if self.allows.len() == 1 { "" } else { "s" },
+        ));
+        out
+    }
+}
+
+/// One parsed allow directive before matching against findings.
+#[derive(Debug, Clone)]
+struct AllowDirective {
+    line: usize,
+    rule: String,
+    reason: String,
+    used: bool,
+}
+
+fn parse_allows(file: &lexer::ScannedFile) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        // Only plain `//` comments are directives; doc comments (whose
+        // text starts with the third `/` or a `!`) merely *talk about*
+        // directives.
+        let c = line.comment.trim_start();
+        if c.starts_with('/') || c.starts_with('!') {
+            continue;
+        }
+        let Some(p) = c.find("gclint: allow(") else {
+            continue;
+        };
+        if c[..p].contains(|ch: char| ch.is_ascii_alphanumeric()) {
+            continue;
+        }
+        let rest = &c[p + "gclint: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let reason = rest[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '–', '-', ':'])
+            .trim()
+            .to_string();
+        out.push(AllowDirective {
+            line: idx + 1,
+            rule,
+            reason,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Lints one already-read source file. `rel_path` scopes the rules (see
+/// [`rules::check_file`]); allow directives in the file are applied, and
+/// directive misuse (missing reason, suppressing nothing) is reported as a
+/// violation in its own right.
+pub fn lint_source(rel_path: &str, source: &str) -> (Vec<FileDiagnostic>, Vec<Allow>) {
+    let scanned = lexer::scan(source);
+    let raw = rules::check_file(rel_path, &scanned);
+    let mut allows = parse_allows(&scanned);
+    let mut diags: Vec<FileDiagnostic> = Vec::new();
+
+    for d in raw {
+        let suppressed = allows
+            .iter_mut()
+            .find(|a| a.rule == d.rule && (a.line == d.line || a.line + 1 == d.line));
+        match suppressed {
+            Some(a) => a.used = true,
+            None => diags.push(FileDiagnostic {
+                file: rel_path.to_string(),
+                diag: d,
+            }),
+        }
+    }
+
+    let mut used = Vec::new();
+    for a in allows {
+        if !a.used {
+            diags.push(FileDiagnostic {
+                file: rel_path.to_string(),
+                diag: Diagnostic {
+                    line: a.line,
+                    rule: "unused-allow",
+                    message: format!(
+                        "allow({}) suppresses nothing — remove it or move it next to the \
+                         violation",
+                        a.rule
+                    ),
+                },
+            });
+        } else if a.reason.is_empty() {
+            diags.push(FileDiagnostic {
+                file: rel_path.to_string(),
+                diag: Diagnostic {
+                    line: a.line,
+                    rule: "allow-missing-reason",
+                    message: format!(
+                        "allow({}) carries no reason — write `// gclint: allow({}) — why`",
+                        a.rule, a.rule
+                    ),
+                },
+            });
+        } else {
+            used.push(Allow {
+                file: rel_path.to_string(),
+                line: a.line,
+                rule: a.rule,
+                reason: a.reason,
+            });
+        }
+    }
+    (diags, used)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`: `src/` plus every
+/// `crates/*/src/` (vendored stubs under `vendor/` are third-party API
+/// shims and out of scope). Also enforces the crate-level rule that a
+/// crate containing no `unsafe` must carry `#![forbid(unsafe_code)]` in
+/// its `lib.rs`.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+
+    let mut crate_dirs: Vec<PathBuf> = vec![root.to_path_buf()];
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut subdirs: Vec<PathBuf> = fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        subdirs.sort();
+        crate_dirs.extend(subdirs);
+    }
+
+    for crate_dir in &crate_dirs {
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        let mut crate_has_unsafe = false;
+        let mut lib_rs: Option<(String, String)> = None;
+        for path in &files {
+            let source = fs::read_to_string(path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let scanned = lexer::scan(&source);
+            crate_has_unsafe |= rules::has_unsafe(&scanned);
+            if path.file_name().is_some_and(|f| f == "lib.rs") {
+                lib_rs = Some((rel.clone(), source.clone()));
+            }
+            let (diags, allows) = lint_source(&rel, &source);
+            report.diagnostics.extend(diags);
+            report.allows.extend(allows);
+            report.files_scanned += 1;
+        }
+        if let Some((rel, source)) = lib_rs {
+            if !crate_has_unsafe && !source.contains("#![forbid(unsafe_code)]") {
+                report.diagnostics.push(FileDiagnostic {
+                    file: rel,
+                    diag: Diagnostic {
+                        line: 1,
+                        rule: "forbid-unsafe",
+                        message: "crate has no unsafe code — add #![forbid(unsafe_code)] so \
+                                  it stays that way"
+                            .to_string(),
+                    },
+                });
+            }
+        }
+    }
+
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.diag.line).cmp(&(&b.file, b.diag.line)));
+    Ok(report)
+}
+
+/// Walks upward from `start` to the workspace root (the first directory
+/// whose `Cargo.toml` declares `[workspace]`).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_suppresses_and_is_counted() {
+        let src = "fn f() {\n    // gclint: allow(panic-path) — structurally impossible\n    x.unwrap();\n}\n";
+        let (diags, allows) = lint_source("crates/lp/src/x.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].reason, "structurally impossible");
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_violation() {
+        let src = "fn f() {\n    x.unwrap(); // gclint: allow(panic-path)\n}\n";
+        let (diags, _) = lint_source("crates/lp/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].diag.rule, "allow-missing-reason");
+    }
+
+    #[test]
+    fn unused_allow_is_a_violation() {
+        let src = "// gclint: allow(panic-path) — nothing here\nfn f() {}\n";
+        let (diags, _) = lint_source("crates/lp/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].diag.rule, "unused-allow");
+    }
+}

@@ -1,0 +1,55 @@
+//! CLI for [`gclint`]: `cargo run -p gclint [ROOT]`.
+//!
+//! With no argument the workspace root is located by walking up from the
+//! current directory. Exits 0 on a clean workspace, 1 on any violation or
+//! an exhausted allow budget, 2 on usage/IO errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: gclint [ROOT]\n\nRules:");
+        for (id, summary) in gclint::RULES {
+            println!("  {id:<14} {summary}");
+        }
+        println!(
+            "\nEscape hatch (counts toward a budget of {}):\n  \
+             // gclint: allow(<rule>) — <reason>",
+            gclint::ALLOW_BUDGET
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match args.first() {
+        Some(p) => PathBuf::from(p),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match gclint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("gclint: no workspace root above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match gclint::lint_workspace(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("gclint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,6 @@
+// Clean file: the violation carries an allow directive with a reason.
+pub fn hot(xs: &[f64]) -> f64 {
+    // gclint: allow(panic-path) — fixture demonstrating the escape hatch
+    let first = xs.first().unwrap();
+    *first
+}

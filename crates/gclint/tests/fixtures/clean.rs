@@ -1,0 +1,14 @@
+// Clean file: ordered maps, seeded randomness, typed errors, tolerances.
+use std::collections::BTreeMap;
+
+pub fn report(rows: &BTreeMap<String, f64>) -> Vec<String> {
+    rows.iter().map(|(k, v)| format!("{k}: {v}")).collect()
+}
+
+pub fn head(xs: &[f64]) -> Option<f64> {
+    xs.first().copied()
+}
+
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}

@@ -1,0 +1,6 @@
+// Seeded violation: bare float equality against a non-zero literal.
+pub fn converged(step: f64, residual: f64) -> bool {
+    // Exact-zero sparsity tests are exempt; this one is not.
+    let exact_zero_ok = residual != 0.0;
+    exact_zero_ok && step == 1.0
+}

@@ -1,0 +1,16 @@
+// Seeded violation: iterating a HashMap in a determinism-scoped crate.
+use std::collections::HashMap;
+
+pub struct SweepState {
+    rows: HashMap<String, f64>,
+}
+
+impl SweepState {
+    pub fn report_lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (name, value) in self.rows.iter() {
+            out.push(format!("{name}: {value}"));
+        }
+        out
+    }
+}

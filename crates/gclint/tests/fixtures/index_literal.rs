@@ -1,0 +1,5 @@
+// Seeded violation: indexing by integer literal panics on short input.
+pub fn head(xs: &[f64]) -> f64 {
+    let v = vec![0.0];
+    xs[0] + v.len() as f64
+}

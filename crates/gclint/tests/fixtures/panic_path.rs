@@ -1,0 +1,9 @@
+// Seeded violations: implicit panics in a hot path.
+pub fn hot(xs: &[f64]) -> f64 {
+    let first = xs.first().unwrap();
+    let last = xs.last().expect("non-empty");
+    if *first > *last {
+        panic!("unsorted");
+    }
+    *first
+}

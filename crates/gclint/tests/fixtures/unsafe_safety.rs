@@ -1,0 +1,8 @@
+// Seeded violation: an unjustified unsafe block.
+//
+// (Padding so the header comment sits outside the three-line
+// justification window the rule searches.)
+//
+pub fn reinterpret(x: &u64) -> &i64 {
+    unsafe { &*(x as *const u64 as *const i64) }
+}

@@ -1,0 +1,5 @@
+// Seeded violation: OS-entropy RNG breaks byte-identical replay.
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0.0..1.0)
+}

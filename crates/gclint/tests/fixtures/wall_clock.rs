@@ -1,0 +1,7 @@
+// Seeded violation: wall-clock read outside a wallclock.rs module.
+use std::time::Instant;
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,123 @@
+//! One test per rule against a seeded-violation fixture, plus the
+//! allow-comment and clean-file cases, plus the meta-test that the real
+//! workspace itself lints clean inside its allow budget.
+
+use gclint::{find_workspace_root, lint_source, lint_workspace, ALLOW_BUDGET};
+use std::path::Path;
+
+/// Reads a fixture and lints it under a pretend workspace-relative path
+/// (the path picks which rule scopes apply).
+fn lint_fixture(
+    fixture: &str,
+    rel_path: &str,
+) -> (Vec<gclint::FileDiagnostic>, Vec<gclint::Allow>) {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let source = std::fs::read_to_string(dir.join(fixture))
+        .unwrap_or_else(|e| panic!("fixture {fixture}: {e}"));
+    lint_source(rel_path, &source)
+}
+
+fn rules_fired(diags: &[gclint::FileDiagnostic]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = diags.iter().map(|d| d.diag.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn hash_iter_fires() {
+    let (diags, _) = lint_fixture("hash_iter.rs", "crates/api/src/fixture.rs");
+    assert_eq!(rules_fired(&diags), ["hash-iter"], "{diags:?}");
+    // The binding is report-scoped only: the same file in an unscoped
+    // crate is legal.
+    let (diags, _) = lint_fixture("hash_iter.rs", "crates/energy/src/fixture.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn wall_clock_fires() {
+    let (diags, _) = lint_fixture("wall_clock.rs", "crates/nebula/src/fixture.rs");
+    assert_eq!(rules_fired(&diags), ["wall-clock"], "{diags:?}");
+    // The same source inside a wallclock.rs module is the sanctioned spot.
+    let (diags, _) = lint_fixture("wall_clock.rs", "crates/nebula/src/wallclock.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn unseeded_rng_fires() {
+    let (diags, _) = lint_fixture("unseeded_rng.rs", "crates/core/src/fixture.rs");
+    assert_eq!(rules_fired(&diags), ["unseeded-rng"], "{diags:?}");
+}
+
+#[test]
+fn panic_path_fires() {
+    let (diags, _) = lint_fixture("panic_path.rs", "crates/lp/src/fixture.rs");
+    assert_eq!(rules_fired(&diags), ["panic-path"], "{diags:?}");
+    assert_eq!(diags.len(), 3, "unwrap + expect + panic!: {diags:?}");
+    // Outside the hot-path scope the same code is legal.
+    let (diags, _) = lint_fixture("panic_path.rs", "crates/climate/src/fixture.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn index_literal_fires_but_not_on_macros() {
+    let (diags, _) = lint_fixture("index_literal.rs", "crates/nebula/src/fixture.rs");
+    assert_eq!(rules_fired(&diags), ["index-literal"], "{diags:?}");
+    assert_eq!(diags.len(), 1, "vec![0] must not count: {diags:?}");
+}
+
+#[test]
+fn float_eq_fires_but_exempts_exact_zero() {
+    let (diags, _) = lint_fixture("float_eq.rs", "crates/lp/src/fixture.rs");
+    assert_eq!(rules_fired(&diags), ["float-eq"], "{diags:?}");
+    assert_eq!(diags.len(), 1, "`!= 0.0` must stay exempt: {diags:?}");
+    // The rule is lp-scoped.
+    let (diags, _) = lint_fixture("float_eq.rs", "crates/core/src/fixture.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn unsafe_without_safety_comment_fires() {
+    let (diags, _) = lint_fixture("unsafe_safety.rs", "crates/simkernel/src/fixture.rs");
+    assert_eq!(rules_fired(&diags), ["unsafe-safety"], "{diags:?}");
+}
+
+#[test]
+fn allow_comment_suppresses_and_is_counted() {
+    let (diags, allows) = lint_fixture("allowed.rs", "crates/lp/src/fixture.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(allows.len(), 1);
+    assert_eq!(allows[0].rule, "panic-path");
+    assert!(allows[0].reason.contains("escape hatch"));
+}
+
+#[test]
+fn clean_file_is_clean_everywhere() {
+    for scope in [
+        "crates/lp/src/fixture.rs",
+        "crates/nebula/src/fixture.rs",
+        "crates/api/src/fixture.rs",
+    ] {
+        let (diags, allows) = lint_fixture("clean.rs", scope);
+        assert!(diags.is_empty(), "{scope}: {diags:?}");
+        assert!(allows.is_empty(), "{scope}: {allows:?}");
+    }
+}
+
+#[test]
+fn workspace_is_clean_within_allow_budget() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root above gclint");
+    let report = lint_workspace(&root).expect("lint run");
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has lint violations:\n{}",
+        report.render()
+    );
+    assert!(
+        report.allows.len() < ALLOW_BUDGET,
+        "allow budget exhausted:\n{}",
+        report.render()
+    );
+    assert!(report.files_scanned > 50, "walker lost the workspace");
+}

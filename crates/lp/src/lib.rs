@@ -40,6 +40,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod branch;
@@ -49,6 +50,7 @@ pub mod lu;
 pub mod model;
 pub mod revised;
 pub mod validate;
+pub mod wallclock;
 
 pub use branch::{BranchAndBound, MilpOptions};
 pub use expr::LinExpr;

@@ -262,25 +262,29 @@ fn triangular_order(b: &ColMatrix) -> Vec<usize> {
         let mut peeled: Option<(usize, usize, bool)> = None; // (col, row, to front)
         while let Some(j) = col_stack.pop() {
             if col_active[j] && ccnt[j] == 1 {
-                let r = b
-                    .col(j)
-                    .map(|(r, _)| r)
-                    .find(|&r| row_active[r])
-                    .expect("active count says one row remains");
-                peeled = Some((j, r, true));
-                break;
+                // A stale count with no active row left just means this
+                // column misses its singleton turn and falls through to
+                // the bump — the preorder is a fill heuristic, never a
+                // correctness requirement, so degrade instead of panicking.
+                match b.col(j).map(|(r, _)| r).find(|&r| row_active[r]) {
+                    Some(r) => {
+                        peeled = Some((j, r, true));
+                        break;
+                    }
+                    None => continue,
+                }
             }
         }
         if peeled.is_none() {
             while let Some(r) = row_stack.pop() {
                 if row_active[r] && rcnt[r] == 1 {
-                    let j = rows
-                        .row(r)
-                        .map(|(j, _)| j)
-                        .find(|&j| col_active[j])
-                        .expect("active count says one column remains");
-                    peeled = Some((j, r, false));
-                    break;
+                    match rows.row(r).map(|(j, _)| j).find(|&j| col_active[j]) {
+                        Some(j) => {
+                            peeled = Some((j, r, false));
+                            break;
+                        }
+                        None => continue,
+                    }
                 }
             }
         }

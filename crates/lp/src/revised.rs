@@ -26,8 +26,8 @@
 #![allow(clippy::needless_range_loop)]
 use crate::lu::{ColMatrix, FactorizeError, RowMatrix, SparseLu};
 use crate::model::{Model, Sense, Solution, SolveError};
+use crate::wallclock::Stopwatch;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Status of one column in an exported [`Basis`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -707,14 +707,14 @@ impl<'a> Worker<'a> {
             }
             self.iterations += 1;
 
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             if self.d_stale || self.d_phase1 != phase1 {
                 self.compute_reduced_costs(phase1);
             }
             // Row r of B⁻¹ and the pivot row αᵣ = ρᵀ·A, via one
             // hyper-sparse unit BTRAN plus a CSR row gather.
             self.pivot_row(r);
-            self.pricing_ns += t0.elapsed().as_nanos() as u64;
+            self.pricing_ns += t0.elapsed_ns();
 
             // Entering column: dual ratio test over the pivot row's
             // nonzeros. The required movement of xb[r] is `delta_r =
@@ -800,11 +800,11 @@ impl<'a> Worker<'a> {
             let leaving = self.basis[r];
             // Maintain reduced costs across the pivot while the pivot row
             // is still valid (before the eta push).
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             if !self.d_stale {
                 self.update_reduced_costs(q, wr, leaving, false);
             }
-            self.pricing_ns += t0.elapsed().as_nanos() as u64;
+            self.pricing_ns += t0.elapsed_ns();
             for s in 0..self.m {
                 self.xb[s] -= t * dir * self.work_w[s];
             }
@@ -897,7 +897,7 @@ impl<'a> Worker<'a> {
                 self.d_stale = true;
             }
             prev_bland = bland;
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             let mut choice = self.price(phase1, bland);
             if choice.is_none() && !self.d_exact {
                 // The maintained reduced costs say optimal; confirm against
@@ -905,7 +905,7 @@ impl<'a> Worker<'a> {
                 self.d_stale = true;
                 choice = self.price(phase1, bland);
             }
-            self.pricing_ns += t0.elapsed().as_nanos() as u64;
+            self.pricing_ns += t0.elapsed_ns();
             let Some((q, _)) = choice else {
                 return Ok(()); // phase optimal (certified on exact values)
             };
@@ -998,7 +998,7 @@ impl<'a> Worker<'a> {
                     // Maintain reduced costs and devex weights from the
                     // pivot row while the pre-pivot basis is still in
                     // place (the eta push below would invalidate ρ).
-                    let t0 = Instant::now();
+                    let t0 = Stopwatch::start();
                     if !self.d_stale {
                         self.pivot_row(slot);
                         self.update_reduced_costs(
@@ -1008,7 +1008,7 @@ impl<'a> Worker<'a> {
                             self.opts.pricing == PricingMode::Devex,
                         );
                     }
-                    self.pricing_ns += t0.elapsed().as_nanos() as u64;
+                    self.pricing_ns += t0.elapsed_ns();
                     for s in 0..self.m {
                         self.xb[s] -= t * dir * self.work_w[s];
                     }
@@ -1502,17 +1502,18 @@ impl<'a> Worker<'a> {
                     .max_by(|a, b| {
                         let da = (a.1 .0 - a.1 .1).abs();
                         let db = (b.1 .0 - b.1 .1).abs();
-                        da.partial_cmp(&db).unwrap()
-                    })
-                    .unwrap();
-                eprintln!(
-                    "PARANOID iter {}: ftran drift {diff:.3e} q={q} (etas {}) worst slot {} fresh={} eta={}",
-                    self.iterations,
-                    self.etas.len(),
-                    worst.0,
-                    worst.1 .0,
-                    worst.1 .1,
-                );
+                        da.total_cmp(&db)
+                    });
+                if let Some(worst) = worst {
+                    eprintln!(
+                        "PARANOID iter {}: ftran drift {diff:.3e} q={q} (etas {}) worst slot {} fresh={} eta={}",
+                        self.iterations,
+                        self.etas.len(),
+                        worst.0,
+                        worst.1 .0,
+                        worst.1 .1,
+                    );
+                }
                 for (k, e) in self.etas.iter().enumerate() {
                     eprintln!(
                         "  eta {k}: slot {} pivot {:.6e} nnz {}",
@@ -1521,6 +1522,7 @@ impl<'a> Worker<'a> {
                         e.entries.len()
                     );
                 }
+                // gclint: allow(panic-path) — GC_LP_PARANOID is an opt-in crash-on-drift debug mode
                 panic!("paranoid drift");
             }
         } else {
@@ -1529,6 +1531,7 @@ impl<'a> Worker<'a> {
                 self.iterations,
                 self.etas.len()
             );
+            // gclint: allow(panic-path) — GC_LP_PARANOID is an opt-in crash-on-drift debug mode
             panic!("paranoid singular");
         }
     }
@@ -1555,7 +1558,7 @@ impl<'a> Worker<'a> {
             {
                 let mut b = self.basis.clone();
                 b.sort_unstable();
-                b.windows(2).all(|w| w[0] != w[1])
+                b.iter().zip(b.iter().skip(1)).all(|(a, b)| a != b)
             },
             "duplicate column in basis"
         );

@@ -1,0 +1,26 @@
+//! The crate's one sanctioned wall-clock access point.
+//!
+//! gclint's `wall-clock` rule forbids `Instant::now`/`SystemTime::now`
+//! everywhere except a file named `wallclock.rs`, so every timing read is
+//! forced through here — making it auditable that measured wall time only
+//! ever lands in fields the determinism tests exclude from comparison
+//! (`SolveStats::pricing_ns` and friends), never in solver decisions or
+//! report bodies that are pinned byte-for-byte.
+
+use std::time::Instant;
+
+/// A started timer for accumulating nanosecond counters.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Reads the monotonic clock and starts timing.
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Nanoseconds since [`Stopwatch::start`], saturating at `u64::MAX`.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}

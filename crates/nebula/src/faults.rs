@@ -542,20 +542,19 @@ impl FaultSchedule {
         let mut depth = 0u32;
         let mut down_hours = 0usize;
         let mut cursor = 0usize;
-        let mut it = self.transitions.iter().peekable();
         let advance = |from: usize, to: usize, depth: u32, down: &mut usize| {
             if depth > 0 {
                 *down += to - from;
             }
         };
-        while let Some(t) = it.peek() {
+        for t in &self.transitions {
             let h = t.hour.min(hours);
             advance(cursor, h, depth, &mut down_hours);
             cursor = h;
             if t.hour >= hours {
                 break;
             }
-            match it.next().unwrap().change {
+            match t.change {
                 FaultChange::SiteDown { site: s } if s == site => depth += 1,
                 FaultChange::SiteUp { site: s } if s == site => depth = depth.saturating_sub(1),
                 _ => {}

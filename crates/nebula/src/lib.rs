@@ -31,6 +31,7 @@
 //!   simulation kernel so the emulation degrades gracefully instead of
 //!   assuming the paper's availability figures.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cluster;

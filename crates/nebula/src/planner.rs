@@ -67,7 +67,7 @@ pub fn plan_migrations(datacenters: &[Datacenter], targets_mw: &[f64]) -> Migrat
 
     // Donors in decreasing out-power order.
     let mut donors: Vec<usize> = (0..n).filter(|&i| excess[i] > 1e-12).collect();
-    donors.sort_by(|&a, &b| excess[b].partial_cmp(&excess[a]).expect("finite"));
+    donors.sort_by(|&a, &b| excess[b].total_cmp(&excess[a]));
 
     let mut moves = Vec::new();
     for &d in &donors {
@@ -82,7 +82,7 @@ pub fn plan_migrations(datacenters: &[Datacenter], targets_mw: &[f64]) -> Migrat
                 )
             })
             .collect();
-        vms.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        vms.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
 
         // Receivers for this donor: closest first.
         let mut receivers: Vec<usize> = (0..n).filter(|&i| i != d && deficit[i] > 1e-12).collect();
@@ -93,7 +93,7 @@ pub fn plan_migrations(datacenters: &[Datacenter], targets_mw: &[f64]) -> Migrat
             let db = datacenters[d]
                 .position
                 .distance_km(&datacenters[b].position);
-            da.partial_cmp(&db).expect("finite")
+            da.total_cmp(&db)
         });
 
         let mut to_move = excess[d];

@@ -258,7 +258,7 @@ fn build_window_model(config: &SchedulerConfig, sites: &[SiteState]) -> WindowMo
             if h == 0 {
                 migfloor[d].push(model.add_con(
                     format!("migfloor[{d},0]"),
-                    [(comp[d][0], -theta), (mig[d][0], -1.0)],
+                    [(comp[d][h], -theta), (mig[d][h], -1.0)],
                     Sense::Le,
                     -theta * site.current_load_mw,
                 ));
@@ -310,8 +310,9 @@ impl WindowModel {
             self.model.set_rhs(con, total_load);
         }
         for (d, site) in sites.iter().enumerate() {
-            self.model
-                .set_rhs(self.migfloor[d][0], -theta * site.current_load_mw);
+            if let Some(&hour0) = self.migfloor[d].first() {
+                self.model.set_rhs(hour0, -theta * site.current_load_mw);
+            }
             for h in 0..h_total {
                 self.model
                     .set_bounds(self.comp[d][h], 0.0, site.capacity_mw);
@@ -341,7 +342,7 @@ impl WindowModel {
         if statuses.len() != n_struct + m || !prev.artificial_rows().is_empty() {
             return None;
         }
-        let h_total = self.comp[0].len();
+        let h_total = self.comp.first().map_or(0, Vec::len);
         if h_total < 2 {
             return Some(prev.clone());
         }
@@ -421,7 +422,10 @@ impl WindowModel {
             .map(|d| (0..h_total).map(|h| sol[self.brown[d][h]]).sum::<f64>())
             .sum();
         SchedulePlan {
-            target_mw: trajectory.iter().map(|t| t[0]).collect(),
+            target_mw: trajectory
+                .iter()
+                .map(|t| t.first().copied().unwrap_or(0.0))
+                .collect(),
             trajectory_mw: trajectory,
             brown_mwh,
             objective: sol.objective,
@@ -524,16 +528,21 @@ impl RollingScheduler {
             return Ok(window.extract(&sol, h_total));
         }
 
-        match &mut self.window {
-            Some(w) if w.n == sites.len() => w.shift(&self.config, sites),
+        // The model is moved out of its slot for the round (and restored on
+        // every exit path below), so no panicking `expect` is needed to
+        // re-borrow it after the solve.
+        let mut window = match self.window.take() {
+            Some(mut w) if w.n == sites.len() => {
+                w.shift(&self.config, sites);
+                w
+            }
             _ => {
-                self.window = Some(build_window_model(&self.config, sites));
                 self.basis = None;
                 self.stats.rebuilds += 1;
+                build_window_model(&self.config, sites)
             }
-        }
+        };
         let first = {
-            let window = self.window.as_ref().expect("window model built");
             // Successive rounds are one-hour advances of the window, so the
             // previous basis is translated one hour before installation; an
             // unshiftable snapshot is offered as-is and the LP layer's
@@ -546,17 +555,26 @@ impl RollingScheduler {
         };
         let sol = match first {
             Ok(s) => s,
-            Err(e) if recoverable(&e) => self.recover(sites)?,
-            Err(e) => return Err(e),
+            Err(e) if recoverable(&e) => match self.recover(&mut window, sites) {
+                Ok(s) => s,
+                Err(e) => {
+                    self.window = Some(window);
+                    return Err(e);
+                }
+            },
+            Err(e) => {
+                self.window = Some(window);
+                return Err(e);
+            }
         };
         self.stats.rounds += 1;
         self.stats.absorb_solve(&sol.stats);
         if sol.warm_started {
             self.stats.warm_started += 1;
         }
-        let window = self.window.as_ref().expect("window model built");
         let plan = window.extract(&sol, h_total);
         self.basis = sol.basis;
+        self.window = Some(window);
         Ok(plan)
     }
 
@@ -565,23 +583,23 @@ impl RollingScheduler {
     /// can leave the LP singular from the warm basis): first a cold solve
     /// of the shifted model, then a rebuild from scratch, then rebuilt
     /// solves with 10× and 100× relaxed tolerances.
-    fn recover(&mut self, sites: &[SiteState]) -> Result<greencloud_lp::Solution, SolveError> {
+    fn recover(
+        &mut self,
+        window: &mut WindowModel,
+        sites: &[SiteState],
+    ) -> Result<greencloud_lp::Solution, SolveError> {
         self.stats.recoveries += 1;
         self.basis = None;
-        let cold = {
-            let window = self.window.as_ref().expect("window model built");
-            window
-                .model
-                .solve_with_basis(SimplexOptions::default(), None)
-        };
+        let cold = window
+            .model
+            .solve_with_basis(SimplexOptions::default(), None);
         let mut last = match cold {
             Ok(s) => return Ok(s),
             Err(e) if recoverable(&e) => e,
             Err(e) => return Err(e),
         };
-        self.window = Some(build_window_model(&self.config, sites));
+        *window = build_window_model(&self.config, sites);
         self.stats.rebuilds += 1;
-        let window = self.window.as_ref().expect("window model built");
         let base = SimplexOptions::default();
         for mult in [1.0, 10.0, 100.0] {
             let opts = SimplexOptions {

@@ -13,6 +13,7 @@
 //! * [`Engine`] — a run loop that pops events and hands them to a handler
 //!   until a horizon is reached or the queue drains.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::cmp::Ordering;

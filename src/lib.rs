@@ -27,6 +27,8 @@
 //! See `examples/quickstart.rs` for an end-to-end run: build a world, site a
 //! 50 MW / 50%-green datacenter network, and print the solution.
 
+#![forbid(unsafe_code)]
+
 pub use greencloud_api as api;
 pub use greencloud_climate as climate;
 pub use greencloud_core as core;
