@@ -164,6 +164,27 @@ impl Engine {
             .unwrap_or_else(|| Err(ApiError::Engine("spec did not run".into())))
     }
 
+    /// [`Engine::run`] with a caller-owned cooperative cancellation token,
+    /// panics contained at this boundary. Setting `cancel` stops the
+    /// long-running experiment kinds (annual emulations, sweeps) at their
+    /// next hourly poll and surfaces [`ApiError::Cancelled`]; short
+    /// experiment kinds (siting, timing) run to completion regardless.
+    /// This is the entry point the `serve` layer drives: its deadline
+    /// watchdog, client-disconnect detection, and drain path all fire the
+    /// same token.
+    pub fn run_with_cancel(
+        &self,
+        spec: &ExperimentSpec,
+        cancel: &AtomicBool,
+    ) -> Result<Report, ApiError> {
+        catch_unwind(AssertUnwindSafe(|| self.run_cancellable(spec, cancel))).unwrap_or_else(|p| {
+            Err(ApiError::Engine(format!(
+                "experiment panicked: {}",
+                panic_message(p.as_ref())
+            )))
+        })
+    }
+
     /// [`Engine::run`] with a cooperative cancellation flag threaded into
     /// the experiment kinds that can run for a long time.
     fn run_cancellable(

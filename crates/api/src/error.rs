@@ -7,10 +7,15 @@
 //! point returns. `From` conversions at each crate boundary keep `?`
 //! working throughout.
 
+use crate::json::Json;
 use greencloud_core::framework::ValidationError;
 use greencloud_lp::{FactorizeError, SolveError};
 use greencloud_nebula::NebulaError;
 use std::fmt;
+
+/// Schema identifier of the machine-readable error body every failing
+/// API surface emits (`repro run --json`, the `serve` HTTP endpoints).
+pub const ERROR_SCHEMA: &str = "greencloud-error/1";
 
 /// A problem with a serialized [`crate::spec::ExperimentSpec`] document.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,8 +64,71 @@ pub enum ApiError {
         /// The configured limit, milliseconds.
         limit_ms: u64,
     },
+    /// The experiment was cancelled before completion for a reason other
+    /// than a deadline (client disconnect, server drain, caller token).
+    Cancelled(String),
     /// Reading or writing a spec/report file failed.
     Io(String),
+}
+
+impl ApiError {
+    /// The stable machine-readable code of this error, written into every
+    /// [`ERROR_SCHEMA`] body. The match is exhaustive on purpose: adding a
+    /// variant without a code is a compile error, not a silently generic
+    /// HTTP 500.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ApiError::Validation(_) => "input_invalid",
+            ApiError::Solve(_) => "solve_failed",
+            ApiError::Spec(_) => "spec_invalid",
+            ApiError::Engine(_) => "engine_error",
+            ApiError::Deadline { .. } => "deadline_exceeded",
+            ApiError::Cancelled(_) => "cancelled",
+            ApiError::Io(_) => "io_error",
+        }
+    }
+
+    /// The HTTP status the `serve` layer maps this error to. Client-caused
+    /// problems are 4xx (bad spec, out-of-range input, an infeasible model
+    /// the server solved correctly), server faults are 5xx, deadlines are
+    /// 408, and a client-side cancellation is the nginx-style 499 (never
+    /// actually written to a socket — the client is gone).
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ApiError::Validation(_) => 400,
+            ApiError::Spec(_) => 400,
+            ApiError::Solve(_) => 422,
+            ApiError::Deadline { .. } => 408,
+            ApiError::Cancelled(_) => 499,
+            ApiError::Engine(_) => 500,
+            ApiError::Io(_) => 500,
+        }
+    }
+
+    /// The [`ERROR_SCHEMA`] JSON body for this error: `schema`, `code`,
+    /// `message`, plus variant-specific detail fields (`path` for spec
+    /// errors, `limit_ms` for deadlines).
+    pub fn to_error_json(&self) -> String {
+        let mut fields = vec![
+            ("schema".to_string(), Json::from(ERROR_SCHEMA)),
+            ("code".to_string(), Json::from(self.code())),
+            ("message".to_string(), Json::from(self.to_string())),
+        ];
+        match self {
+            ApiError::Spec(e) => {
+                fields.push(("path".to_string(), Json::from(e.path.as_str())));
+            }
+            ApiError::Deadline { limit_ms } => {
+                fields.push(("limit_ms".to_string(), Json::from(*limit_ms)));
+            }
+            ApiError::Validation(_)
+            | ApiError::Solve(_)
+            | ApiError::Engine(_)
+            | ApiError::Cancelled(_)
+            | ApiError::Io(_) => {}
+        }
+        Json::Object(fields).render()
+    }
 }
 
 impl fmt::Display for ApiError {
@@ -73,6 +141,7 @@ impl fmt::Display for ApiError {
             ApiError::Deadline { limit_ms } => {
                 write!(f, "deadline exceeded after {limit_ms} ms")
             }
+            ApiError::Cancelled(reason) => write!(f, "cancelled: {reason}"),
             ApiError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
@@ -120,7 +189,7 @@ impl From<NebulaError> for ApiError {
             // the nebula error's rendered message.
             NebulaError::Solve(s) => ApiError::Solve(s),
             NebulaError::Cancelled => {
-                ApiError::Engine("emulation cancelled before completion".into())
+                ApiError::Cancelled("emulation cancelled before completion".into())
             }
             other => ApiError::Engine(other.to_string()),
         }
@@ -160,12 +229,59 @@ mod tests {
         let ns: ApiError = NebulaError::Solve(SolveError::Infeasible).into();
         assert_eq!(ns, ApiError::Solve(SolveError::Infeasible));
         let nc: ApiError = NebulaError::Cancelled.into();
-        assert!(matches!(nc, ApiError::Engine(_)));
+        assert!(matches!(nc, ApiError::Cancelled(_)));
     }
 
     #[test]
     fn deadline_display_names_the_limit() {
         let d = ApiError::Deadline { limit_ms: 250 };
         assert_eq!(d.to_string(), "deadline exceeded after 250 ms");
+    }
+
+    /// Every variant's code and status, pinned: these strings are the wire
+    /// contract of `greencloud-error/1` consumers.
+    #[test]
+    fn codes_and_statuses_are_stable() {
+        let cases: Vec<(ApiError, &str, u16)> = vec![
+            (
+                ApiError::Validation(ValidationError::GreenFractionOutOfRange(2.0)),
+                "input_invalid",
+                400,
+            ),
+            (ApiError::Solve(SolveError::Infeasible), "solve_failed", 422),
+            (
+                ApiError::Spec(SpecError::new("$", "nope")),
+                "spec_invalid",
+                400,
+            ),
+            (ApiError::Engine("boom".into()), "engine_error", 500),
+            (ApiError::Deadline { limit_ms: 7 }, "deadline_exceeded", 408),
+            (ApiError::Cancelled("drain".into()), "cancelled", 499),
+            (ApiError::Io("disk".into()), "io_error", 500),
+        ];
+        for (e, code, status) in cases {
+            assert_eq!(e.code(), code, "{e:?}");
+            assert_eq!(e.http_status(), status, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn error_json_body_carries_schema_code_and_detail() {
+        let body = ApiError::Deadline { limit_ms: 250 }.to_error_json();
+        let doc = Json::parse(&body).expect("parses");
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(ERROR_SCHEMA));
+        assert_eq!(
+            doc.get("code").and_then(Json::as_str),
+            Some("deadline_exceeded")
+        );
+        assert_eq!(doc.get("limit_ms").and_then(Json::as_u64), Some(250));
+
+        let body = ApiError::Spec(SpecError::new("experiment.kind", "unknown")).to_error_json();
+        let doc = Json::parse(&body).expect("parses");
+        assert_eq!(doc.get("code").and_then(Json::as_str), Some("spec_invalid"));
+        assert_eq!(
+            doc.get("path").and_then(Json::as_str),
+            Some("experiment.kind")
+        );
     }
 }

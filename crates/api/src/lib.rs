@@ -45,15 +45,17 @@ pub mod error;
 pub mod harness;
 pub mod json;
 pub mod report;
+pub mod serve;
 pub mod spec;
 pub mod wallclock;
 
 pub use engine::Engine;
-pub use error::{ApiError, SpecError};
+pub use error::{ApiError, SpecError, ERROR_SCHEMA};
 pub use report::{
     AnnualReport, Report, ReportBody, SitingReport, SolverRollup, SweepReport, SweepRow,
     TimingRecord, TimingReport, WarmVsCold, REPORT_SCHEMA, RESILIENCE_SCHEMA,
 };
+pub use serve::{ServeConfig, ServeHandle, ServeSummary, Server};
 pub use spec::{
     AnnualSpec, ExactSitingSpec, ExperimentSpec, SearchSpec, SitingSpec, SweepAxes, SweepMode,
     SweepSpec, TimingSpec, SPEC_SCHEMA,

@@ -1,0 +1,1445 @@
+//! `repro serve` — an overload-safe HTTP service wrapping [`Engine`].
+//!
+//! A hand-rolled HTTP/1.1 server over `std::net` in the workspace's
+//! no-external-deps style (cf. [`crate::json`]): no hyper, no tokio, just
+//! a nonblocking acceptor, a thread per connection, and a fixed pool of
+//! solver workers pulling from a bounded queue. The interesting part is
+//! not the parsing but the robustness envelope — the server is engineered
+//! to *degrade instead of die*:
+//!
+//! * **Admission control.** At most `max_inflight` specs solve at once;
+//!   at most `queue_depth` wait behind them. A request arriving to a full
+//!   queue is shed immediately with `429` and a `Retry-After` estimated
+//!   from an EMA of recent solve times — overload produces backpressure,
+//!   never unbounded memory.
+//! * **Deadlines.** Every request carries a deadline (default
+//!   `default_deadline_ms`, overridable per request via `X-Deadline-Ms`,
+//!   capped at `max_deadline_ms`) measured from *enqueue*, so time spent
+//!   queued counts. A watchdog fires the spec's cancellation token and the
+//!   client gets `408` with a typed `deadline_exceeded` body.
+//! * **Disconnect detection.** While a request waits for its result, the
+//!   connection is polled with a zero-copy `peek`; a vanished client
+//!   fires the token so the solver stops burning CPU for nobody
+//!   (nginx-style 499 — counted, never written).
+//! * **Slow-loris resistance.** Request heads and bodies are read under
+//!   both a byte cap and a wall-time budget; bodies require
+//!   `Content-Length` (chunked is refused with `411`) and are capped at
+//!   `max_body_bytes` (`413`).
+//! * **Report LRU.** Whole rendered `Report` bodies are cached, keyed on
+//!   the *normalized* spec bytes (`ExperimentSpec::to_json_string` of the
+//!   parsed spec), so formatting differences still hit. `Cache-Control:
+//!   no-cache` skips the lookup; responses carry `X-Cache: hit|miss`.
+//! * **Graceful drain.** [`ServeHandle::trigger_shutdown`] stops the
+//!   acceptor; [`Server::join`] then drains — in-flight work gets
+//!   `drain_ms` to finish, stragglers are cancelled with the drain
+//!   reason, and the process exits 0 with a [`ServeSummary`].
+//!
+//! Every failure body is a `greencloud-error/1` document (see
+//! [`crate::error::ERROR_SCHEMA`]); `GET /v1/healthz`, `/v1/readyz`, and
+//! `/v1/stats` complete the operational surface.
+
+use crate::engine::Engine;
+use crate::error::{ApiError, ERROR_SCHEMA};
+use crate::json::Json;
+use crate::spec::ExperimentSpec;
+use crate::wallclock::{self, Stopwatch};
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read as _, Write as _};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Upper bound on a request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Cancellation causes, first-cause-wins (see [`JobState::fire`]).
+const REASON_NONE: u8 = 0;
+const REASON_DEADLINE: u8 = 1;
+const REASON_DISCONNECT: u8 = 2;
+const REASON_DRAIN: u8 = 3;
+
+/// Tuning knobs for [`Server::bind`]. `Default` gives a loopback server
+/// with conservative limits; `bind` normalizes degenerate values
+/// (`max_inflight`/`queue_depth` of 0 become 1).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7411` (`:0` picks a free port).
+    pub addr: String,
+    /// Solver worker threads — specs solving concurrently.
+    pub max_inflight: usize,
+    /// Accepted-but-not-yet-solving specs; beyond this, requests shed 429.
+    pub queue_depth: usize,
+    /// Deadline applied when the client sends no `X-Deadline-Ms`.
+    pub default_deadline_ms: u64,
+    /// Hard cap on any requested deadline.
+    pub max_deadline_ms: u64,
+    /// Largest accepted request body; larger bodies are refused with 413.
+    pub max_body_bytes: usize,
+    /// Budget for reading a request head or body (slow-loris guard).
+    pub read_timeout_ms: u64,
+    /// Socket write timeout for responses.
+    pub write_timeout_ms: u64,
+    /// How long [`Server::join`] lets in-flight work finish before
+    /// cancelling it with the drain reason.
+    pub drain_ms: u64,
+    /// Whole-report LRU entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Simultaneous client connections; beyond this, connections are
+    /// refused with a best-effort 503.
+    pub max_connections: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7411".to_string(),
+            max_inflight: thread::available_parallelism()
+                .map_or(2, |n| n.get())
+                .min(8),
+            queue_depth: 16,
+            default_deadline_ms: 30_000,
+            max_deadline_ms: 120_000,
+            max_body_bytes: 1024 * 1024,
+            read_timeout_ms: 5_000,
+            write_timeout_ms: 5_000,
+            drain_ms: 10_000,
+            cache_capacity: 64,
+            max_connections: 256,
+        }
+    }
+}
+
+/// Locks a mutex, treating poisoning as survivable: the protected data is
+/// counters/queues whose invariants hold between individual operations,
+/// and a worker panic is already captured at the engine boundary.
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Per-request lifecycle shared by the connection thread, the worker that
+/// solves it, and the deadline watchdog.
+struct JobState {
+    /// The engine-facing cancellation token (polled by annual/sweep runs).
+    cancel: AtomicBool,
+    /// First cancellation cause (`REASON_*`); set once via CAS.
+    reason: AtomicU8,
+    /// True once `done` holds the result (watchdog prunes on this).
+    finished: AtomicBool,
+    /// The request's effective deadline, for the 408 body.
+    limit_ms: u64,
+    /// When the job entered the queue — deadlines include queue wait.
+    enqueued: Instant,
+    /// The result slot, filled exactly once by the worker.
+    done: Mutex<Option<Result<Arc<String>, ApiError>>>,
+    /// Signals `done` being filled to the waiting connection thread.
+    cv: Condvar,
+}
+
+impl JobState {
+    fn new(limit_ms: u64) -> Self {
+        JobState {
+            cancel: AtomicBool::new(false),
+            reason: AtomicU8::new(REASON_NONE),
+            finished: AtomicBool::new(false),
+            limit_ms,
+            enqueued: wallclock::now(),
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Records `reason` as the cancellation cause if none is set yet and
+    /// fires the engine token. Later causes lose the race and change
+    /// nothing, so the reported error always names the *first* cause.
+    fn fire(&self, reason: u8) {
+        if self
+            .reason
+            .compare_exchange(REASON_NONE, reason, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            self.cancel.store(true, Ordering::SeqCst);
+        }
+    }
+
+    fn reason_code(&self) -> u8 {
+        self.reason.load(Ordering::SeqCst)
+    }
+
+    fn complete(&self, result: Result<Arc<String>, ApiError>) {
+        *lock_ok(&self.done) = Some(result);
+        self.finished.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+}
+
+/// One queued experiment.
+struct Job {
+    spec: ExperimentSpec,
+    cache_key: String,
+    state: Arc<JobState>,
+}
+
+/// Monotonic service counters, snapshotted into [`ServeSummary`].
+#[derive(Default)]
+struct Stats {
+    received: AtomicU64,
+    ok: AtomicU64,
+    shed: AtomicU64,
+    cache_hits: AtomicU64,
+    deadline_expired: AtomicU64,
+    disconnects: AtomicU64,
+    drain_cancelled: AtomicU64,
+    client_errors: AtomicU64,
+    solve_errors: AtomicU64,
+    server_errors: AtomicU64,
+}
+
+impl Stats {
+    fn snapshot(&self) -> ServeSummary {
+        ServeSummary {
+            received: self.received.load(Ordering::SeqCst),
+            ok: self.ok.load(Ordering::SeqCst),
+            shed: self.shed.load(Ordering::SeqCst),
+            cache_hits: self.cache_hits.load(Ordering::SeqCst),
+            deadline_expired: self.deadline_expired.load(Ordering::SeqCst),
+            disconnects: self.disconnects.load(Ordering::SeqCst),
+            drain_cancelled: self.drain_cancelled.load(Ordering::SeqCst),
+            client_errors: self.client_errors.load(Ordering::SeqCst),
+            solve_errors: self.solve_errors.load(Ordering::SeqCst),
+            server_errors: self.server_errors.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// What one serve run did, returned by [`Server::join`] and rendered by
+/// `repro serve` on exit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Experiment POSTs that reached routing (including shed ones).
+    pub received: u64,
+    /// Requests answered 200 (cache hits included).
+    pub ok: u64,
+    /// Requests shed 429 by admission control (and refused connections).
+    pub shed: u64,
+    /// 200s served from the report LRU.
+    pub cache_hits: u64,
+    /// Deadlines fired by the watchdog (408s).
+    pub deadline_expired: u64,
+    /// Solves cancelled because the client vanished (499-style).
+    pub disconnects: u64,
+    /// Jobs cancelled by shutdown drain (503s).
+    pub drain_cancelled: u64,
+    /// 4xx responses other than shed/deadline (bad specs, bad HTTP).
+    pub client_errors: u64,
+    /// 422s — well-formed specs whose optimization failed.
+    pub solve_errors: u64,
+    /// 5xx responses.
+    pub server_errors: u64,
+}
+
+impl ServeSummary {
+    /// Multi-line human-readable rendering, one counter per line.
+    pub fn render_text(&self) -> String {
+        format!(
+            "received        {}\nok              {}\nshed (429)      {}\ncache hits      {}\n\
+             deadline (408)  {}\ndisconnects     {}\ndrain-cancelled {}\nclient errors   {}\n\
+             solve errors    {}\nserver errors   {}\n",
+            self.received,
+            self.ok,
+            self.shed,
+            self.cache_hits,
+            self.deadline_expired,
+            self.disconnects,
+            self.drain_cancelled,
+            self.client_errors,
+            self.solve_errors,
+            self.server_errors,
+        )
+    }
+}
+
+/// Whole-report LRU with lazy deletion: a `HashMap` for lookup plus a
+/// stamped recency queue, so eviction never iterates the map (the
+/// workspace `hash-iter` rule — iteration order would be nondeterministic
+/// anyway). A map entry is live only while its stamp matches the newest
+/// queue marker for that key; stale markers are dropped as they surface.
+struct ReportCache {
+    capacity: usize,
+    map: HashMap<String, CacheSlot>,
+    recency: VecDeque<(String, u64)>,
+    next_stamp: u64,
+}
+
+struct CacheSlot {
+    body: Arc<String>,
+    stamp: u64,
+}
+
+impl ReportCache {
+    fn new(capacity: usize) -> Self {
+        ReportCache {
+            capacity,
+            map: HashMap::new(),
+            recency: VecDeque::new(),
+            next_stamp: 0,
+        }
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.next_stamp += 1;
+        self.next_stamp
+    }
+
+    /// Looks `key` up and, on a hit, refreshes its recency.
+    fn get(&mut self, key: &str) -> Option<Arc<String>> {
+        let stamp = self.bump();
+        let slot = self.map.get_mut(key)?;
+        slot.stamp = stamp;
+        let body = Arc::clone(&slot.body);
+        self.recency.push_back((key.to_string(), stamp));
+        self.trim_recency();
+        Some(body)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting least-recently-used live
+    /// entries while over capacity.
+    fn insert(&mut self, key: String, body: Arc<String>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let stamp = self.bump();
+        self.recency.push_back((key.clone(), stamp));
+        self.map.insert(key, CacheSlot { body, stamp });
+        while self.map.len() > self.capacity {
+            let Some((old_key, old_stamp)) = self.recency.pop_front() else {
+                break;
+            };
+            if self.map.get(&old_key).is_some_and(|s| s.stamp == old_stamp) {
+                self.map.remove(&old_key);
+            }
+        }
+        self.trim_recency();
+    }
+
+    /// Bounds the recency queue: stale markers are discarded, live ones
+    /// rotated to the back. Live markers number at most `map.len()` ≤
+    /// `capacity` < the bound, so the loop always finds stale ones.
+    fn trim_recency(&mut self) {
+        let bound = self.capacity * 8 + 16;
+        while self.recency.len() > bound {
+            let Some((key, stamp)) = self.recency.pop_front() else {
+                break;
+            };
+            if self.map.get(&key).is_some_and(|s| s.stamp == stamp) {
+                self.recency.push_back((key, stamp));
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// State shared by the acceptor, connection threads, workers, and
+/// watchdog.
+struct ServerInner {
+    engine: Engine,
+    cfg: ServeConfig,
+    /// Set by [`ServeHandle::trigger_shutdown`]; stops the acceptor.
+    shutdown: AtomicBool,
+    /// Set at shutdown: readyz fails, new experiments get 503, idle
+    /// keep-alive connections close.
+    draining: AtomicBool,
+    /// Set after the drain budget: workers and the watchdog exit.
+    stop_workers: AtomicBool,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    inflight: AtomicUsize,
+    live_conns: AtomicUsize,
+    /// Every live job, for the deadline watchdog and the drain sweep.
+    registry: Mutex<Vec<Weak<JobState>>>,
+    cache: Mutex<ReportCache>,
+    stats: Stats,
+    /// EMA of recent solve wall-times, feeding `Retry-After`.
+    ema_ms: AtomicU64,
+}
+
+/// A cloneable remote control for a running [`Server`] — lets signal
+/// handlers and tests trigger shutdown without owning the server.
+#[derive(Clone)]
+pub struct ServeHandle {
+    inner: Arc<ServerInner>,
+}
+
+impl ServeHandle {
+    /// Begins graceful shutdown: the acceptor stops, readyz starts
+    /// failing, and [`Server::join`] proceeds to drain.
+    pub fn trigger_shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// True once shutdown has been triggered.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// A running experiment service. Construct with [`Server::bind`], stop
+/// with [`ServeHandle::trigger_shutdown`] + [`Server::join`].
+pub struct Server {
+    inner: Arc<ServerInner>,
+    addr: SocketAddr,
+    acceptor: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    watchdog: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `cfg.addr`, spawns the worker pool, watchdog, and acceptor,
+    /// and returns the running server. Degenerate config values are
+    /// normalized rather than rejected (0 workers → 1, 0 queue depth →
+    /// 1, default deadline clamped under the cap).
+    pub fn bind(engine: Engine, mut cfg: ServeConfig) -> Result<Server, ApiError> {
+        cfg.max_inflight = cfg.max_inflight.max(1);
+        cfg.queue_depth = cfg.queue_depth.max(1);
+        cfg.max_deadline_ms = cfg.max_deadline_ms.max(1);
+        cfg.default_deadline_ms = cfg.default_deadline_ms.clamp(1, cfg.max_deadline_ms);
+        cfg.max_connections = cfg.max_connections.max(1);
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let max_inflight = cfg.max_inflight;
+        let cache_capacity = cfg.cache_capacity;
+        let inner = Arc::new(ServerInner {
+            engine,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            stop_workers: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            inflight: AtomicUsize::new(0),
+            live_conns: AtomicUsize::new(0),
+            registry: Mutex::new(Vec::new()),
+            cache: Mutex::new(ReportCache::new(cache_capacity)),
+            stats: Stats::default(),
+            ema_ms: AtomicU64::new(0),
+        });
+        let mut workers = Vec::new();
+        for i in 0..max_inflight {
+            let w = Arc::clone(&inner);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("gc-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&w))?,
+            );
+        }
+        let wd = Arc::clone(&inner);
+        let watchdog = thread::Builder::new()
+            .name("gc-serve-watchdog".to_string())
+            .spawn(move || watchdog_loop(&wd))?;
+        let acc = Arc::clone(&inner);
+        let acceptor = thread::Builder::new()
+            .name("gc-serve-accept".to_string())
+            .spawn(move || acceptor_loop(&listener, &acc))?;
+        Ok(Server {
+            inner,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+            watchdog: Some(watchdog),
+        })
+    }
+
+    /// The bound address (useful with `:0` — the OS-picked port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A cloneable shutdown control for this server.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Convenience for [`ServeHandle::trigger_shutdown`].
+    pub fn trigger_shutdown(&self) {
+        self.handle().trigger_shutdown();
+    }
+
+    /// Blocks until shutdown is triggered, then drains: in-flight and
+    /// queued work gets `drain_ms` to finish, stragglers are cancelled
+    /// with the drain reason and given a short grace period, workers are
+    /// stopped and joined. Returns the run's counters.
+    pub fn join(mut self) -> ServeSummary {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        self.inner.draining.store(true, Ordering::SeqCst);
+        let drain = Stopwatch::start();
+        while (drain.elapsed_ms() as u64) < self.inner.cfg.drain_ms {
+            let pending = lock_ok(&self.inner.queue).len();
+            if pending == 0
+                && self.inner.inflight.load(Ordering::SeqCst) == 0
+                && self.inner.live_conns.load(Ordering::SeqCst) == 0
+            {
+                break;
+            }
+            self.inner.queue_cv.notify_all();
+            thread::sleep(Duration::from_millis(10));
+        }
+        {
+            let mut reg = lock_ok(&self.inner.registry);
+            for w in reg.drain(..) {
+                if let Some(s) = w.upgrade() {
+                    if !s.finished.load(Ordering::SeqCst) {
+                        s.fire(REASON_DRAIN);
+                    }
+                }
+            }
+        }
+        let grace = Stopwatch::start();
+        while (grace.elapsed_ms() as u64) < 2_000 {
+            if self.inner.inflight.load(Ordering::SeqCst) == 0
+                && self.inner.live_conns.load(Ordering::SeqCst) == 0
+            {
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        self.inner.stop_workers.store(true, Ordering::SeqCst);
+        self.inner.queue_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
+        }
+        self.inner.stats.snapshot()
+    }
+}
+
+/// Accepts connections until shutdown; each gets its own thread, capped
+/// at `max_connections` live at once.
+fn acceptor_loop(listener: &TcpListener, inner: &Arc<ServerInner>) {
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if inner.live_conns.load(Ordering::SeqCst) >= inner.cfg.max_connections {
+                    refuse_busy(stream, inner);
+                    continue;
+                }
+                inner.live_conns.fetch_add(1, Ordering::SeqCst);
+                let conn = Arc::clone(inner);
+                let spawned = thread::Builder::new()
+                    .name("gc-serve-conn".to_string())
+                    .spawn(move || {
+                        handle_connection(stream, &conn);
+                        conn.live_conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    inner.live_conns.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Best-effort 503 for a connection over the `max_connections` cap.
+fn refuse_busy(mut stream: TcpStream, inner: &ServerInner) {
+    inner.stats.shed.fetch_add(1, Ordering::SeqCst);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(inner.cfg.write_timeout_ms)));
+    let body = error_body("overloaded", "connection limit reached", Vec::new());
+    let _ = write_response(
+        &mut stream,
+        503,
+        &[("Retry-After", "1".to_string())],
+        &body,
+        true,
+    );
+}
+
+/// Solver worker: pops jobs, honors already-fired cancellations, runs the
+/// engine with the job's token, caches successful reports.
+fn worker_loop(inner: &ServerInner) {
+    loop {
+        let job = {
+            let mut q = lock_ok(&inner.queue);
+            loop {
+                if inner.stop_workers.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                let (guard, _timed_out) = inner
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+            }
+        };
+        run_job(inner, job);
+    }
+}
+
+fn run_job(inner: &ServerInner, job: Job) {
+    inner.inflight.fetch_add(1, Ordering::SeqCst);
+    let result = if job.state.reason_code() != REASON_NONE {
+        // Expired or cancelled while queued — skip the engine entirely.
+        Err(reason_error(job.state.reason_code(), job.state.limit_ms))
+    } else {
+        let sw = Stopwatch::start();
+        let run = inner.engine.run_with_cancel(&job.spec, &job.state.cancel);
+        update_ema(inner, (sw.elapsed_ms() as u64).max(1));
+        match (job.state.reason_code(), run) {
+            (REASON_NONE, Ok(report)) => {
+                let body = Arc::new(report.to_json_string());
+                if inner.cfg.cache_capacity > 0 {
+                    lock_ok(&inner.cache).insert(job.cache_key, Arc::clone(&body));
+                }
+                Ok(body)
+            }
+            (REASON_NONE, Err(e)) => Err(e),
+            // A fired token dominates whatever the run returned, even a
+            // limped-to-Ok report — mirrors `run_all_with_deadline`.
+            (reason, _) => Err(reason_error(reason, job.state.limit_ms)),
+        }
+    };
+    job.state.complete(result);
+    inner.inflight.fetch_sub(1, Ordering::SeqCst);
+}
+
+fn update_ema(inner: &ServerInner, ms: u64) {
+    let prev = inner.ema_ms.load(Ordering::SeqCst);
+    let next = if prev == 0 { ms } else { (prev * 3 + ms) / 4 };
+    inner.ema_ms.store(next, Ordering::SeqCst);
+}
+
+/// Deadline watchdog: every ~5 ms, ages live jobs against their limits
+/// and prunes finished/dropped entries from the registry.
+fn watchdog_loop(inner: &ServerInner) {
+    while !inner.stop_workers.load(Ordering::SeqCst) {
+        {
+            let mut reg = lock_ok(&inner.registry);
+            reg.retain(|w| match w.upgrade() {
+                Some(s) => {
+                    if !s.finished.load(Ordering::SeqCst)
+                        && s.reason_code() == REASON_NONE
+                        && s.enqueued.elapsed().as_millis() as u64 >= s.limit_ms
+                    {
+                        s.fire(REASON_DEADLINE);
+                        inner.stats.deadline_expired.fetch_add(1, Ordering::SeqCst);
+                    }
+                    !s.finished.load(Ordering::SeqCst)
+                }
+                None => false,
+            });
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn reason_error(reason: u8, limit_ms: u64) -> ApiError {
+    match reason {
+        REASON_DEADLINE => ApiError::Deadline { limit_ms },
+        REASON_DISCONNECT => ApiError::Cancelled("client disconnected mid-solve".to_string()),
+        REASON_DRAIN => ApiError::Cancelled("server drain cancelled the experiment".to_string()),
+        _ => ApiError::Cancelled("cancelled".to_string()),
+    }
+}
+
+/// `Retry-After` estimate: the queue's expected service time from the
+/// solve-time EMA, clamped to [1, 60] seconds.
+fn retry_after_secs(inner: &ServerInner) -> u64 {
+    let pending = lock_ok(&inner.queue).len() as u64;
+    let ema = inner.ema_ms.load(Ordering::SeqCst).max(1);
+    let par = inner.cfg.max_inflight.max(1) as u64;
+    ((pending + 1) * ema / par / 1000).clamp(1, 60)
+}
+
+/// True when the peer is certainly gone: a 1 ms `peek` returning EOF or a
+/// hard error. `WouldBlock`/`TimedOut` mean merely quiet, i.e. alive.
+fn client_gone(stream: &TcpStream) -> bool {
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(1)))
+        .is_err()
+    {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    match stream.peek(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) => !matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ),
+    }
+}
+
+/// One parsed HTTP request.
+struct Request {
+    method: String,
+    path: String,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+    close: bool,
+}
+
+/// Outcome of reading one request off a connection.
+enum ReadOut {
+    /// A complete, parseable request.
+    Request(Request),
+    /// The peer closed (or idled out, or we are draining) — hang up
+    /// without writing anything.
+    Closed,
+    /// A malformed or abusive request: answer `status` with an
+    /// [`ERROR_SCHEMA`] body carrying `code`, then close.
+    Reject {
+        status: u16,
+        code: &'static str,
+        message: String,
+    },
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// (method, path, headers) from a parsed request head.
+type ParsedHead = (String, String, Vec<(String, String)>);
+
+fn parse_head(head: &str) -> Result<ParsedHead, String> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(format!("malformed request line {request_line:?}"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((k, v)) = line.split_once(':') else {
+            return Err(format!("malformed header line {line:?}"));
+        };
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+    Ok((method, path, headers))
+}
+
+/// Reads one request under slow-loris budgets: a 250 ms-granularity idle
+/// wait for the first byte (closing on drain or keep-alive idle
+/// expiration), then byte- and time-capped reads for head and body.
+fn read_request(stream: &mut TcpStream, inner: &ServerInner) -> ReadOut {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let idle = Stopwatch::start();
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return ReadOut::Closed,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                break;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if inner.draining.load(Ordering::SeqCst) {
+                    return ReadOut::Closed;
+                }
+                if idle.elapsed_ms() as u64 > inner.cfg.read_timeout_ms {
+                    return ReadOut::Closed;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOut::Closed,
+        }
+    }
+    let head_clock = Stopwatch::start();
+    let head_end = loop {
+        if let Some(end) = find_head_end(&buf) {
+            break end;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return ReadOut::Reject {
+                status: 431,
+                code: "head_too_large",
+                message: format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+            };
+        }
+        if head_clock.elapsed_ms() as u64 > inner.cfg.read_timeout_ms {
+            return ReadOut::Reject {
+                status: 408,
+                code: "request_timeout",
+                message: "timed out reading the request head".to_string(),
+            };
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return ReadOut::Closed,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return ReadOut::Closed,
+        }
+    };
+    let head_text = match std::str::from_utf8(&buf[..head_end.saturating_sub(4)]) {
+        Ok(t) => t.to_string(),
+        Err(_) => {
+            return ReadOut::Reject {
+                status: 400,
+                code: "bad_request",
+                message: "request head is not valid UTF-8".to_string(),
+            }
+        }
+    };
+    let (method, path, headers) = match parse_head(&head_text) {
+        Ok(t) => t,
+        Err(message) => {
+            return ReadOut::Reject {
+                status: 400,
+                code: "bad_request",
+                message,
+            }
+        }
+    };
+    let mut body: Vec<u8> = buf.split_off(head_end);
+    let close = header(&headers, "connection").is_some_and(|v| v.eq_ignore_ascii_case("close"));
+    if method == "POST" || method == "PUT" {
+        if header(&headers, "transfer-encoding").is_some() {
+            return ReadOut::Reject {
+                status: 411,
+                code: "length_required",
+                message: "chunked bodies are not supported; send Content-Length".to_string(),
+            };
+        }
+        let Some(len) = header(&headers, "content-length").and_then(|v| v.parse::<usize>().ok())
+        else {
+            return ReadOut::Reject {
+                status: 411,
+                code: "length_required",
+                message: "POST requires a Content-Length header".to_string(),
+            };
+        };
+        if len > inner.cfg.max_body_bytes {
+            return ReadOut::Reject {
+                status: 413,
+                code: "body_too_large",
+                message: format!(
+                    "body of {len} bytes exceeds the {} byte cap",
+                    inner.cfg.max_body_bytes
+                ),
+            };
+        }
+        if body.is_empty()
+            && header(&headers, "expect")
+                .is_some_and(|v| v.to_ascii_lowercase().contains("100-continue"))
+        {
+            let _ = stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+            let _ = stream.flush();
+        }
+        let body_clock = Stopwatch::start();
+        while body.len() < len {
+            if body_clock.elapsed_ms() as u64 > inner.cfg.read_timeout_ms {
+                return ReadOut::Reject {
+                    status: 408,
+                    code: "request_timeout",
+                    message: "timed out reading the request body".to_string(),
+                };
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return ReadOut::Closed,
+                Ok(n) => body.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) => {}
+                Err(_) => return ReadOut::Closed,
+            }
+        }
+        body.truncate(len);
+    }
+    ReadOut::Request(Request {
+        method,
+        path,
+        headers,
+        body,
+        close,
+    })
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        100 => "Continue",
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        499 => "Client Closed Request",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Renders an [`ERROR_SCHEMA`] body from serve-level (non-`ApiError`)
+/// failures; `extra` appends detail fields.
+fn error_body(code: &str, message: &str, extra: Vec<(&'static str, Json)>) -> String {
+    let mut fields = vec![
+        ("schema".to_string(), Json::from(ERROR_SCHEMA)),
+        ("code".to_string(), Json::from(code)),
+        ("message".to_string(), Json::from(message)),
+    ];
+    for (k, v) in extra {
+        fields.push((k.to_string(), v));
+    }
+    Json::Object(fields).render()
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &str,
+    close: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        status_reason(status),
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str(if close {
+        "Connection: close\r\n\r\n"
+    } else {
+        "Connection: keep-alive\r\n\r\n"
+    });
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Serves one connection: requests are read and routed until the peer
+/// hangs up, sends `Connection: close`, errors, or the server drains.
+fn handle_connection(mut stream: TcpStream, inner: &ServerInner) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(inner.cfg.write_timeout_ms)));
+    loop {
+        match read_request(&mut stream, inner) {
+            ReadOut::Closed => break,
+            ReadOut::Reject {
+                status,
+                code,
+                message,
+            } => {
+                inner.stats.client_errors.fetch_add(1, Ordering::SeqCst);
+                let body = error_body(code, &message, Vec::new());
+                let _ = write_response(&mut stream, status, &[], &body, true);
+                break;
+            }
+            ReadOut::Request(req) => {
+                let close = req.close || inner.draining.load(Ordering::SeqCst);
+                let keep = route(&mut stream, inner, &req, close);
+                if close || !keep {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn route(stream: &mut TcpStream, inner: &ServerInner, req: &Request, close: bool) -> bool {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/v1/healthz") => {
+            let body = Json::obj([("status", Json::from("ok"))]).render();
+            write_response(stream, 200, &[], &body, close).is_ok()
+        }
+        ("GET", "/v1/readyz") => {
+            if inner.draining.load(Ordering::SeqCst) {
+                let body = error_body("draining", "server is draining", Vec::new());
+                let _ = write_response(
+                    stream,
+                    503,
+                    &[("Retry-After", "1".to_string())],
+                    &body,
+                    true,
+                );
+                false
+            } else {
+                let body = Json::obj([("status", Json::from("ready"))]).render();
+                write_response(stream, 200, &[], &body, close).is_ok()
+            }
+        }
+        ("GET", "/v1/stats") => {
+            let body = stats_json(inner);
+            write_response(stream, 200, &[], &body, close).is_ok()
+        }
+        ("POST", "/v1/experiments") => handle_experiment(stream, inner, req, close),
+        (_, "/v1/healthz" | "/v1/readyz" | "/v1/stats" | "/v1/experiments") => {
+            inner.stats.client_errors.fetch_add(1, Ordering::SeqCst);
+            let allow = if req.path == "/v1/experiments" {
+                "POST"
+            } else {
+                "GET"
+            };
+            let body = error_body(
+                "method_not_allowed",
+                &format!("{} is not supported on {}", req.method, req.path),
+                Vec::new(),
+            );
+            write_response(stream, 405, &[("Allow", allow.to_string())], &body, close).is_ok()
+        }
+        _ => {
+            inner.stats.client_errors.fetch_add(1, Ordering::SeqCst);
+            let body = error_body("not_found", &format!("no route {}", req.path), Vec::new());
+            write_response(stream, 404, &[], &body, close).is_ok()
+        }
+    }
+}
+
+/// `POST /v1/experiments`: parse → cache lookup → admit or shed →
+/// wait (watching for client disconnect) → respond.
+fn handle_experiment(
+    stream: &mut TcpStream,
+    inner: &ServerInner,
+    req: &Request,
+    close: bool,
+) -> bool {
+    inner.stats.received.fetch_add(1, Ordering::SeqCst);
+    if inner.draining.load(Ordering::SeqCst) {
+        let body = error_body(
+            "draining",
+            "server is draining; not accepting work",
+            Vec::new(),
+        );
+        let _ = write_response(
+            stream,
+            503,
+            &[("Retry-After", "1".to_string())],
+            &body,
+            true,
+        );
+        return false;
+    }
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => {
+            inner.stats.client_errors.fetch_add(1, Ordering::SeqCst);
+            let body = error_body("bad_request", "body is not valid UTF-8", Vec::new());
+            return write_response(stream, 400, &[], &body, close).is_ok();
+        }
+    };
+    let spec = match ExperimentSpec::from_json_str(text) {
+        Ok(s) => s,
+        Err(e) => {
+            inner.stats.client_errors.fetch_add(1, Ordering::SeqCst);
+            let err = ApiError::from(e);
+            return write_response(stream, err.http_status(), &[], &err.to_error_json(), close)
+                .is_ok();
+        }
+    };
+    // Normalized spec bytes key the cache: two differently-formatted
+    // documents describing the same experiment share an entry.
+    let cache_key = spec.to_json_string();
+    let limit_ms = header(&req.headers, "x-deadline-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(inner.cfg.default_deadline_ms)
+        .clamp(1, inner.cfg.max_deadline_ms);
+    let skip_cache = header(&req.headers, "cache-control")
+        .is_some_and(|v| v.to_ascii_lowercase().contains("no-cache"));
+    if !skip_cache && inner.cfg.cache_capacity > 0 {
+        let hit = lock_ok(&inner.cache).get(&cache_key);
+        if let Some(body) = hit {
+            inner.stats.cache_hits.fetch_add(1, Ordering::SeqCst);
+            inner.stats.ok.fetch_add(1, Ordering::SeqCst);
+            return write_response(stream, 200, &[("X-Cache", "hit".to_string())], &body, close)
+                .is_ok();
+        }
+    }
+    let state = {
+        let mut q = lock_ok(&inner.queue);
+        if q.len() >= inner.cfg.queue_depth {
+            drop(q);
+            inner.stats.shed.fetch_add(1, Ordering::SeqCst);
+            let secs = retry_after_secs(inner);
+            let body = error_body(
+                "overloaded",
+                &format!(
+                    "queue full ({} pending); retry after {secs}s",
+                    inner.cfg.queue_depth
+                ),
+                Vec::new(),
+            );
+            return write_response(
+                stream,
+                429,
+                &[("Retry-After", secs.to_string())],
+                &body,
+                close,
+            )
+            .is_ok();
+        }
+        let state = Arc::new(JobState::new(limit_ms));
+        q.push_back(Job {
+            spec,
+            cache_key,
+            state: Arc::clone(&state),
+        });
+        lock_ok(&inner.registry).push(Arc::downgrade(&state));
+        state
+    };
+    inner.queue_cv.notify_one();
+    let result = loop {
+        let mut done = lock_ok(&state.done);
+        if let Some(r) = done.take() {
+            break r;
+        }
+        let (mut done, _timed_out) = state
+            .cv
+            .wait_timeout(done, Duration::from_millis(25))
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(r) = done.take() {
+            break r;
+        }
+        drop(done);
+        if inner.stop_workers.load(Ordering::SeqCst) && !state.finished.load(Ordering::SeqCst) {
+            // Backstop: the pool stopped before this job ran (drain
+            // budget exhausted while it sat queued).
+            state.fire(REASON_DRAIN);
+            inner.stats.drain_cancelled.fetch_add(1, Ordering::SeqCst);
+            let body = error_body(
+                "draining",
+                "server stopped before the experiment ran",
+                Vec::new(),
+            );
+            let _ = write_response(stream, 503, &[], &body, true);
+            return false;
+        }
+        if client_gone(stream) {
+            state.fire(REASON_DISCONNECT);
+            inner.stats.disconnects.fetch_add(1, Ordering::SeqCst);
+            return false;
+        }
+    };
+    match result {
+        Ok(body) => {
+            inner.stats.ok.fetch_add(1, Ordering::SeqCst);
+            write_response(
+                stream,
+                200,
+                &[("X-Cache", "miss".to_string())],
+                &body,
+                close,
+            )
+            .is_ok()
+        }
+        Err(err) => match state.reason_code() {
+            REASON_DISCONNECT => {
+                // Nothing to write — the peer is gone (counted when the
+                // disconnect was detected, or here if the worker saw it
+                // first via a racing token).
+                false
+            }
+            REASON_DRAIN => {
+                inner.stats.drain_cancelled.fetch_add(1, Ordering::SeqCst);
+                let body = error_body(
+                    "draining",
+                    "experiment cancelled by server drain",
+                    Vec::new(),
+                );
+                let _ = write_response(stream, 503, &[], &body, true);
+                false
+            }
+            _ => {
+                let status = err.http_status();
+                if status >= 500 {
+                    inner.stats.server_errors.fetch_add(1, Ordering::SeqCst);
+                } else if status == 422 {
+                    inner.stats.solve_errors.fetch_add(1, Ordering::SeqCst);
+                } else if status != 408 {
+                    // 408s are already counted by the watchdog.
+                    inner.stats.client_errors.fetch_add(1, Ordering::SeqCst);
+                }
+                write_response(stream, status, &[], &err.to_error_json(), close).is_ok()
+            }
+        },
+    }
+}
+
+/// `GET /v1/stats` body: all counters plus instantaneous gauges.
+fn stats_json(inner: &ServerInner) -> String {
+    let pending = lock_ok(&inner.queue).len();
+    let cached = lock_ok(&inner.cache).len();
+    let s = inner.stats.snapshot();
+    Json::obj([
+        ("schema", Json::from("greencloud-serve-stats/1")),
+        ("received", Json::from(s.received)),
+        ("ok", Json::from(s.ok)),
+        ("shed", Json::from(s.shed)),
+        ("cache_hits", Json::from(s.cache_hits)),
+        ("deadline_expired", Json::from(s.deadline_expired)),
+        ("disconnects", Json::from(s.disconnects)),
+        ("drain_cancelled", Json::from(s.drain_cancelled)),
+        ("client_errors", Json::from(s.client_errors)),
+        ("solve_errors", Json::from(s.solve_errors)),
+        ("server_errors", Json::from(s.server_errors)),
+        ("pending", Json::from(pending as u64)),
+        (
+            "inflight",
+            Json::from(inner.inflight.load(Ordering::SeqCst) as u64),
+        ),
+        (
+            "connections",
+            Json::from(inner.live_conns.load(Ordering::SeqCst) as u64),
+        ),
+        ("cached_reports", Json::from(cached as u64)),
+        (
+            "draining",
+            Json::from(inner.draining.load(Ordering::SeqCst)),
+        ),
+        (
+            "ema_solve_ms",
+            Json::from(inner.ema_ms.load(Ordering::SeqCst)),
+        ),
+        ("rss_kb", Json::from(read_rss_kb())),
+    ])
+    .render()
+}
+
+/// Resident set size in KiB from `/proc/self/status`, 0 where
+/// unavailable — an observability gauge, never a decision input.
+fn read_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("VmRSS:"))
+                .and_then(|l| {
+                    l.chars()
+                        .filter(|c| c.is_ascii_digit())
+                        .collect::<String>()
+                        .parse::<u64>()
+                        .ok()
+                })
+        })
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used_live_entry() {
+        let mut c = ReportCache::new(2);
+        c.insert("a".into(), Arc::new("A".into()));
+        c.insert("b".into(), Arc::new("B".into()));
+        // Touch `a` so `b` becomes the LRU entry.
+        assert_eq!(c.get("a").as_deref().map(String::as_str), Some("A"));
+        c.insert("c".into(), Arc::new("C".into()));
+        assert_eq!(c.len(), 2);
+        assert!(c.get("b").is_none(), "b was LRU and must be evicted");
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn lru_reinsert_refreshes_and_capacity_zero_disables() {
+        let mut c = ReportCache::new(2);
+        c.insert("a".into(), Arc::new("A1".into()));
+        c.insert("b".into(), Arc::new("B".into()));
+        c.insert("a".into(), Arc::new("A2".into()));
+        c.insert("c".into(), Arc::new("C".into()));
+        assert_eq!(c.get("a").as_deref().map(String::as_str), Some("A2"));
+        assert!(c.get("b").is_none());
+
+        let mut z = ReportCache::new(0);
+        z.insert("a".into(), Arc::new("A".into()));
+        assert_eq!(z.len(), 0);
+        assert!(z.get("a").is_none());
+    }
+
+    #[test]
+    fn lru_recency_queue_stays_bounded() {
+        let mut c = ReportCache::new(2);
+        c.insert("a".into(), Arc::new("A".into()));
+        c.insert("b".into(), Arc::new("B".into()));
+        for _ in 0..10_000 {
+            c.get("a");
+            c.get("b");
+        }
+        assert!(
+            c.recency.len() <= c.capacity * 8 + 16 + 2,
+            "recency queue grew to {}",
+            c.recency.len()
+        );
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn head_end_finder() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(18));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+        assert_eq!(find_head_end(b""), None);
+    }
+
+    #[test]
+    fn parse_head_accepts_and_rejects() {
+        let (m, p, h) = parse_head("POST /v1/experiments HTTP/1.1\r\nContent-Length: 12\r\nX-Y: z")
+            .expect("parses");
+        assert_eq!(m, "POST");
+        assert_eq!(p, "/v1/experiments");
+        assert_eq!(header(&h, "content-length"), Some("12"));
+        assert_eq!(header(&h, "x-y"), Some("z"));
+        assert!(parse_head("GARBAGE").is_err());
+        assert!(parse_head("GET / SPDY/9").is_err());
+        assert!(parse_head("GET / HTTP/1.1\r\nno-colon-here").is_err());
+    }
+
+    #[test]
+    fn fire_is_first_cause_wins() {
+        let s = JobState::new(100);
+        assert_eq!(s.reason_code(), REASON_NONE);
+        assert!(!s.cancel.load(Ordering::SeqCst));
+        s.fire(REASON_DISCONNECT);
+        s.fire(REASON_DEADLINE);
+        s.fire(REASON_DRAIN);
+        assert_eq!(s.reason_code(), REASON_DISCONNECT);
+        assert!(s.cancel.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn reason_errors_are_typed() {
+        assert_eq!(
+            reason_error(REASON_DEADLINE, 250),
+            ApiError::Deadline { limit_ms: 250 }
+        );
+        assert!(matches!(
+            reason_error(REASON_DISCONNECT, 0),
+            ApiError::Cancelled(_)
+        ));
+        assert!(matches!(
+            reason_error(REASON_DRAIN, 0),
+            ApiError::Cancelled(_)
+        ));
+    }
+
+    #[test]
+    fn error_body_is_schema_versioned() {
+        let body = error_body(
+            "overloaded",
+            "queue full",
+            vec![("retry_after_s", Json::from(3u64))],
+        );
+        let doc = Json::parse(&body).expect("parses");
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(ERROR_SCHEMA));
+        assert_eq!(doc.get("code").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(
+            doc.get("message").and_then(Json::as_str),
+            Some("queue full")
+        );
+        assert_eq!(doc.get("retry_after_s").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn config_normalization_clamps_degenerate_values() {
+        let engine = Engine::new(greencloud_climate::catalog::WorldCatalog::synthetic(24, 7));
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_inflight: 0,
+            queue_depth: 0,
+            default_deadline_ms: 0,
+            max_deadline_ms: 0,
+            ..ServeConfig::default()
+        };
+        let server = Server::bind(engine, cfg).expect("binds");
+        assert_eq!(server.inner.cfg.max_inflight, 1);
+        assert_eq!(server.inner.cfg.queue_depth, 1);
+        assert_eq!(server.inner.cfg.max_deadline_ms, 1);
+        assert_eq!(server.inner.cfg.default_deadline_ms, 1);
+        server.trigger_shutdown();
+        let summary = server.join();
+        assert_eq!(summary.received, 0);
+    }
+
+    #[test]
+    fn ema_and_retry_after_stay_clamped() {
+        let engine = Engine::new(greencloud_climate::catalog::WorldCatalog::synthetic(24, 7));
+        let server = Server::bind(
+            engine,
+            ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("binds");
+        assert_eq!(
+            retry_after_secs(&server.inner),
+            1,
+            "empty queue floors at 1s"
+        );
+        update_ema(&server.inner, 1000);
+        update_ema(&server.inner, 2000);
+        let ema = server.inner.ema_ms.load(Ordering::SeqCst);
+        assert!((1000..=2000).contains(&ema), "ema {ema}");
+        server.inner.ema_ms.store(10_000_000, Ordering::SeqCst);
+        assert_eq!(retry_after_secs(&server.inner), 60, "cap at 60s");
+        server.trigger_shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn status_reasons_cover_every_emitted_code() {
+        for code in [
+            200, 400, 404, 405, 408, 411, 413, 422, 429, 431, 499, 500, 503,
+        ] {
+            assert_ne!(status_reason(code), "Unknown", "status {code}");
+        }
+    }
+}

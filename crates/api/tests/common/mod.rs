@@ -1,0 +1,210 @@
+//! Shared helpers for the serve integration tests: a minimal HTTP/1.1
+//! client over `TcpStream` and spec fixtures.
+//!
+//! Each integration test binary compiles its own copy, so helpers used by
+//! only one binary look dead in the others.
+#![allow(dead_code)]
+
+use greencloud_api::json::Json;
+use greencloud_api::spec::{AnnualSpec, ExperimentSpec, SearchSpec, SitingSpec};
+use greencloud_api::{Engine, ServeConfig, Server};
+use greencloud_climate::catalog::WorldCatalog;
+use greencloud_climate::profiles::ProfileConfig;
+use greencloud_core::framework::PlacementInput;
+use greencloud_nebula::emulation::EmulationConfig;
+use greencloud_nebula::scheduler::SchedulerConfig;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+pub const SEED: u64 = 20140701;
+
+/// Starts a server on a fresh port over the anchors world.
+pub fn start(tweak: impl FnOnce(&mut ServeConfig)) -> (Server, SocketAddr) {
+    let engine = Engine::new(WorldCatalog::anchors_only(SEED));
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeConfig::default()
+    };
+    tweak(&mut cfg);
+    let server = Server::bind(engine, cfg).expect("bind");
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+/// A parsed response.
+pub struct Resp {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl Resp {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn json(&self) -> Json {
+        Json::parse(&self.body).expect("response body parses as JSON")
+    }
+
+    pub fn code(&self) -> Option<String> {
+        self.json()
+            .get("code")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+    }
+}
+
+/// Sends one request and reads the full response (Connection: close).
+pub fn http(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&[u8]>,
+) -> Resp {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(150)))
+        .expect("read timeout");
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n");
+    if let Some(b) = body {
+        head.push_str(&format!("Content-Length: {}\r\n", b.len()));
+    }
+    for (k, v) in headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes()).expect("write head");
+    if let Some(b) = body {
+        stream.write_all(b).expect("write body");
+    }
+    stream.flush().expect("flush");
+    read_response(&mut stream)
+}
+
+/// Sends raw bytes and reads whatever comes back (for malformed HTTP).
+pub fn http_raw(addr: SocketAddr, raw: &[u8]) -> Resp {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(150)))
+        .expect("read timeout");
+    stream.write_all(raw).expect("write raw");
+    stream.flush().expect("flush");
+    read_response(&mut stream)
+}
+
+fn read_response(stream: &mut TcpStream) -> Resp {
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+            Err(e) => {
+                assert!(!raw.is_empty(), "read error before any response: {e}");
+                break;
+            }
+        }
+    }
+    let text = String::from_utf8_lossy(&raw).to_string();
+    let (head, body) = text.split_once("\r\n\r\n").unwrap_or((text.as_str(), ""));
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        .collect();
+    Resp {
+        status,
+        headers,
+        body: body.to_string(),
+    }
+}
+
+/// Connects, sends the full request, then hangs up without reading — the
+/// server should detect the vanished client and cancel the solve.
+pub fn post_and_vanish(addr: SocketAddr, body: &[u8]) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "POST /v1/experiments HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nCache-Control: no-cache\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body).expect("write body");
+    stream.flush().expect("flush");
+    drop(stream);
+}
+
+/// A small, fast annual spec; `start_hour` makes specs distinct.
+pub fn annual_spec(hours: usize, vm_count: u32, start_hour: usize) -> ExperimentSpec {
+    ExperimentSpec::Annual(AnnualSpec {
+        config: EmulationConfig {
+            vm_count,
+            hours,
+            start_hour,
+            scheduler: SchedulerConfig {
+                window_hours: 6,
+                ..SchedulerConfig::default()
+            },
+            ..EmulationConfig::default()
+        },
+        include_trace: false,
+    })
+}
+
+/// A small deterministic siting spec (exercises the candidate cache).
+pub fn siting_spec() -> ExperimentSpec {
+    ExperimentSpec::Siting(SitingSpec {
+        input: PlacementInput {
+            total_capacity_mw: 20.0,
+            ..PlacementInput::default()
+        },
+        search: SearchSpec {
+            profile: ProfileConfig::coarse(),
+            filter_keep: 4,
+            iterations: 8,
+            chains: 1,
+            patience: 6,
+            seed: SEED,
+            ..SearchSpec::default()
+        },
+    })
+}
+
+/// JSON-level equivalent of `Report::normalized` for annual and siting
+/// reports: zeroes every `wall_ms` / `pricing_ms` field, re-renders.
+pub fn normalize_report_json(body: &str) -> String {
+    let mut doc = Json::parse(body).expect("report parses");
+    zero_clock_fields(&mut doc);
+    doc.render()
+}
+
+fn zero_clock_fields(doc: &mut Json) {
+    match doc {
+        Json::Object(fields) => {
+            for (k, v) in fields.iter_mut() {
+                if k == "wall_ms" || k == "pricing_ms" {
+                    *v = Json::Number(0.0);
+                } else {
+                    zero_clock_fields(v);
+                }
+            }
+        }
+        Json::Array(items) => {
+            for v in items.iter_mut() {
+                zero_clock_fields(v);
+            }
+        }
+        _ => {}
+    }
+}

@@ -1,0 +1,123 @@
+//! Satellite: concurrent cancellation does not corrupt shared state.
+//!
+//! Pushes N distinct specs through the serve queue, disconnects half the
+//! clients mid-solve, and asserts that (a) survivors' reports are
+//! byte-identical (after clock normalization) to a serial run on an
+//! identically-seeded engine, (b) the candidate cache and report LRU keep
+//! serving correct bytes afterwards, and (c) the summary accounts every
+//! request with no 5xx.
+
+mod common;
+
+use common::{annual_spec, http, normalize_report_json, post_and_vanish, siting_spec, start, SEED};
+use greencloud_api::Engine;
+use greencloud_climate::catalog::WorldCatalog;
+use std::thread;
+use std::time::Duration;
+
+#[test]
+fn disconnect_storm_leaves_caches_and_results_intact() {
+    let (server, addr) = start(|cfg| {
+        cfg.max_inflight = 2;
+        cfg.queue_depth = 16;
+        cfg.cache_capacity = 32;
+        cfg.default_deadline_ms = 120_000;
+    });
+
+    // Prime the engine's candidate cache with a siting run and keep its
+    // normalized bytes as the corruption probe.
+    let siting_body = siting_spec().to_json_string().into_bytes();
+    let probe = http(addr, "POST", "/v1/experiments", &[], Some(&siting_body));
+    assert_eq!(probe.status, 200, "siting probe: {}", probe.body);
+    let probe_normalized = normalize_report_json(&probe.body);
+
+    // Eight distinct annual specs: even indices are survivors whose bodies
+    // we keep, odd indices vanish shortly after posting.
+    let specs: Vec<_> = (0..8).map(|i| annual_spec(720, 8, i * 900)).collect();
+    let mut clients = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let body = spec.to_json_string().into_bytes();
+        clients.push(thread::spawn(move || {
+            if i % 2 == 1 {
+                post_and_vanish(addr, &body);
+                None
+            } else {
+                let resp = http(addr, "POST", "/v1/experiments", &[], Some(&body));
+                assert_eq!(resp.status, 200, "survivor {i}: {}", resp.body);
+                Some(resp.body)
+            }
+        }));
+    }
+    let survivor_bodies: Vec<Option<String>> = clients
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+
+    // Give the watchdog/workers time to notice the vanished clients so the
+    // summary below reflects them.
+    thread::sleep(Duration::from_millis(300));
+
+    // (a) Survivors match a serial run on a fresh, identically-seeded
+    // engine, byte for byte after zeroing wall-clock fields.
+    let serial = Engine::new(WorldCatalog::anchors_only(SEED));
+    for (i, body) in survivor_bodies.iter().enumerate() {
+        let Some(body) = body else { continue };
+        let report = serial.run(&specs[i]).expect("serial run");
+        assert_eq!(
+            normalize_report_json(body),
+            normalize_report_json(&report.to_json_string()),
+            "survivor {i} diverged from the serial run"
+        );
+    }
+
+    // (b) The engine's candidate cache still yields the same siting answer
+    // (no-cache forces a fresh solve through the shared candidate state).
+    let recheck = http(
+        addr,
+        "POST",
+        "/v1/experiments",
+        &[("Cache-Control", "no-cache")],
+        Some(&siting_body),
+    );
+    assert_eq!(recheck.status, 200);
+    assert_eq!(
+        normalize_report_json(&recheck.body),
+        probe_normalized,
+        "candidate cache corrupted by concurrent cancellation"
+    );
+
+    // ...and the report LRU still returns byte-identical bodies for a
+    // survivor spec.
+    if let Some((i, Some(body))) = survivor_bodies
+        .iter()
+        .enumerate()
+        .find(|(_, b)| b.is_some())
+        .map(|(i, b)| (i, b.clone()))
+    {
+        let cached = http(
+            addr,
+            "POST",
+            "/v1/experiments",
+            &[],
+            Some(&specs[i].to_json_string().into_bytes()),
+        );
+        assert_eq!(cached.status, 200);
+        assert_eq!(cached.header("X-Cache"), Some("hit"));
+        assert_eq!(cached.body, body, "report LRU corrupted");
+    }
+
+    // (c) Clean books: no 5xx anywhere; the vanished clients surfaced as
+    // disconnect cancellations (or finished before detection — both fine,
+    // but at least one of the four should be caught by the prober).
+    server.trigger_shutdown();
+    let summary = server.join();
+    assert_eq!(summary.server_errors, 0, "summary: {summary:?}");
+    assert!(
+        summary.ok >= 6,
+        "probe + survivors + recheck must all be 200s: {summary:?}"
+    );
+    assert!(
+        summary.disconnects >= 1,
+        "at least one vanished client must be detected: {summary:?}"
+    );
+}

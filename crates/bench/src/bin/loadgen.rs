@@ -1,0 +1,516 @@
+//! `loadgen` — load generator and chaos client for `repro serve`.
+//!
+//! Drives sustained concurrent `greencloud-spec/1` traffic at the service
+//! and, with `--chaos`, mixes in adversarial clients: malformed JSON,
+//! oversized bodies, mid-request disconnects, post-request disconnects
+//! (cancelling in-flight solves), and tiny-deadline storms. Reports
+//! throughput, p50/p99 latency, shed rate, and cache hit rate, and exits
+//! nonzero when any response falls outside the allowed status set or an
+//! `--expect-shed` / `--min-ok` assertion fails — the measurable proof
+//! that overload produces 429s and cancellations, never panics or
+//! unbounded queueing.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7411 --spec examples/quick.spec.json \
+//!         --requests 2000 --concurrency 24 --chaos [--unique] \
+//!         [--no-cache] [--deadline-ms N] [--expect-shed] [--min-ok N]
+//! ```
+//!
+//! `--unique` perturbs `experiment.config.start_hour` per request so every
+//! spec is genuinely distinct (defeats the report cache and forces real
+//! solver load); without it, identical specs exercise the cache path.
+
+use greencloud_api::json::Json;
+use greencloud_api::wallclock::Stopwatch;
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// What one request attempt produced.
+#[derive(Debug, Clone)]
+struct Sample {
+    /// Which client behavior issued it (see `KIND_*`).
+    kind: &'static str,
+    /// HTTP status, or 0 when no response was expected/read (disconnect
+    /// chaos), or 599 on a transport error.
+    status: u16,
+    /// Wall latency in milliseconds.
+    ms: f64,
+    /// True when the response carried `X-Cache: hit`.
+    cache_hit: bool,
+}
+
+const KIND_NORMAL: &str = "normal";
+const KIND_MALFORMED: &str = "malformed";
+const KIND_OVERSIZED: &str = "oversized";
+const KIND_MIDCUT: &str = "mid-disconnect";
+const KIND_POSTCUT: &str = "post-disconnect";
+const KIND_STORM: &str = "deadline-storm";
+
+struct Config {
+    addr: String,
+    spec_paths: Vec<String>,
+    requests: usize,
+    concurrency: usize,
+    chaos: bool,
+    unique: bool,
+    no_cache: bool,
+    deadline_ms: u64,
+    expect_shed: bool,
+    min_ok: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            addr: "127.0.0.1:7411".to_string(),
+            spec_paths: Vec::new(),
+            requests: 200,
+            concurrency: 8,
+            chaos: false,
+            unique: false,
+            no_cache: false,
+            deadline_ms: 0,
+            expect_shed: false,
+            min_ok: 0,
+        }
+    }
+}
+
+fn parse_args() -> Config {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = Config::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                cfg.addr = args.get(i).cloned().unwrap_or(cfg.addr);
+            }
+            "--spec" => {
+                i += 1;
+                if let Some(p) = args.get(i) {
+                    cfg.spec_paths.push(p.clone());
+                }
+            }
+            "--requests" => {
+                i += 1;
+                cfg.requests = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(cfg.requests);
+            }
+            "--concurrency" => {
+                i += 1;
+                cfg.concurrency = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(cfg.concurrency);
+            }
+            "--deadline-ms" => {
+                i += 1;
+                cfg.deadline_ms = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(0);
+            }
+            "--min-ok" => {
+                i += 1;
+                cfg.min_ok = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(0);
+            }
+            "--chaos" => cfg.chaos = true,
+            "--unique" => cfg.unique = true,
+            "--no-cache" => cfg.no_cache = true,
+            "--expect-shed" => cfg.expect_shed = true,
+            other => eprintln!("loadgen: ignoring unknown flag {other}"),
+        }
+        i += 1;
+    }
+    if cfg.spec_paths.is_empty() {
+        cfg.spec_paths.push("examples/quick.spec.json".to_string());
+    }
+    cfg.requests = cfg.requests.max(1);
+    cfg.concurrency = cfg.concurrency.max(1);
+    cfg
+}
+
+/// Sets `experiment.config.start_hour` in a parsed spec document so each
+/// request describes a genuinely different experiment.
+fn perturb_start_hour(doc: &mut Json, hour: u64) -> bool {
+    let Json::Object(fields) = doc else {
+        return false;
+    };
+    let Some(experiment) = fields
+        .iter_mut()
+        .find(|(k, _)| k == "experiment")
+        .map(|(_, v)| v)
+    else {
+        return false;
+    };
+    let Json::Object(exp_fields) = experiment else {
+        return false;
+    };
+    let Some(config) = exp_fields
+        .iter_mut()
+        .find(|(k, _)| k == "config")
+        .map(|(_, v)| v)
+    else {
+        return false;
+    };
+    let Json::Object(cfg_fields) = config else {
+        return false;
+    };
+    match cfg_fields.iter_mut().find(|(k, _)| k == "start_hour") {
+        Some((_, v)) => *v = Json::Number(hour as f64),
+        None => cfg_fields.push(("start_hour".to_string(), Json::Number(hour as f64))),
+    }
+    true
+}
+
+/// A parsed HTTP response: status, headers (lowercased names), body.
+struct Response {
+    status: u16,
+    cache_hit: bool,
+}
+
+/// Sends one request over a fresh connection and reads the response.
+/// `cut_after` truncates the write mid-body and hangs up (mid-request
+/// disconnect chaos); `drop_after_send` hangs up right after writing
+/// without reading the response (cancels the in-flight solve).
+fn send_request(
+    addr: &str,
+    body: &[u8],
+    headers: &[(&str, String)],
+    cut_after: Option<usize>,
+    drop_after_send: bool,
+) -> Result<Option<Response>, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(150)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut head = format!(
+        "POST /v1/experiments HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (k, v) in headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream
+        .write_all(head.as_bytes())
+        .map_err(|e| format!("write head: {e}"))?;
+    if let Some(cut) = cut_after {
+        let cut = cut.min(body.len());
+        let _ = stream.write_all(&body[..cut]);
+        let _ = stream.flush();
+        // Hang up mid-body: the server's read budget must reclaim this.
+        return Ok(None);
+    }
+    stream
+        .write_all(body)
+        .map_err(|e| format!("write body: {e}"))?;
+    stream.flush().map_err(|e| format!("flush: {e}"))?;
+    if drop_after_send {
+        // Hang up without reading: the server should detect the vanished
+        // client and cancel the solve.
+        return Ok(None);
+    }
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+            Err(e) => {
+                if raw.is_empty() {
+                    return Err(format!("read: {e}"));
+                }
+                break;
+            }
+        }
+    }
+    let text = String::from_utf8_lossy(&raw);
+    let mut lines = text.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let mut status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    // Skip interim 100 Continue responses.
+    if status == 100 {
+        let after = text.split("\r\n\r\n").nth(1).unwrap_or("");
+        status = after
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| format!("no final status after 100 in {after:?}"))?;
+    }
+    let cache_hit = text
+        .lines()
+        .any(|l| l.to_ascii_lowercase().starts_with("x-cache:") && l.contains("hit"));
+    Ok(Some(Response { status, cache_hit }))
+}
+
+/// One worker request: picks a behavior for request `i` and executes it.
+fn run_one(cfg: &Config, specs: &[String], i: usize) -> Sample {
+    let chaos_slot = if cfg.chaos { i % 10 } else { 10 };
+    let spec_text = &specs[i % specs.len()];
+    let sw = Stopwatch::start();
+    let (kind, outcome) = match chaos_slot {
+        // 10% malformed JSON → 400.
+        7 => (
+            KIND_MALFORMED,
+            send_request(
+                &cfg.addr,
+                b"{\"schema\": \"greencloud-spec/1\", ",
+                &[],
+                None,
+                false,
+            ),
+        ),
+        // 10% oversized body → 413 (2 MiB of padding).
+        8 => {
+            let huge = vec![b' '; 2 * 1024 * 1024];
+            (
+                KIND_OVERSIZED,
+                send_request(&cfg.addr, &huge, &[], None, false),
+            )
+        }
+        // 5% mid-request disconnect → no response, server must recover.
+        9 if (i / 10).is_multiple_of(2) => (
+            KIND_MIDCUT,
+            send_request(
+                &cfg.addr,
+                spec_text.as_bytes(),
+                &[],
+                Some(spec_text.len() / 2),
+                false,
+            ),
+        ),
+        // 5% post-request disconnect → in-flight solve is cancelled.
+        9 => (
+            KIND_POSTCUT,
+            send_request(&cfg.addr, spec_text.as_bytes(), &[], None, true),
+        ),
+        // 10% deadline storm: a 1 ms deadline → 408 (or a 200 when the
+        // report was already cached / solved inside the window).
+        6 => (
+            KIND_STORM,
+            send_request(
+                &cfg.addr,
+                spec_text.as_bytes(),
+                &[("X-Deadline-Ms", "1".to_string())],
+                None,
+                false,
+            ),
+        ),
+        // The rest: honest traffic.
+        _ => {
+            let mut headers: Vec<(&str, String)> = Vec::new();
+            if cfg.no_cache {
+                headers.push(("Cache-Control", "no-cache".to_string()));
+            }
+            if cfg.deadline_ms > 0 {
+                headers.push(("X-Deadline-Ms", cfg.deadline_ms.to_string()));
+            }
+            (
+                KIND_NORMAL,
+                send_request(&cfg.addr, spec_text.as_bytes(), &headers, None, false),
+            )
+        }
+    };
+    let ms = sw.elapsed_ms();
+    match outcome {
+        Ok(Some(r)) => Sample {
+            kind,
+            status: r.status,
+            ms,
+            cache_hit: r.cache_hit,
+        },
+        Ok(None) => Sample {
+            kind,
+            status: 0,
+            ms,
+            cache_hit: false,
+        },
+        Err(_) => Sample {
+            kind,
+            status: 599,
+            ms,
+            cache_hit: false,
+        },
+    }
+}
+
+/// Statuses each client kind may legitimately receive. Anything else is a
+/// violation (a panic, a hang surfacing as 599, an unmapped error).
+fn allowed(kind: &str, status: u16) -> bool {
+    match kind {
+        // 429/503 are load shedding; 408 a deadline met under load.
+        KIND_NORMAL => matches!(status, 200 | 408 | 429 | 503),
+        KIND_MALFORMED => matches!(status, 400 | 429 | 503),
+        KIND_OVERSIZED => matches!(status, 413 | 429 | 503),
+        // No response expected; transport errors are fine too (the server
+        // may reset the socket mid-write).
+        KIND_MIDCUT | KIND_POSTCUT => matches!(status, 0 | 599),
+        KIND_STORM => matches!(status, 200 | 408 | 429 | 503),
+        _ => false,
+    }
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0 * sorted_ms.len() as f64).ceil() as usize).clamp(1, sorted_ms.len()) - 1;
+    sorted_ms.get(idx).copied().unwrap_or(0.0)
+}
+
+fn main() {
+    let cfg = parse_args();
+    // Load and pre-render every spec body once; with --unique, each
+    // request index gets its own start_hour so no two specs match.
+    let mut base_docs: Vec<Json> = Vec::new();
+    for path in &cfg.spec_paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("loadgen: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match Json::parse(&text) {
+            Ok(doc) => base_docs.push(doc),
+            Err(e) => {
+                eprintln!("loadgen: {path} is not JSON: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let specs: Vec<String> = if cfg.unique {
+        (0..cfg.requests)
+            .map(|i| {
+                let mut doc = base_docs[i % base_docs.len()].clone();
+                if !perturb_start_hour(&mut doc, (i as u64) * 24 % 8000) {
+                    eprintln!("loadgen: warning: spec has no experiment.config to perturb");
+                }
+                doc.render()
+            })
+            .collect()
+    } else {
+        base_docs.iter().map(Json::render).collect()
+    };
+
+    let cfg = Arc::new(cfg);
+    let specs = Arc::new(specs);
+    let next = Arc::new(AtomicUsize::new(0));
+    let samples: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::new()));
+    let wall = Stopwatch::start();
+    let mut workers = Vec::new();
+    for _ in 0..cfg.concurrency {
+        let cfg = Arc::clone(&cfg);
+        let specs = Arc::clone(&specs);
+        let next = Arc::clone(&next);
+        let samples = Arc::clone(&samples);
+        workers.push(thread::spawn(move || loop {
+            let i = next.fetch_add(1, Ordering::SeqCst);
+            if i >= cfg.requests {
+                return;
+            }
+            let s = run_one(&cfg, &specs, i);
+            if let Ok(mut guard) = samples.lock() {
+                guard.push(s);
+            }
+        }));
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    let wall_s = wall.elapsed_ms() / 1e3;
+
+    let samples = samples.lock().map(|g| g.clone()).unwrap_or_default();
+    let total = samples.len();
+    let ok: Vec<&Sample> = samples.iter().filter(|s| s.status == 200).collect();
+    let shed = samples.iter().filter(|s| s.status == 429).count();
+    let deadline = samples.iter().filter(|s| s.status == 408).count();
+    let hits = ok.iter().filter(|s| s.cache_hit).count();
+    let mut ok_ms: Vec<f64> = ok.iter().map(|s| s.ms).collect();
+    ok_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let violations: Vec<&Sample> = samples
+        .iter()
+        .filter(|s| !allowed(s.kind, s.status))
+        .collect();
+
+    println!("==== loadgen report ====");
+    println!("requests        {total}");
+    println!("wall time       {wall_s:.2} s");
+    println!(
+        "throughput      {:.1} req/s",
+        total as f64 / wall_s.max(1e-9)
+    );
+    println!(
+        "ok (200)        {} ({hits} cache hits, {:.1}% hit rate)",
+        ok.len(),
+        if ok.is_empty() {
+            0.0
+        } else {
+            100.0 * hits as f64 / ok.len() as f64
+        }
+    );
+    println!(
+        "shed (429)      {shed} ({:.1}% shed rate)",
+        100.0 * shed as f64 / total.max(1) as f64
+    );
+    println!("deadline (408)  {deadline}");
+    println!(
+        "p50 latency     {:.1} ms (over 200s)",
+        percentile(&ok_ms, 50.0)
+    );
+    println!(
+        "p99 latency     {:.1} ms (over 200s)",
+        percentile(&ok_ms, 99.0)
+    );
+    for kind in [
+        KIND_NORMAL,
+        KIND_STORM,
+        KIND_MALFORMED,
+        KIND_OVERSIZED,
+        KIND_MIDCUT,
+        KIND_POSTCUT,
+    ] {
+        let n = samples.iter().filter(|s| s.kind == kind).count();
+        if n > 0 {
+            println!("  {kind:<16} {n}");
+        }
+    }
+
+    let mut failed = false;
+    if !violations.is_empty() {
+        failed = true;
+        println!(
+            "VIOLATIONS: {} responses outside the allowed set",
+            violations.len()
+        );
+        for v in violations.iter().take(10) {
+            println!("  {} got {}", v.kind, v.status);
+        }
+    }
+    if cfg.expect_shed && shed == 0 {
+        failed = true;
+        println!("ASSERTION FAILED: --expect-shed but no request was shed (429)");
+    }
+    if ok.len() < cfg.min_ok {
+        failed = true;
+        println!(
+            "ASSERTION FAILED: --min-ok {} but only {} requests got 200",
+            cfg.min_ok,
+            ok.len()
+        );
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("loadgen: all {total} requests resolved within the allowed status set");
+}

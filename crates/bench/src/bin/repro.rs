@@ -6,7 +6,8 @@
 //! ```text
 //! repro <experiment> [--locations N] [--fast] [--threads N]
 //! repro all [--locations N] [--fast]
-//! repro run <spec.json> [--json] [--world anchors|synthetic] [--locations N]
+//! repro run <spec.json> [--json] [--timeout-ms N] [--world anchors|synthetic] [--locations N]
+//! repro serve [--addr A] [--max-inflight N] [--queue-depth N] [--default-deadline-ms N]
 //! repro lint
 //! ```
 //!
@@ -22,6 +23,14 @@
 //! `repro run spec.json` deserializes a [`greencloud_api::ExperimentSpec`]
 //! (schema `greencloud-spec/1`) and runs it — exactly the same code path
 //! as the named experiments, which are all expressed as specs themselves.
+//! `--timeout-ms N` bounds the run with the engine's deadline machinery
+//! (nonzero exit with the typed `deadline exceeded` message), and with
+//! `--json` failures print the same `greencloud-error/1` body the serve
+//! endpoints return.
+//!
+//! `repro serve` runs the overload-safe experiment service
+//! ([`greencloud_api::serve`]) until SIGTERM/SIGINT, then drains
+//! gracefully and exits 0 with the run's counters.
 
 use greencloud_api::report::ReportBody;
 use greencloud_api::{
@@ -47,6 +56,8 @@ fn main() {
     let mut threads = 0usize; // 0 = auto
     let mut as_json = false;
     let mut world_kind = String::from("anchors");
+    let mut timeout_ms = 0u64; // 0 = no deadline
+    let mut serve_cfg = greencloud_api::ServeConfig::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -61,6 +72,49 @@ fn main() {
             "--world" => {
                 i += 1;
                 world_kind = args.get(i).cloned().unwrap_or_default();
+            }
+            "--timeout-ms" => {
+                i += 1;
+                timeout_ms = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(0);
+            }
+            "--addr" => {
+                i += 1;
+                serve_cfg.addr = args.get(i).cloned().unwrap_or(serve_cfg.addr);
+            }
+            "--max-inflight" => {
+                i += 1;
+                serve_cfg.max_inflight = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(serve_cfg.max_inflight);
+            }
+            "--queue-depth" => {
+                i += 1;
+                serve_cfg.queue_depth = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(serve_cfg.queue_depth);
+            }
+            "--default-deadline-ms" => {
+                i += 1;
+                serve_cfg.default_deadline_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(serve_cfg.default_deadline_ms);
+            }
+            "--drain-ms" => {
+                i += 1;
+                serve_cfg.drain_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(serve_cfg.drain_ms);
+            }
+            "--cache-capacity" => {
+                i += 1;
+                serve_cfg.cache_capacity = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(serve_cfg.cache_capacity);
             }
             "--fast" => fast = true,
             "--json" => as_json = true,
@@ -81,12 +135,19 @@ fn main() {
         std::process::exit(run_lint());
     }
 
+    if experiment == "serve" {
+        std::process::exit(run_serve(serve_cfg, &world_kind, locations, threads));
+    }
+
     if experiment == "run" {
         let Some(path) = spec_path else {
-            eprintln!("usage: repro run <spec.json> [--json] [--world anchors|synthetic]");
+            eprintln!(
+                "usage: repro run <spec.json> [--json] [--timeout-ms N] \
+                 [--world anchors|synthetic]"
+            );
             std::process::exit(2);
         };
-        if !run_spec_file(&path, &world_kind, locations, threads, as_json) {
+        if !run_spec_file(&path, &world_kind, locations, threads, as_json, timeout_ms) {
             std::process::exit(1);
         }
         return;
@@ -249,32 +310,33 @@ fn run_spec_file(
     locations: usize,
     threads: usize,
     as_json: bool,
+    timeout_ms: u64,
 ) -> bool {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            return false;
-        }
-    };
-    let spec = match ExperimentSpec::from_json_str(&text) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("{e}");
-            return false;
-        }
-    };
-    let catalog = match world_kind {
-        "anchors" => WorldCatalog::anchors_only(REPRO_SEED),
-        "synthetic" => world(pick(locations, 150)),
-        other => {
-            eprintln!("unknown world {other:?} (use anchors or synthetic)");
-            return false;
-        }
-    };
-    let engine = Engine::new(catalog).with_threads(threads);
-    match engine.run(&spec) {
-        Ok(report) => {
+    // Failures funnel through one typed ApiError so `--json` can emit the
+    // same `greencloud-error/1` body the serve endpoints return.
+    let result = (|| -> Result<(ExperimentSpec, Report), greencloud_api::ApiError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| greencloud_api::ApiError::Io(format!("cannot read {path}: {e}")))?;
+        let spec = ExperimentSpec::from_json_str(&text)?;
+        let catalog = match world_kind {
+            "anchors" => WorldCatalog::anchors_only(REPRO_SEED),
+            "synthetic" => world(pick(locations, 150)),
+            other => {
+                return Err(greencloud_api::ApiError::Io(format!(
+                    "unknown world {other:?} (use anchors or synthetic)"
+                )))
+            }
+        };
+        let engine = Engine::new(catalog).with_threads(threads);
+        let report = if timeout_ms > 0 {
+            engine.run_with_deadline(&spec, std::time::Duration::from_millis(timeout_ms))?
+        } else {
+            engine.run(&spec)?
+        };
+        Ok((spec, report))
+    })();
+    match result {
+        Ok((spec, report)) => {
             if as_json {
                 print!("{}", report.to_json_string());
             } else {
@@ -284,10 +346,106 @@ fn run_spec_file(
             true
         }
         Err(e) => {
+            if as_json {
+                print!("{}", e.to_error_json());
+            }
             eprintln!("experiment failed: {e}");
             false
         }
     }
+}
+
+/// POSIX signal bridge for `repro serve`: a raw `signal(2)` declaration
+/// (the workspace vendors no libc crate) installing a handler that flips
+/// one atomic, polled by a shutdown thread. Applies to this binary only —
+/// the library keeps `#![forbid(unsafe_code)]`.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set from the handler on SIGTERM/SIGINT.
+    static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a single atomic store.
+        TRIGGERED.store(true, Ordering::SeqCst);
+    }
+
+    // SAFETY: `signal` is the POSIX libc function with this exact C
+    // signature; declaring it does not call it.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Installs the handler for SIGINT (2) and SIGTERM (15).
+    pub fn install() {
+        let h = on_signal as extern "C" fn(i32) as usize;
+        // SAFETY: libc `signal` with a valid signal number and a handler
+        // that only performs an async-signal-safe atomic store.
+        unsafe {
+            signal(2, h);
+            signal(15, h);
+        }
+    }
+
+    /// True once a termination signal arrived.
+    pub fn triggered() -> bool {
+        TRIGGERED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    /// No signal bridge off unix; `repro serve` runs until killed.
+    pub fn install() {}
+    pub fn triggered() -> bool {
+        false
+    }
+}
+
+/// `repro serve` — binds the overload-safe experiment service and blocks
+/// until SIGTERM/SIGINT, then drains gracefully. Returns the process exit
+/// code (0 on a clean drain).
+fn run_serve(
+    cfg: greencloud_api::ServeConfig,
+    world_kind: &str,
+    locations: usize,
+    threads: usize,
+) -> i32 {
+    let catalog = match world_kind {
+        "anchors" => WorldCatalog::anchors_only(REPRO_SEED),
+        "synthetic" => world(pick(locations, 150)),
+        other => {
+            eprintln!("unknown world {other:?} (use anchors or synthetic)");
+            return 2;
+        }
+    };
+    let engine = Engine::new(catalog).with_threads(threads);
+    let server = match greencloud_api::Server::bind(engine, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("repro serve: bind failed: {e}");
+            return 1;
+        }
+    };
+    println!("repro serve: listening on http://{}", server.local_addr());
+    sig::install();
+    let handle = server.handle();
+    let poller = std::thread::spawn(move || loop {
+        if sig::triggered() {
+            handle.trigger_shutdown();
+            return;
+        }
+        if handle.is_draining() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+    let summary = server.join();
+    let _ = poller.join();
+    println!("repro serve: drained cleanly");
+    print!("{}", summary.render_text());
+    0
 }
 
 /// Writes the benchmark records to `BENCH_lp.json` in the working
