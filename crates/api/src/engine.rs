@@ -51,6 +51,51 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Job-id-keyed cancellation tokens for experiments running under the
+/// durable job API. The serve layer registers a token when a worker picks
+/// a job up; `DELETE /v1/jobs/:id` fires it by id without needing a handle
+/// on the worker — the same cooperative-token mechanism the deadline
+/// watchdog and drain path use, addressed by job id instead of by
+/// connection.
+#[derive(Debug, Default)]
+pub struct CancelRegistry {
+    by_job: Mutex<HashMap<String, Arc<AtomicBool>>>,
+}
+
+impl CancelRegistry {
+    /// Associates `token` with `job_id` for the duration of a run.
+    pub fn register(&self, job_id: &str, token: Arc<AtomicBool>) {
+        self.by_job.lock().insert(job_id.to_string(), token);
+    }
+
+    /// Drops the association (the run finished, however it finished).
+    pub fn unregister(&self, job_id: &str) {
+        self.by_job.lock().remove(job_id);
+    }
+
+    /// Fires the token registered for `job_id`, if any. Returns whether a
+    /// running job was signalled.
+    pub fn fire(&self, job_id: &str) -> bool {
+        match self.by_job.lock().get(job_id) {
+            Some(t) => {
+                t.store(true, Ordering::SeqCst);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// How many jobs are currently registered (running).
+    pub fn len(&self) -> usize {
+        self.by_job.lock().len()
+    }
+
+    /// True when no job is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// The experiment engine (see the module docs).
 #[derive(Debug)]
 pub struct Engine {
@@ -58,6 +103,7 @@ pub struct Engine {
     params: CostParams,
     threads: usize,
     candidates: Mutex<HashMap<ProfileConfig, Arc<Vec<CandidateSite>>>>,
+    cancels: CancelRegistry,
 }
 
 impl Engine {
@@ -69,6 +115,7 @@ impl Engine {
             params: CostParams::default(),
             threads: default_threads(),
             candidates: Mutex::new(HashMap::new()),
+            cancels: CancelRegistry::default(),
         }
     }
 
@@ -183,6 +230,26 @@ impl Engine {
                 panic_message(p.as_ref())
             )))
         })
+    }
+
+    /// The job-id-keyed cancellation registry (see [`CancelRegistry`]).
+    pub fn cancels(&self) -> &CancelRegistry {
+        &self.cancels
+    }
+
+    /// [`Engine::run_with_cancel`] for a durable job: the token is
+    /// registered under `job_id` in [`Engine::cancels`] for the duration
+    /// of the run, so `DELETE /v1/jobs/:id` can fire it by id.
+    pub fn run_job(
+        &self,
+        job_id: &str,
+        spec: &ExperimentSpec,
+        cancel: Arc<AtomicBool>,
+    ) -> Result<Report, ApiError> {
+        self.cancels.register(job_id, Arc::clone(&cancel));
+        let out = self.run_with_cancel(spec, &cancel);
+        self.cancels.unregister(job_id);
+        out
     }
 
     /// [`Engine::run`] with a cooperative cancellation flag threaded into

@@ -69,6 +69,9 @@ pub enum ApiError {
     Cancelled(String),
     /// Reading or writing a spec/report file failed.
     Io(String),
+    /// The durable job store failed: the write-ahead journal could not be
+    /// opened, appended, or compacted (see [`crate::store`]).
+    Store(String),
 }
 
 impl ApiError {
@@ -85,6 +88,7 @@ impl ApiError {
             ApiError::Deadline { .. } => "deadline_exceeded",
             ApiError::Cancelled(_) => "cancelled",
             ApiError::Io(_) => "io_error",
+            ApiError::Store(_) => "store_error",
         }
     }
 
@@ -102,6 +106,7 @@ impl ApiError {
             ApiError::Cancelled(_) => 499,
             ApiError::Engine(_) => 500,
             ApiError::Io(_) => 500,
+            ApiError::Store(_) => 500,
         }
     }
 
@@ -125,7 +130,8 @@ impl ApiError {
             | ApiError::Solve(_)
             | ApiError::Engine(_)
             | ApiError::Cancelled(_)
-            | ApiError::Io(_) => {}
+            | ApiError::Io(_)
+            | ApiError::Store(_) => {}
         }
         Json::Object(fields).render()
     }
@@ -143,6 +149,7 @@ impl fmt::Display for ApiError {
             }
             ApiError::Cancelled(reason) => write!(f, "cancelled: {reason}"),
             ApiError::Io(msg) => write!(f, "io error: {msg}"),
+            ApiError::Store(msg) => write!(f, "job store error: {msg}"),
         }
     }
 }
@@ -258,6 +265,7 @@ mod tests {
             (ApiError::Deadline { limit_ms: 7 }, "deadline_exceeded", 408),
             (ApiError::Cancelled("drain".into()), "cancelled", 499),
             (ApiError::Io("disk".into()), "io_error", 500),
+            (ApiError::Store("journal".into()), "store_error", 500),
         ];
         for (e, code, status) in cases {
             assert_eq!(e.code(), code, "{e:?}");

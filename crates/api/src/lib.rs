@@ -47,9 +47,10 @@ pub mod json;
 pub mod report;
 pub mod serve;
 pub mod spec;
+pub mod store;
 pub mod wallclock;
 
-pub use engine::Engine;
+pub use engine::{CancelRegistry, Engine};
 pub use error::{ApiError, SpecError, ERROR_SCHEMA};
 pub use report::{
     AnnualReport, Report, ReportBody, SitingReport, SolverRollup, SweepReport, SweepRow,
@@ -60,3 +61,4 @@ pub use spec::{
     AnnualSpec, ExactSitingSpec, ExperimentSpec, SearchSpec, SitingSpec, SweepAxes, SweepMode,
     SweepSpec, TimingSpec, SPEC_SCHEMA,
 };
+pub use store::{job_id, JobStatus, JobStore, StoreError, StoreStats, JOB_SCHEMA};

@@ -33,6 +33,15 @@
 //!   acceptor; [`Server::join`] then drains — in-flight work gets
 //!   `drain_ms` to finish, stragglers are cancelled with the drain
 //!   reason, and the process exits 0 with a [`ServeSummary`].
+//! * **Durable jobs.** `POST /v1/jobs` acknowledges work with `202` and a
+//!   content-derived job id *after* fsyncing an `Accepted` record to the
+//!   write-ahead journal ([`crate::store`]), so acknowledged work
+//!   survives `kill -9`. `GET /v1/jobs/:id` polls state or fetches the
+//!   finished report; `DELETE /v1/jobs/:id` cancels via the engine's
+//!   job-id cancel registry. On startup the journal is replayed:
+//!   completed reports warm the LRU, and jobs that never reached a
+//!   terminal state are re-enqueued with exponential backoff, up to
+//!   `max_redeliveries` attempts before a terminal `retries_exhausted`.
 //!
 //! Every failure body is a `greencloud-error/1` document (see
 //! [`crate::error::ERROR_SCHEMA`]); `GET /v1/healthz`, `/v1/readyz`, and
@@ -42,6 +51,7 @@ use crate::engine::Engine;
 use crate::error::{ApiError, ERROR_SCHEMA};
 use crate::json::Json;
 use crate::spec::ExperimentSpec;
+use crate::store::{self, JobStatus, JobStore};
 use crate::wallclock::{self, Stopwatch};
 
 use std::collections::{HashMap, VecDeque};
@@ -60,6 +70,7 @@ const REASON_NONE: u8 = 0;
 const REASON_DEADLINE: u8 = 1;
 const REASON_DISCONNECT: u8 = 2;
 const REASON_DRAIN: u8 = 3;
+const REASON_CANCEL_API: u8 = 4;
 
 /// Tuning knobs for [`Server::bind`]. `Default` gives a loopback server
 /// with conservative limits; `bind` normalizes degenerate values
@@ -90,6 +101,15 @@ pub struct ServeConfig {
     /// Simultaneous client connections; beyond this, connections are
     /// refused with a best-effort 503.
     pub max_connections: usize,
+    /// Write-ahead journal path backing the `/v1/jobs` API. `None` keeps
+    /// the job store in memory only (jobs do not survive a restart).
+    pub journal_path: Option<String>,
+    /// Most times a recovered job may be delivered to a worker before it
+    /// turns terminally `Failed{code: "retries_exhausted"}`.
+    pub max_redeliveries: u32,
+    /// Base of the exponential backoff applied when a recovered job is
+    /// re-enqueued: attempt *n* waits `backoff · 2^(n-1)` ms first.
+    pub redelivery_backoff_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -108,6 +128,9 @@ impl Default for ServeConfig {
             drain_ms: 10_000,
             cache_capacity: 64,
             max_connections: 256,
+            journal_path: None,
+            max_redeliveries: 3,
+            redelivery_backoff_ms: 250,
         }
     }
 }
@@ -123,7 +146,9 @@ fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// solves it, and the deadline watchdog.
 struct JobState {
     /// The engine-facing cancellation token (polled by annual/sweep runs).
-    cancel: AtomicBool,
+    /// `Arc`-shared so durable jobs can register it in the engine's
+    /// job-id cancel registry for `DELETE /v1/jobs/:id`.
+    cancel: Arc<AtomicBool>,
     /// First cancellation cause (`REASON_*`); set once via CAS.
     reason: AtomicU8,
     /// True once `done` holds the result (watchdog prunes on this).
@@ -141,7 +166,7 @@ struct JobState {
 impl JobState {
     fn new(limit_ms: u64) -> Self {
         JobState {
-            cancel: AtomicBool::new(false),
+            cancel: Arc::new(AtomicBool::new(false)),
             reason: AtomicU8::new(REASON_NONE),
             finished: AtomicBool::new(false),
             limit_ms,
@@ -173,6 +198,14 @@ impl JobState {
         self.finished.store(true, Ordering::SeqCst);
         self.cv.notify_all();
     }
+
+    /// Marks the job finished without filling the result slot — durable
+    /// jobs publish their outcome through the store, but the watchdog
+    /// still prunes on `finished`.
+    fn mark_finished(&self) {
+        self.finished.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
 }
 
 /// One queued experiment.
@@ -180,6 +213,11 @@ struct Job {
     spec: ExperimentSpec,
     cache_key: String,
     state: Arc<JobState>,
+    /// `Some` for durable jobs submitted via `/v1/jobs` (or recovered
+    /// from the journal); `None` for synchronous `/v1/experiments` work.
+    job_id: Option<String>,
+    /// Redelivery backoff: workers skip the job until this instant.
+    not_before: Option<Instant>,
 }
 
 /// Monotonic service counters, snapshotted into [`ServeSummary`].
@@ -195,6 +233,9 @@ struct Stats {
     client_errors: AtomicU64,
     solve_errors: AtomicU64,
     server_errors: AtomicU64,
+    /// Jobs re-enqueued from the journal after at least one earlier
+    /// delivery (surfaced via `/v1/stats`, not the exit summary).
+    jobs_redelivered: AtomicU64,
 }
 
 impl Stats {
@@ -366,6 +407,11 @@ struct ServerInner {
     stats: Stats,
     /// EMA of recent solve wall-times, feeding `Retry-After`.
     ema_ms: AtomicU64,
+    /// The durable job store (ephemeral when `journal_path` is `None`).
+    store: Mutex<JobStore>,
+    /// Live (queued or running) durable jobs by id, for `DELETE`. Never
+    /// iterated — only keyed access (the workspace `hash-iter` rule).
+    job_states: Mutex<HashMap<String, Arc<JobState>>>,
 }
 
 /// A cloneable remote control for a running [`Server`] — lets signal
@@ -410,6 +456,10 @@ impl Server {
         cfg.max_deadline_ms = cfg.max_deadline_ms.max(1);
         cfg.default_deadline_ms = cfg.default_deadline_ms.clamp(1, cfg.max_deadline_ms);
         cfg.max_connections = cfg.max_connections.max(1);
+        let store = match &cfg.journal_path {
+            Some(p) => JobStore::open(p)?,
+            None => JobStore::ephemeral(),
+        };
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -429,7 +479,12 @@ impl Server {
             cache: Mutex::new(ReportCache::new(cache_capacity)),
             stats: Stats::default(),
             ema_ms: AtomicU64::new(0),
+            store: Mutex::new(store),
+            job_states: Mutex::new(HashMap::new()),
         });
+        // Replay before the workers exist: recovered jobs are queued (and
+        // completed reports warm the LRU) before anything can race them.
+        recover_jobs(&inner);
         let mut workers = Vec::new();
         for i in 0..max_inflight {
             let w = Arc::clone(&inner);
@@ -525,6 +580,67 @@ impl Server {
     }
 }
 
+/// Startup replay: warms the report LRU from completed jobs and
+/// re-enqueues every job the journal shows as accepted/started but never
+/// terminal. A job already delivered `max_redeliveries` times fails
+/// terminally with `retries_exhausted`; later attempts back off
+/// exponentially (`redelivery_backoff_ms · 2^(attempts-1)`).
+fn recover_jobs(inner: &Arc<ServerInner>) {
+    let max = inner.cfg.max_redeliveries;
+    let backoff = inner.cfg.redelivery_backoff_ms;
+    let mut store = lock_ok(&inner.store);
+    if inner.cfg.cache_capacity > 0 {
+        let mut cache = lock_ok(&inner.cache);
+        for (_, e) in store.entries() {
+            if let Some(report) = &e.report {
+                cache.insert(e.spec.as_ref().clone(), Arc::clone(report));
+            }
+        }
+    }
+    for (id, attempts) in store.recoverable() {
+        if attempts >= max {
+            let _ = store.fail(
+                &id,
+                "retries_exhausted",
+                &format!("delivered {attempts} times without finishing (max {max})"),
+            );
+            continue;
+        }
+        let Some(entry) = store.get(&id) else {
+            continue;
+        };
+        let spec_text = entry.spec.as_ref().clone();
+        let spec = match ExperimentSpec::from_json_str(&spec_text) {
+            Ok(s) => s,
+            Err(e) => {
+                let err = ApiError::from(e);
+                let _ = store.fail(&id, err.code(), &err.to_string());
+                continue;
+            }
+        };
+        let not_before = if attempts == 0 {
+            None
+        } else {
+            inner.stats.jobs_redelivered.fetch_add(1, Ordering::SeqCst);
+            let shift = attempts.saturating_sub(1).min(16);
+            let wait = backoff.saturating_mul(1u64 << shift);
+            Some(wallclock::now() + Duration::from_millis(wait))
+        };
+        let state = Arc::new(JobState::new(u64::MAX));
+        lock_ok(&inner.registry).push(Arc::downgrade(&state));
+        lock_ok(&inner.job_states).insert(id.clone(), Arc::clone(&state));
+        // Recovery bypasses `queue_depth`: these jobs were already
+        // admitted (and durably acknowledged) by a previous process.
+        lock_ok(&inner.queue).push_back(Job {
+            spec,
+            cache_key: spec_text,
+            state,
+            job_id: Some(id),
+            not_before,
+        });
+    }
+}
+
 /// Accepts connections until shutdown; each gets its own thread, capped
 /// at `max_connections` live at once.
 fn acceptor_loop(listener: &TcpListener, inner: &Arc<ServerInner>) {
@@ -582,12 +698,18 @@ fn worker_loop(inner: &ServerInner) {
                 if inner.stop_workers.load(Ordering::SeqCst) {
                     return;
                 }
-                if let Some(j) = q.pop_front() {
-                    break j;
+                // First *ready* job: entries still inside their redelivery
+                // backoff window are skipped, not reordered away.
+                let now = wallclock::now();
+                let ready = q.iter().position(|j| j.not_before.is_none_or(|t| t <= now));
+                if let Some(k) = ready {
+                    if let Some(j) = q.remove(k) {
+                        break j;
+                    }
                 }
                 let (guard, _timed_out) = inner
                     .queue_cv
-                    .wait_timeout(q, Duration::from_millis(100))
+                    .wait_timeout(q, Duration::from_millis(25))
                     .unwrap_or_else(PoisonError::into_inner);
                 q = guard;
             }
@@ -597,6 +719,10 @@ fn worker_loop(inner: &ServerInner) {
 }
 
 fn run_job(inner: &ServerInner, job: Job) {
+    if let Some(id) = job.job_id.clone() {
+        run_durable_job(inner, job, &id);
+        return;
+    }
     inner.inflight.fetch_add(1, Ordering::SeqCst);
     let result = if job.state.reason_code() != REASON_NONE {
         // Expired or cancelled while queued — skip the engine entirely.
@@ -621,6 +747,84 @@ fn run_job(inner: &ServerInner, job: Job) {
     };
     job.state.complete(result);
     inner.inflight.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Runs one durable job to a terminal journal record — except under
+/// drain, which deliberately leaves the job live so the next process
+/// recovers and re-runs it (that survival is the journal's entire point).
+fn run_durable_job(inner: &ServerInner, job: Job, id: &str) {
+    inner.inflight.fetch_add(1, Ordering::SeqCst);
+    let pre_reason = job.state.reason_code();
+    if pre_reason == REASON_NONE {
+        let started = lock_ok(&inner.store).start(id);
+        match started {
+            Ok(Some(_attempt)) => {
+                let sw = Stopwatch::start();
+                let run = inner
+                    .engine
+                    .run_job(id, &job.spec, Arc::clone(&job.state.cancel));
+                update_ema(inner, (sw.elapsed_ms() as u64).max(1));
+                finish_durable_job(inner, &job, id, run);
+            }
+            // Already terminal (cancelled while queued): nothing to run.
+            Ok(None) => {}
+            Err(e) => {
+                inner.stats.server_errors.fetch_add(1, Ordering::SeqCst);
+                let _ = lock_ok(&inner.store).fail(id, "store_error", &e.to_string());
+            }
+        }
+    } else {
+        finish_durable_job(
+            inner,
+            &job,
+            id,
+            Err(reason_error(pre_reason, job.state.limit_ms)),
+        );
+    }
+    if lock_ok(&inner.store).maybe_compact().is_err() {
+        inner.stats.server_errors.fetch_add(1, Ordering::SeqCst);
+    }
+    lock_ok(&inner.job_states).remove(id);
+    job.state.mark_finished();
+    inner.inflight.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Maps a durable run's outcome to its journal record, mirroring the
+/// synchronous path's fired-token-dominates arbitration.
+fn finish_durable_job(
+    inner: &ServerInner,
+    job: &Job,
+    id: &str,
+    run: Result<crate::report::Report, ApiError>,
+) {
+    let outcome = match (job.state.reason_code(), run) {
+        (REASON_NONE, Ok(report)) => {
+            let body = Arc::new(report.to_json_string());
+            if inner.cfg.cache_capacity > 0 {
+                lock_ok(&inner.cache).insert(job.cache_key.clone(), Arc::clone(&body));
+            }
+            lock_ok(&inner.store).complete(id, &body)
+        }
+        (REASON_NONE, Err(e)) => {
+            if e.http_status() == 422 {
+                inner.stats.solve_errors.fetch_add(1, Ordering::SeqCst);
+            }
+            lock_ok(&inner.store).fail(id, e.code(), &e.to_string())
+        }
+        (REASON_CANCEL_API, _) => lock_ok(&inner.store).cancel(id, "cancelled by client request"),
+        (REASON_DRAIN, _) => {
+            // Non-terminal on purpose: the restart will redeliver.
+            inner.stats.drain_cancelled.fetch_add(1, Ordering::SeqCst);
+            Ok(false)
+        }
+        (reason, _) => {
+            let e = reason_error(reason, job.state.limit_ms);
+            lock_ok(&inner.store).fail(id, e.code(), &e.to_string())
+        }
+    };
+    if outcome.is_err() {
+        inner.stats.server_errors.fetch_add(1, Ordering::SeqCst);
+    }
 }
 
 fn update_ema(inner: &ServerInner, ms: u64) {
@@ -658,6 +862,7 @@ fn reason_error(reason: u8, limit_ms: u64) -> ApiError {
         REASON_DEADLINE => ApiError::Deadline { limit_ms },
         REASON_DISCONNECT => ApiError::Cancelled("client disconnected mid-solve".to_string()),
         REASON_DRAIN => ApiError::Cancelled("server drain cancelled the experiment".to_string()),
+        REASON_CANCEL_API => ApiError::Cancelled("cancelled by client request".to_string()),
         _ => ApiError::Cancelled("cancelled".to_string()),
     }
 }
@@ -721,6 +926,30 @@ fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
         .iter()
         .find(|(k, _)| k == name)
         .map(|(_, v)| v.as_str())
+}
+
+/// Parses `X-Deadline-Ms`, distinguishing *absent* (`Ok(None)`) from
+/// *malformed* (`Err(raw)`). Non-numeric and negative values are client
+/// errors answered with a typed 400 — never silently the default.
+fn parse_deadline(headers: &[(String, String)]) -> Result<Option<u64>, String> {
+    let Some(raw) = header(headers, "x-deadline-ms") else {
+        return Ok(None);
+    };
+    match raw.trim().parse::<u64>() {
+        Ok(v) => Ok(Some(v)),
+        Err(_) => Err(raw.to_string()),
+    }
+}
+
+/// The `greencloud-error/1` body for a malformed `X-Deadline-Ms`.
+fn deadline_invalid_body(raw: &str) -> String {
+    error_body(
+        "deadline_invalid",
+        &format!(
+            "X-Deadline-Ms must be a non-negative integer number of milliseconds, got {raw:?}"
+        ),
+        Vec::new(),
+    )
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -909,10 +1138,12 @@ fn status_reason(status: u16) -> &'static str {
     match status {
         100 => "Continue",
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         411 => "Length Required",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
@@ -1021,9 +1252,11 @@ fn route(stream: &mut TcpStream, inner: &ServerInner, req: &Request, close: bool
             write_response(stream, 200, &[], &body, close).is_ok()
         }
         ("POST", "/v1/experiments") => handle_experiment(stream, inner, req, close),
-        (_, "/v1/healthz" | "/v1/readyz" | "/v1/stats" | "/v1/experiments") => {
+        ("POST", "/v1/jobs") => handle_job_submit(stream, inner, req, close),
+        (_, p) if p.starts_with("/v1/jobs/") => handle_job_entity(stream, inner, req, close),
+        (_, "/v1/healthz" | "/v1/readyz" | "/v1/stats" | "/v1/experiments" | "/v1/jobs") => {
             inner.stats.client_errors.fetch_add(1, Ordering::SeqCst);
-            let allow = if req.path == "/v1/experiments" {
+            let allow = if req.path == "/v1/experiments" || req.path == "/v1/jobs" {
                 "POST"
             } else {
                 "GET"
@@ -1087,10 +1320,16 @@ fn handle_experiment(
     // Normalized spec bytes key the cache: two differently-formatted
     // documents describing the same experiment share an entry.
     let cache_key = spec.to_json_string();
-    let limit_ms = header(&req.headers, "x-deadline-ms")
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(inner.cfg.default_deadline_ms)
-        .clamp(1, inner.cfg.max_deadline_ms);
+    let limit_ms = match parse_deadline(&req.headers) {
+        Ok(v) => v
+            .unwrap_or(inner.cfg.default_deadline_ms)
+            .clamp(1, inner.cfg.max_deadline_ms),
+        Err(raw) => {
+            inner.stats.client_errors.fetch_add(1, Ordering::SeqCst);
+            let body = deadline_invalid_body(&raw);
+            return write_response(stream, 400, &[], &body, close).is_ok();
+        }
+    };
     let skip_cache = header(&req.headers, "cache-control")
         .is_some_and(|v| v.to_ascii_lowercase().contains("no-cache"));
     if !skip_cache && inner.cfg.cache_capacity > 0 {
@@ -1130,6 +1369,8 @@ fn handle_experiment(
             spec,
             cache_key,
             state: Arc::clone(&state),
+            job_id: None,
+            not_before: None,
         });
         lock_ok(&inner.registry).push(Arc::downgrade(&state));
         state
@@ -1212,11 +1453,278 @@ fn handle_experiment(
     }
 }
 
+/// The `greencloud-job/1` state body for one job.
+fn job_state_body(id: &str, e: &crate::store::JobEntry) -> String {
+    let mut fields = vec![
+        ("schema".to_string(), Json::from(store::JOB_SCHEMA)),
+        ("job_id".to_string(), Json::from(id)),
+        ("status".to_string(), Json::from(e.status.as_str())),
+        ("attempts".to_string(), Json::from(u64::from(e.attempts))),
+    ];
+    if let Some(code) = &e.error_code {
+        fields.push(("error_code".to_string(), Json::from(code.as_str())));
+    }
+    if let Some(msg) = &e.error_message {
+        fields.push(("error_message".to_string(), Json::from(msg.as_str())));
+    }
+    if let Some(reason) = &e.cancel_reason {
+        fields.push(("cancel_reason".to_string(), Json::from(reason.as_str())));
+    }
+    Json::Object(fields).render()
+}
+
+/// `POST /v1/jobs`: parse and normalize the spec, fsync an `Accepted`
+/// record, answer `202` with the content-derived job id. Resubmitting
+/// identical normalized spec bytes returns the existing job in whatever
+/// state it is in — acceptance is idempotent.
+fn handle_job_submit(
+    stream: &mut TcpStream,
+    inner: &ServerInner,
+    req: &Request,
+    close: bool,
+) -> bool {
+    inner.stats.received.fetch_add(1, Ordering::SeqCst);
+    if inner.draining.load(Ordering::SeqCst) {
+        let body = error_body(
+            "draining",
+            "server is draining; not accepting work",
+            Vec::new(),
+        );
+        let _ = write_response(
+            stream,
+            503,
+            &[("Retry-After", "1".to_string())],
+            &body,
+            true,
+        );
+        return false;
+    }
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => {
+            inner.stats.client_errors.fetch_add(1, Ordering::SeqCst);
+            let body = error_body("bad_request", "body is not valid UTF-8", Vec::new());
+            return write_response(stream, 400, &[], &body, close).is_ok();
+        }
+    };
+    let spec = match ExperimentSpec::from_json_str(text) {
+        Ok(s) => s,
+        Err(e) => {
+            inner.stats.client_errors.fetch_add(1, Ordering::SeqCst);
+            let err = ApiError::from(e);
+            return write_response(stream, err.http_status(), &[], &err.to_error_json(), close)
+                .is_ok();
+        }
+    };
+    // Jobs are asynchronous: no deadline unless the client asks for one.
+    let limit_ms = match parse_deadline(&req.headers) {
+        Ok(Some(v)) => v.clamp(1, inner.cfg.max_deadline_ms),
+        Ok(None) => u64::MAX,
+        Err(raw) => {
+            inner.stats.client_errors.fetch_add(1, Ordering::SeqCst);
+            let body = deadline_invalid_body(&raw);
+            return write_response(stream, 400, &[], &body, close).is_ok();
+        }
+    };
+    let key = spec.to_json_string();
+    // Admission control applies to *new* jobs only; the race between this
+    // check and the push below can overshoot `queue_depth` by at most the
+    // number of concurrent submitters, which is bounded by
+    // `max_connections`.
+    if lock_ok(&inner.queue).len() >= inner.cfg.queue_depth
+        && lock_ok(&inner.store)
+            .get(&store::job_id(key.as_bytes()))
+            .is_none()
+    {
+        inner.stats.shed.fetch_add(1, Ordering::SeqCst);
+        let secs = retry_after_secs(inner);
+        let body = error_body(
+            "overloaded",
+            &format!(
+                "queue full ({} pending); retry after {secs}s",
+                inner.cfg.queue_depth
+            ),
+            Vec::new(),
+        );
+        return write_response(
+            stream,
+            429,
+            &[("Retry-After", secs.to_string())],
+            &body,
+            close,
+        )
+        .is_ok();
+    }
+    let accepted = lock_ok(&inner.store).accept(&key);
+    let (id, new) = match accepted {
+        Ok(t) => t,
+        Err(e) => {
+            inner.stats.server_errors.fetch_add(1, Ordering::SeqCst);
+            let err = ApiError::from(e);
+            return write_response(stream, 500, &[], &err.to_error_json(), close).is_ok();
+        }
+    };
+    let status = if new {
+        let state = Arc::new(JobState::new(limit_ms));
+        lock_ok(&inner.registry).push(Arc::downgrade(&state));
+        lock_ok(&inner.job_states).insert(id.clone(), Arc::clone(&state));
+        lock_ok(&inner.queue).push_back(Job {
+            spec,
+            cache_key: key,
+            state,
+            job_id: Some(id.clone()),
+            not_before: None,
+        });
+        inner.queue_cv.notify_one();
+        JobStatus::Accepted
+    } else {
+        match lock_ok(&inner.store).get(&id).map(|e| e.status) {
+            Some(s) => s,
+            None => JobStatus::Accepted,
+        }
+    };
+    let body = Json::obj([
+        ("schema", Json::from(store::JOB_SCHEMA)),
+        ("job_id", Json::from(id.as_str())),
+        ("status", Json::from(status.as_str())),
+    ])
+    .render();
+    write_response(
+        stream,
+        202,
+        &[("Location", format!("/v1/jobs/{id}"))],
+        &body,
+        close,
+    )
+    .is_ok()
+}
+
+/// `GET`/`DELETE /v1/jobs/:id` dispatch.
+fn handle_job_entity(
+    stream: &mut TcpStream,
+    inner: &ServerInner,
+    req: &Request,
+    close: bool,
+) -> bool {
+    let id = req.path.trim_start_matches("/v1/jobs/");
+    if id.is_empty() || id.contains('/') {
+        inner.stats.client_errors.fetch_add(1, Ordering::SeqCst);
+        let body = error_body("not_found", &format!("no route {}", req.path), Vec::new());
+        return write_response(stream, 404, &[], &body, close).is_ok();
+    }
+    match req.method.as_str() {
+        "GET" => handle_job_get(stream, inner, id, close),
+        "DELETE" => handle_job_delete(stream, inner, id, close),
+        _ => {
+            inner.stats.client_errors.fetch_add(1, Ordering::SeqCst);
+            let body = error_body(
+                "method_not_allowed",
+                &format!("{} is not supported on {}", req.method, req.path),
+                Vec::new(),
+            );
+            write_response(
+                stream,
+                405,
+                &[("Allow", "GET, DELETE".to_string())],
+                &body,
+                close,
+            )
+            .is_ok()
+        }
+    }
+}
+
+/// `GET /v1/jobs/:id`: the finished report for completed jobs, a
+/// `greencloud-job/1` state document otherwise.
+fn handle_job_get(stream: &mut TcpStream, inner: &ServerInner, id: &str, close: bool) -> bool {
+    // Clone what the response needs and release the store lock before
+    // touching the socket — a slow reader must not stall the workers.
+    let found = {
+        let s = lock_ok(&inner.store);
+        s.get(id)
+            .map(|e| (e.status, e.report.clone(), job_state_body(id, e)))
+    };
+    let Some((status, report, state_body)) = found else {
+        inner.stats.client_errors.fetch_add(1, Ordering::SeqCst);
+        let body = error_body("job_not_found", &format!("no job {id}"), Vec::new());
+        return write_response(stream, 404, &[], &body, close).is_ok();
+    };
+    match (status, report) {
+        (JobStatus::Completed, Some(report)) => {
+            inner.stats.ok.fetch_add(1, Ordering::SeqCst);
+            write_response(
+                stream,
+                200,
+                &[("X-Job-Status", "completed".to_string())],
+                &report,
+                close,
+            )
+            .is_ok()
+        }
+        _ => write_response(
+            stream,
+            200,
+            &[("X-Job-Status", status.as_str().to_string())],
+            &state_body,
+            close,
+        )
+        .is_ok(),
+    }
+}
+
+/// `DELETE /v1/jobs/:id`: fires the job's cancel token (queued or
+/// mid-solve — the engine's job-id registry reaches a running solve) and
+/// records a terminal `Cancelled`. Terminal jobs answer `409`.
+fn handle_job_delete(stream: &mut TcpStream, inner: &ServerInner, id: &str, close: bool) -> bool {
+    if let Some(state) = lock_ok(&inner.job_states).get(id).cloned() {
+        state.fire(REASON_CANCEL_API);
+    }
+    // Belt for a solve already registered with the engine: same token,
+    // addressed by job id.
+    inner.engine.cancels().fire(id);
+    let res = lock_ok(&inner.store).cancel(id, "cancelled by client request");
+    match res {
+        Err(e) => {
+            inner.stats.server_errors.fetch_add(1, Ordering::SeqCst);
+            let err = ApiError::from(e);
+            write_response(stream, 500, &[], &err.to_error_json(), close).is_ok()
+        }
+        Ok(true) => {
+            let body = Json::obj([
+                ("schema", Json::from(store::JOB_SCHEMA)),
+                ("job_id", Json::from(id)),
+                ("status", Json::from("cancelled")),
+            ])
+            .render();
+            write_response(stream, 200, &[], &body, close).is_ok()
+        }
+        Ok(false) => {
+            let current = lock_ok(&inner.store).get(id).map(|e| e.status);
+            inner.stats.client_errors.fetch_add(1, Ordering::SeqCst);
+            match current {
+                None => {
+                    let body = error_body("job_not_found", &format!("no job {id}"), Vec::new());
+                    write_response(stream, 404, &[], &body, close).is_ok()
+                }
+                Some(s) => {
+                    let body = error_body(
+                        "job_terminal",
+                        &format!("job {id} is already {}", s.as_str()),
+                        Vec::new(),
+                    );
+                    write_response(stream, 409, &[], &body, close).is_ok()
+                }
+            }
+        }
+    }
+}
+
 /// `GET /v1/stats` body: all counters plus instantaneous gauges.
 fn stats_json(inner: &ServerInner) -> String {
     let pending = lock_ok(&inner.queue).len();
     let cached = lock_ok(&inner.cache).len();
     let s = inner.stats.snapshot();
+    let js = lock_ok(&inner.store).stats();
     Json::obj([
         ("schema", Json::from("greencloud-serve-stats/1")),
         ("received", Json::from(s.received)),
@@ -1247,6 +1755,18 @@ fn stats_json(inner: &ServerInner) -> String {
             "ema_solve_ms",
             Json::from(inner.ema_ms.load(Ordering::SeqCst)),
         ),
+        ("jobs_total", Json::from(js.jobs_total)),
+        ("jobs_live", Json::from(js.jobs_live)),
+        ("jobs_completed", Json::from(js.jobs_completed)),
+        ("jobs_failed", Json::from(js.jobs_failed)),
+        ("jobs_cancelled", Json::from(js.jobs_cancelled)),
+        (
+            "jobs_redelivered",
+            Json::from(inner.stats.jobs_redelivered.load(Ordering::SeqCst)),
+        ),
+        ("journal_bytes", Json::from(js.journal_bytes)),
+        ("snapshot_bytes", Json::from(js.snapshot_bytes)),
+        ("compactions", Json::from(js.compactions)),
         ("rss_kb", Json::from(read_rss_kb())),
     ])
     .render()
@@ -1437,9 +1957,26 @@ mod tests {
     #[test]
     fn status_reasons_cover_every_emitted_code() {
         for code in [
-            200, 400, 404, 405, 408, 411, 413, 422, 429, 431, 499, 500, 503,
+            200, 202, 400, 404, 405, 408, 409, 411, 413, 422, 429, 431, 499, 500, 503,
         ] {
             assert_ne!(status_reason(code), "Unknown", "status {code}");
         }
+    }
+
+    #[test]
+    fn deadline_header_distinguishes_absent_valid_and_malformed() {
+        let hdrs = |v: &str| vec![("x-deadline-ms".to_string(), v.to_string())];
+        assert_eq!(parse_deadline(&[]), Ok(None));
+        assert_eq!(parse_deadline(&hdrs("250")), Ok(Some(250)));
+        assert_eq!(parse_deadline(&hdrs(" 42 ")), Ok(Some(42)));
+        assert_eq!(parse_deadline(&hdrs("-5")), Err("-5".to_string()));
+        assert_eq!(parse_deadline(&hdrs("soon")), Err("soon".to_string()));
+        assert_eq!(parse_deadline(&hdrs("1.5")), Err("1.5".to_string()));
+        let body = deadline_invalid_body("-5");
+        let doc = Json::parse(&body).expect("parses");
+        assert_eq!(
+            doc.get("code").and_then(Json::as_str),
+            Some("deadline_invalid")
+        );
     }
 }

@@ -1,0 +1,1142 @@
+//! Crash-safe write-ahead job store backing the `repro serve` job API.
+//!
+//! The service layer acknowledges work with a 202 *before* solving it, so
+//! the acknowledgment must survive a process crash: a `kill -9` between
+//! the 202 and the report must not lose the job. This module is the
+//! durability substrate — a hand-rolled write-ahead journal in the
+//! workspace's no-external-deps style (cf. [`crate::json`]):
+//!
+//! * **Records.** Five kinds trace a job's lifecycle: `Accepted` (spec
+//!   bytes, fsynced before the 202 is written), `Started` (attempt
+//!   counter, one per delivery), `Completed` (the rendered report),
+//!   `Failed` (stable `greencloud-error/1` code + message), and
+//!   `Cancelled` (reason). Each record is framed as
+//!   `[len: u32 LE][crc32: u32 LE][payload]`; the CRC covers the payload.
+//! * **Torn-tail truncation.** Replay walks records until the first
+//!   incomplete frame or checksum mismatch, keeps exactly the valid
+//!   prefix, and truncates the file there — a crash mid-append loses at
+//!   most the unacknowledged suffix, never acknowledged history.
+//! * **fsync-on-accept.** Only `Accepted` is fsynced: that is the record
+//!   backing an externally visible promise. Later records are buffered
+//!   writes — losing a `Completed` to a crash merely re-runs a
+//!   deterministic experiment on replay.
+//! * **Compaction.** Once the journal grows past a threshold and terminal
+//!   jobs dominate, the store collapses per-job history into a snapshot
+//!   (`<journal>.snap`, committed by atomic rename) and resets the
+//!   journal. Replay loads the snapshot first, then the journal.
+//! * **Content-derived ids.** [`job_id`] hashes the *normalized* spec
+//!   bytes (SHA-256, truncated to 128 bits, hex), so resubmitting the
+//!   same experiment — however formatted — idempotently names the same
+//!   job.
+//!
+//! The store itself is synchronous and single-threaded; the serve layer
+//! wraps it in a mutex and owns scheduling (redelivery, backoff) — see
+//! `crate::serve`.
+
+use crate::error::ApiError;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Schema identifier of the job-state JSON bodies served by the job API.
+pub const JOB_SCHEMA: &str = "greencloud-job/1";
+
+/// Records larger than this are treated as corruption during replay — a
+/// torn length prefix must not trigger a multi-gigabyte allocation.
+const MAX_RECORD_BYTES: u32 = 256 * 1024 * 1024;
+
+/// A failure of the job store: the backing file misbehaved or replay met
+/// bytes that no valid journal can contain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// The underlying filesystem operation failed.
+    Io(String),
+    /// A snapshot (which atomic rename should make all-or-nothing) failed
+    /// to replay — unlike a torn journal tail, this is not survivable.
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(m) => write!(f, "journal io: {m}"),
+            StoreError::Corrupt(m) => write!(f, "journal corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+impl From<StoreError> for ApiError {
+    fn from(e: StoreError) -> Self {
+        ApiError::Store(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Content-derived job ids: SHA-256 over the normalized spec bytes.
+// ---------------------------------------------------------------------------
+
+/// SHA-256 round constants (FIPS 180-4).
+const SHA256_K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// SHA-256 of `data` (FIPS 180-4), hand-rolled: the vendor set carries no
+/// hashing crate, and the job-id contract needs a collision-resistant,
+/// stable-across-platforms digest rather than a seeded runtime hash.
+fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h0 = 0x6a09e667u32;
+    let mut h1 = 0xbb67ae85u32;
+    let mut h2 = 0x3c6ef372u32;
+    let mut h3 = 0xa54ff53au32;
+    let mut h4 = 0x510e527fu32;
+    let mut h5 = 0x9b05688cu32;
+    let mut h6 = 0x1f83d9abu32;
+    let mut h7 = 0x5be0cd19u32;
+
+    // Merkle–Damgård padding: 0x80, zeros to 56 mod 64, bit length BE.
+    let mut msg = data.to_vec();
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    for chunk in msg.chunks_exact(64) {
+        let mut w = [0u32; 64];
+        for (i, word) in chunk.chunks_exact(4).enumerate() {
+            let mut v = 0u32;
+            for &b in word {
+                v = (v << 8) | u32::from(b);
+            }
+            w[i] = v;
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let (mut a, mut b, mut c, mut d) = (h0, h1, h2, h3);
+        let (mut e, mut f, mut g, mut h) = (h4, h5, h6, h7);
+        for (&wi, &ki) in w.iter().zip(SHA256_K.iter()) {
+            let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(big_s1)
+                .wrapping_add(ch)
+                .wrapping_add(ki)
+                .wrapping_add(wi);
+            let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = big_s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        h0 = h0.wrapping_add(a);
+        h1 = h1.wrapping_add(b);
+        h2 = h2.wrapping_add(c);
+        h3 = h3.wrapping_add(d);
+        h4 = h4.wrapping_add(e);
+        h5 = h5.wrapping_add(f);
+        h6 = h6.wrapping_add(g);
+        h7 = h7.wrapping_add(h);
+    }
+
+    let mut out = [0u8; 32];
+    for (i, v) in [h0, h1, h2, h3, h4, h5, h6, h7].iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&v.to_be_bytes());
+    }
+    out
+}
+
+/// The content-derived job id for a normalized spec document: the first
+/// 128 bits of `SHA-256(spec_bytes)` in lowercase hex (32 characters).
+/// Resubmitting byte-identical normalized spec bytes names the same job.
+pub fn job_id(spec_bytes: &[u8]) -> String {
+    let digest = sha256(spec_bytes);
+    let mut out = String::with_capacity(32);
+    for b in digest.iter().take(16) {
+        let _ = fmt::Write::write_fmt(&mut out, format_args!("{b:02x}"));
+    }
+    out
+}
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) — the per-record checksum.
+/// Bitwise, no table: journal records are small and rare relative to
+/// solves, so simplicity wins over throughput here.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Record encoding.
+// ---------------------------------------------------------------------------
+
+const KIND_ACCEPTED: u8 = 1;
+const KIND_STARTED: u8 = 2;
+const KIND_COMPLETED: u8 = 3;
+const KIND_FAILED: u8 = 4;
+const KIND_CANCELLED: u8 = 5;
+
+/// One journal record: a step of a job's lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// The job was admitted; `spec` is the normalized spec document. The
+    /// only fsynced record — it backs the 202 acknowledgment.
+    Accepted {
+        /// Content-derived id (see [`job_id`]).
+        job_id: String,
+        /// Normalized `greencloud-spec/1` text.
+        spec: String,
+    },
+    /// A delivery attempt began; `attempt` counts from 1.
+    Started {
+        /// Content-derived id.
+        job_id: String,
+        /// 1-based delivery attempt.
+        attempt: u32,
+    },
+    /// The job finished; `report` is the rendered `greencloud-report/1`.
+    Completed {
+        /// Content-derived id.
+        job_id: String,
+        /// Rendered report body.
+        report: String,
+    },
+    /// The job failed terminally.
+    Failed {
+        /// Content-derived id.
+        job_id: String,
+        /// Stable `greencloud-error/1` code.
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The job was cancelled before completion.
+    Cancelled {
+        /// Content-derived id.
+        job_id: String,
+        /// Why it was cancelled.
+        reason: String,
+    },
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Little-endian `u32` at `at`, or `None` past the end.
+fn read_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let s = bytes.get(at..at.checked_add(4)?)?;
+    let mut v = 0u32;
+    for (i, &b) in s.iter().enumerate() {
+        v |= u32::from(b) << (8 * i);
+    }
+    Some(v)
+}
+
+/// Length-prefixed UTF-8 string at `at`; returns `(value, next_offset)`.
+fn read_str(bytes: &[u8], at: usize) -> Result<(String, usize), String> {
+    let len = read_u32(bytes, at).ok_or("truncated length prefix")? as usize;
+    let start = at + 4;
+    let end = start.checked_add(len).ok_or("length overflow")?;
+    let raw = bytes.get(start..end).ok_or("truncated string field")?;
+    let text = std::str::from_utf8(raw).map_err(|_| "non-UTF-8 string field".to_string())?;
+    Ok((text.to_string(), end))
+}
+
+impl Record {
+    /// The id of the job this record belongs to.
+    pub fn job_id(&self) -> &str {
+        match self {
+            Record::Accepted { job_id, .. }
+            | Record::Started { job_id, .. }
+            | Record::Completed { job_id, .. }
+            | Record::Failed { job_id, .. }
+            | Record::Cancelled { job_id, .. } => job_id,
+        }
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Record::Accepted { job_id, spec } => {
+                out.push(KIND_ACCEPTED);
+                push_str(&mut out, job_id);
+                push_str(&mut out, spec);
+            }
+            Record::Started { job_id, attempt } => {
+                out.push(KIND_STARTED);
+                push_str(&mut out, job_id);
+                push_u32(&mut out, *attempt);
+            }
+            Record::Completed { job_id, report } => {
+                out.push(KIND_COMPLETED);
+                push_str(&mut out, job_id);
+                push_str(&mut out, report);
+            }
+            Record::Failed {
+                job_id,
+                code,
+                message,
+            } => {
+                out.push(KIND_FAILED);
+                push_str(&mut out, job_id);
+                push_str(&mut out, code);
+                push_str(&mut out, message);
+            }
+            Record::Cancelled { job_id, reason } => {
+                out.push(KIND_CANCELLED);
+                push_str(&mut out, job_id);
+                push_str(&mut out, reason);
+            }
+        }
+        out
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<Record, String> {
+        let kind = *payload.first().ok_or("empty payload")?;
+        let (job_id, at) = read_str(payload, 1)?;
+        match kind {
+            KIND_ACCEPTED => {
+                let (spec, _) = read_str(payload, at)?;
+                Ok(Record::Accepted { job_id, spec })
+            }
+            KIND_STARTED => {
+                let attempt = read_u32(payload, at).ok_or("truncated attempt")?;
+                Ok(Record::Started { job_id, attempt })
+            }
+            KIND_COMPLETED => {
+                let (report, _) = read_str(payload, at)?;
+                Ok(Record::Completed { job_id, report })
+            }
+            KIND_FAILED => {
+                let (code, at) = read_str(payload, at)?;
+                let (message, _) = read_str(payload, at)?;
+                Ok(Record::Failed {
+                    job_id,
+                    code,
+                    message,
+                })
+            }
+            KIND_CANCELLED => {
+                let (reason, _) = read_str(payload, at)?;
+                Ok(Record::Cancelled { job_id, reason })
+            }
+            other => Err(format!("unknown record kind {other}")),
+        }
+    }
+
+    /// The on-disk frame: `[len][crc32][payload]`, both prefixes LE.
+    fn frame(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut out = Vec::with_capacity(payload.len() + 8);
+        push_u32(&mut out, payload.len() as u32);
+        push_u32(&mut out, crc32(&payload));
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+/// Walks frames from the start of `bytes`. Returns the decoded records,
+/// the byte offset of the end of the last *valid* frame (the torn-tail
+/// truncation point), and what stopped the walk early, if anything.
+fn replay_frames(bytes: &[u8]) -> (Vec<Record>, usize, Option<String>) {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    loop {
+        if at == bytes.len() {
+            return (records, at, None);
+        }
+        let Some(len) = read_u32(bytes, at) else {
+            return (records, at, Some("torn frame header".to_string()));
+        };
+        if len > MAX_RECORD_BYTES {
+            return (
+                records,
+                at,
+                Some(format!("implausible record length {len}")),
+            );
+        }
+        let Some(crc) = read_u32(bytes, at + 4) else {
+            return (records, at, Some("torn frame header".to_string()));
+        };
+        let start = at + 8;
+        let Some(end) = start.checked_add(len as usize) else {
+            return (records, at, Some("frame length overflow".to_string()));
+        };
+        let Some(payload) = bytes.get(start..end) else {
+            return (records, at, Some("torn record payload".to_string()));
+        };
+        if crc32(payload) != crc {
+            return (records, at, Some("checksum mismatch".to_string()));
+        }
+        match Record::decode_payload(payload) {
+            Ok(r) => records.push(r),
+            Err(e) => return (records, at, Some(format!("undecodable payload: {e}"))),
+        }
+        at = end;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The store.
+// ---------------------------------------------------------------------------
+
+/// A job's lifecycle state, as reconstructed from its records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Acknowledged, waiting for a worker.
+    Accepted,
+    /// A delivery attempt is (or was, at crash time) underway.
+    Started,
+    /// Finished with a report.
+    Completed,
+    /// Failed terminally.
+    Failed,
+    /// Cancelled before completion.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// Lowercase wire name, used in job-state JSON bodies.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Accepted => "accepted",
+            JobStatus::Started => "started",
+            JobStatus::Completed => "completed",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+
+    /// True for states a job never leaves.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobStatus::Completed | JobStatus::Failed | JobStatus::Cancelled
+        )
+    }
+}
+
+/// Everything the store knows about one job.
+#[derive(Debug, Clone)]
+pub struct JobEntry {
+    /// Normalized spec text (the cache key and id preimage).
+    pub spec: Arc<String>,
+    /// Current lifecycle state.
+    pub status: JobStatus,
+    /// Delivery attempts so far (count of `Started` records).
+    pub attempts: u32,
+    /// The rendered report, for completed jobs.
+    pub report: Option<Arc<String>>,
+    /// Stable error code, for failed jobs.
+    pub error_code: Option<String>,
+    /// Error detail, for failed jobs.
+    pub error_message: Option<String>,
+    /// Cancellation reason, for cancelled jobs.
+    pub cancel_reason: Option<String>,
+}
+
+/// Counters for `/v1/stats` and operator visibility.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Bytes in the active journal file.
+    pub journal_bytes: u64,
+    /// Bytes in the snapshot file (0 before the first compaction).
+    pub snapshot_bytes: u64,
+    /// Jobs known to the store, any state.
+    pub jobs_total: u64,
+    /// Jobs in a non-terminal state (accepted or started).
+    pub jobs_live: u64,
+    /// Jobs completed with a report.
+    pub jobs_completed: u64,
+    /// Jobs failed terminally.
+    pub jobs_failed: u64,
+    /// Jobs cancelled.
+    pub jobs_cancelled: u64,
+    /// Compactions performed since this store opened.
+    pub compactions: u64,
+}
+
+/// The write-ahead job store (see the module docs). All mutating calls
+/// update the in-memory index first and then append to the journal, so a
+/// write error leaves memory consistent (at the cost of durability the
+/// caller is told about through the `Err`).
+#[derive(Debug)]
+pub struct JobStore {
+    /// Journal path; `None` for an ephemeral (memory-only) store.
+    path: Option<PathBuf>,
+    /// Append handle on the journal (absent for ephemeral stores).
+    file: Option<File>,
+    jobs: HashMap<String, JobEntry>,
+    /// Insertion order of job ids — the deterministic iteration order for
+    /// compaction and recovery (`jobs` itself is never iterated).
+    order: Vec<String>,
+    journal_bytes: u64,
+    snapshot_bytes: u64,
+    compactions: u64,
+    /// Journal size that arms auto-compaction (0 disables).
+    compact_threshold: u64,
+}
+
+fn snap_path(journal: &Path) -> PathBuf {
+    let mut os = journal.as_os_str().to_os_string();
+    os.push(".snap");
+    PathBuf::from(os)
+}
+
+impl JobStore {
+    /// A memory-only store: the same API with no durability — backs
+    /// `repro serve --no-persist` and unit tests.
+    pub fn ephemeral() -> JobStore {
+        JobStore {
+            path: None,
+            file: None,
+            jobs: HashMap::new(),
+            order: Vec::new(),
+            journal_bytes: 0,
+            snapshot_bytes: 0,
+            compactions: 0,
+            compact_threshold: 0,
+        }
+    }
+
+    /// Opens (or creates) the journal at `path`, replaying the snapshot
+    /// and then the journal into memory. A torn journal tail is truncated
+    /// in place; a corrupt snapshot is a hard error (atomic rename makes
+    /// snapshots all-or-nothing, so corruption there is real damage).
+    pub fn open(path: impl Into<PathBuf>) -> Result<JobStore, StoreError> {
+        let path = path.into();
+        let mut store = JobStore {
+            path: Some(path.clone()),
+            file: None,
+            jobs: HashMap::new(),
+            order: Vec::new(),
+            journal_bytes: 0,
+            snapshot_bytes: 0,
+            compactions: 0,
+            compact_threshold: 4 * 1024 * 1024,
+        };
+
+        let snap = snap_path(&path);
+        if snap.exists() {
+            let bytes = fs::read(&snap)?;
+            let (records, consumed, tail) = replay_frames(&bytes);
+            if tail.is_some() || consumed != bytes.len() {
+                return Err(StoreError::Corrupt(format!(
+                    "snapshot {}: {}",
+                    snap.display(),
+                    tail.unwrap_or_else(|| "trailing bytes".to_string())
+                )));
+            }
+            for r in records {
+                store.apply(r);
+            }
+            store.snapshot_bytes = bytes.len() as u64;
+        }
+
+        if path.exists() {
+            let bytes = fs::read(&path)?;
+            let (records, consumed, _tail) = replay_frames(&bytes);
+            for r in records {
+                store.apply(r);
+            }
+            if consumed < bytes.len() {
+                // Torn tail: keep exactly the valid prefix.
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(consumed as u64)?;
+                f.sync_data()?;
+            }
+            store.journal_bytes = consumed as u64;
+        }
+
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        store.file = Some(file);
+        Ok(store)
+    }
+
+    /// Folds one record into the in-memory index. Records for terminal
+    /// jobs are ignored (replay tolerance; live writers guard upstream).
+    fn apply(&mut self, record: Record) {
+        match record {
+            Record::Accepted { job_id, spec } => {
+                if self.jobs.contains_key(&job_id) {
+                    return;
+                }
+                self.order.push(job_id.clone());
+                self.jobs.insert(
+                    job_id,
+                    JobEntry {
+                        spec: Arc::new(spec),
+                        status: JobStatus::Accepted,
+                        attempts: 0,
+                        report: None,
+                        error_code: None,
+                        error_message: None,
+                        cancel_reason: None,
+                    },
+                );
+            }
+            Record::Started { job_id, attempt } => {
+                if let Some(e) = self.jobs.get_mut(&job_id) {
+                    if !e.status.is_terminal() {
+                        e.status = JobStatus::Started;
+                        e.attempts = e.attempts.max(attempt);
+                    }
+                }
+            }
+            Record::Completed { job_id, report } => {
+                if let Some(e) = self.jobs.get_mut(&job_id) {
+                    if !e.status.is_terminal() {
+                        e.status = JobStatus::Completed;
+                        e.report = Some(Arc::new(report));
+                    }
+                }
+            }
+            Record::Failed {
+                job_id,
+                code,
+                message,
+            } => {
+                if let Some(e) = self.jobs.get_mut(&job_id) {
+                    if !e.status.is_terminal() {
+                        e.status = JobStatus::Failed;
+                        e.error_code = Some(code);
+                        e.error_message = Some(message);
+                    }
+                }
+            }
+            Record::Cancelled { job_id, reason } => {
+                if let Some(e) = self.jobs.get_mut(&job_id) {
+                    if !e.status.is_terminal() {
+                        e.status = JobStatus::Cancelled;
+                        e.cancel_reason = Some(reason);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Appends a record frame; `durable` forces the bytes to disk before
+    /// returning (the fsync-on-accept discipline).
+    fn append(&mut self, record: &Record, durable: bool) -> Result<(), StoreError> {
+        let Some(file) = self.file.as_mut() else {
+            return Ok(());
+        };
+        let frame = record.frame();
+        file.write_all(&frame)?;
+        if durable {
+            file.sync_data()?;
+        }
+        self.journal_bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Admits a job for `spec` (normalized spec text). Returns its
+    /// content-derived id and whether the job is new; resubmission of the
+    /// same normalized bytes is idempotent and touches neither memory nor
+    /// disk. New jobs are fsynced before this returns — the caller may
+    /// acknowledge externally once it has the id.
+    pub fn accept(&mut self, spec: &str) -> Result<(String, bool), StoreError> {
+        let id = job_id(spec.as_bytes());
+        if self.jobs.contains_key(&id) {
+            return Ok((id, false));
+        }
+        self.apply(Record::Accepted {
+            job_id: id.clone(),
+            spec: spec.to_string(),
+        });
+        self.append(
+            &Record::Accepted {
+                job_id: id.clone(),
+                spec: spec.to_string(),
+            },
+            true,
+        )?;
+        Ok((id, true))
+    }
+
+    /// Marks a delivery attempt on a live job and returns its 1-based
+    /// attempt number (`None` for unknown or terminal jobs).
+    pub fn start(&mut self, id: &str) -> Result<Option<u32>, StoreError> {
+        let attempt = match self.jobs.get(id) {
+            Some(e) if !e.status.is_terminal() => e.attempts + 1,
+            _ => return Ok(None),
+        };
+        self.apply(Record::Started {
+            job_id: id.to_string(),
+            attempt,
+        });
+        self.append(
+            &Record::Started {
+                job_id: id.to_string(),
+                attempt,
+            },
+            false,
+        )?;
+        Ok(Some(attempt))
+    }
+
+    /// Records a completion. Returns false (touching nothing) when the
+    /// job is unknown or already terminal — so a worker finishing after a
+    /// client cancellation cannot resurrect the job.
+    pub fn complete(&mut self, id: &str, report: &str) -> Result<bool, StoreError> {
+        if !self.is_live(id) {
+            return Ok(false);
+        }
+        self.apply(Record::Completed {
+            job_id: id.to_string(),
+            report: report.to_string(),
+        });
+        self.append(
+            &Record::Completed {
+                job_id: id.to_string(),
+                report: report.to_string(),
+            },
+            false,
+        )?;
+        Ok(true)
+    }
+
+    /// Records a terminal failure (same guard as [`JobStore::complete`]).
+    pub fn fail(&mut self, id: &str, code: &str, message: &str) -> Result<bool, StoreError> {
+        if !self.is_live(id) {
+            return Ok(false);
+        }
+        self.apply(Record::Failed {
+            job_id: id.to_string(),
+            code: code.to_string(),
+            message: message.to_string(),
+        });
+        self.append(
+            &Record::Failed {
+                job_id: id.to_string(),
+                code: code.to_string(),
+                message: message.to_string(),
+            },
+            false,
+        )?;
+        Ok(true)
+    }
+
+    /// Records a cancellation (same guard as [`JobStore::complete`]).
+    pub fn cancel(&mut self, id: &str, reason: &str) -> Result<bool, StoreError> {
+        if !self.is_live(id) {
+            return Ok(false);
+        }
+        self.apply(Record::Cancelled {
+            job_id: id.to_string(),
+            reason: reason.to_string(),
+        });
+        self.append(
+            &Record::Cancelled {
+                job_id: id.to_string(),
+                reason: reason.to_string(),
+            },
+            false,
+        )?;
+        Ok(true)
+    }
+
+    fn is_live(&self, id: &str) -> bool {
+        self.jobs.get(id).is_some_and(|e| !e.status.is_terminal())
+    }
+
+    /// The entry for `id`, if the store knows the job.
+    pub fn get(&self, id: &str) -> Option<&JobEntry> {
+        self.jobs.get(id)
+    }
+
+    /// `(id, entry)` for every job, in acceptance order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &JobEntry)> {
+        self.order
+            .iter()
+            .filter_map(|id| self.jobs.get(id).map(|e| (id.as_str(), e)))
+    }
+
+    /// Jobs needing redelivery — accepted or started but never terminal —
+    /// as `(id, attempts_so_far)`, in acceptance order.
+    pub fn recoverable(&self) -> Vec<(String, u32)> {
+        self.order
+            .iter()
+            .filter_map(|id| {
+                self.jobs.get(id).and_then(|e| {
+                    if e.status.is_terminal() {
+                        None
+                    } else {
+                        Some((id.clone(), e.attempts))
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StoreStats {
+        let mut s = StoreStats {
+            journal_bytes: self.journal_bytes,
+            snapshot_bytes: self.snapshot_bytes,
+            jobs_total: self.order.len() as u64,
+            compactions: self.compactions,
+            ..StoreStats::default()
+        };
+        for id in &self.order {
+            match self.jobs.get(id).map(|e| e.status) {
+                Some(JobStatus::Completed) => s.jobs_completed += 1,
+                Some(JobStatus::Failed) => s.jobs_failed += 1,
+                Some(JobStatus::Cancelled) => s.jobs_cancelled += 1,
+                Some(_) => s.jobs_live += 1,
+                None => {}
+            }
+        }
+        s
+    }
+
+    /// Compacts when the journal is large and terminal jobs dominate:
+    /// collapses per-job history into `<journal>.snap` (committed by
+    /// atomic rename), then resets the journal. Returns whether a
+    /// compaction ran. No-op for ephemeral stores.
+    pub fn maybe_compact(&mut self) -> Result<bool, StoreError> {
+        if self.compact_threshold == 0 || self.journal_bytes < self.compact_threshold {
+            return Ok(false);
+        }
+        let stats = self.stats();
+        let terminal = stats.jobs_completed + stats.jobs_failed + stats.jobs_cancelled;
+        if terminal <= stats.jobs_live {
+            return Ok(false);
+        }
+        self.compact()
+    }
+
+    /// Unconditional compaction (see [`JobStore::maybe_compact`]).
+    pub fn compact(&mut self) -> Result<bool, StoreError> {
+        let Some(path) = self.path.clone() else {
+            return Ok(false);
+        };
+        let snap = snap_path(&path);
+        let tmp = {
+            let mut os = snap.as_os_str().to_os_string();
+            os.push(".tmp");
+            PathBuf::from(os)
+        };
+        let mut bytes: Vec<u8> = Vec::new();
+        for id in &self.order {
+            let Some(e) = self.jobs.get(id) else { continue };
+            bytes.extend_from_slice(
+                &Record::Accepted {
+                    job_id: id.clone(),
+                    spec: e.spec.as_ref().clone(),
+                }
+                .frame(),
+            );
+            if e.attempts > 0 {
+                bytes.extend_from_slice(
+                    &Record::Started {
+                        job_id: id.clone(),
+                        attempt: e.attempts,
+                    }
+                    .frame(),
+                );
+            }
+            match e.status {
+                JobStatus::Completed => {
+                    if let Some(report) = &e.report {
+                        bytes.extend_from_slice(
+                            &Record::Completed {
+                                job_id: id.clone(),
+                                report: report.as_ref().clone(),
+                            }
+                            .frame(),
+                        );
+                    }
+                }
+                JobStatus::Failed => {
+                    bytes.extend_from_slice(
+                        &Record::Failed {
+                            job_id: id.clone(),
+                            code: e.error_code.clone().unwrap_or_default(),
+                            message: e.error_message.clone().unwrap_or_default(),
+                        }
+                        .frame(),
+                    );
+                }
+                JobStatus::Cancelled => {
+                    bytes.extend_from_slice(
+                        &Record::Cancelled {
+                            job_id: id.clone(),
+                            reason: e.cancel_reason.clone().unwrap_or_default(),
+                        }
+                        .frame(),
+                    );
+                }
+                JobStatus::Accepted | JobStatus::Started => {}
+            }
+        }
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &snap)?;
+        // The snapshot now carries all history: reset the journal. A crash
+        // between rename and truncate merely replays duplicate records,
+        // which `apply` tolerates.
+        let f = OpenOptions::new().write(true).open(&path)?;
+        f.set_len(0)?;
+        f.sync_data()?;
+        self.file = Some(OpenOptions::new().append(true).open(&path)?);
+        self.journal_bytes = 0;
+        self.snapshot_bytes = bytes.len() as u64;
+        self.compactions += 1;
+        Ok(true)
+    }
+
+    /// Overrides the auto-compaction threshold (bytes; 0 disables).
+    pub fn set_compact_threshold(&mut self, bytes: u64) {
+        self.compact_threshold = bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::SeqCst);
+        std::env::temp_dir().join(format!("gc-store-{}-{tag}-{n}.wal", std::process::id()))
+    }
+
+    fn cleanup(path: &Path) {
+        let _ = fs::remove_file(path);
+        let _ = fs::remove_file(snap_path(path));
+    }
+
+    #[test]
+    fn sha256_matches_fips_vectors() {
+        let hex = |d: [u8; 32]| -> String { d.iter().map(|b| format!("{b:02x}")).collect() };
+        assert_eq!(
+            hex(sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        // Two blocks (padding spills over).
+        assert_eq!(
+            hex(sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn job_ids_are_content_derived_and_stable() {
+        assert_eq!(job_id(b"abc"), "ba7816bf8f01cfea414140de5dae2223");
+        assert_eq!(job_id(b"abc"), job_id(b"abc"));
+        assert_ne!(job_id(b"abc"), job_id(b"abd"));
+        assert_eq!(job_id(b"abc").len(), 32);
+    }
+
+    #[test]
+    fn crc32_matches_reference() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_round_trip_through_frames() {
+        let records = vec![
+            Record::Accepted {
+                job_id: "a".repeat(32),
+                spec: "{\"schema\": \"greencloud-spec/1\"}".to_string(),
+            },
+            Record::Started {
+                job_id: "a".repeat(32),
+                attempt: 3,
+            },
+            Record::Completed {
+                job_id: "a".repeat(32),
+                report: "{\"ok\": true}".to_string(),
+            },
+            Record::Failed {
+                job_id: "b".repeat(32),
+                code: "solve_failed".to_string(),
+                message: "infeasible".to_string(),
+            },
+            Record::Cancelled {
+                job_id: "c".repeat(32),
+                reason: "client asked".to_string(),
+            },
+        ];
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&r.frame());
+        }
+        let (back, consumed, tail) = replay_frames(&bytes);
+        assert_eq!(back, records);
+        assert_eq!(consumed, bytes.len());
+        assert!(tail.is_none());
+    }
+
+    #[test]
+    fn accept_is_idempotent_and_durable() {
+        let path = tmp_path("accept");
+        let spec = "{\"x\": 1}";
+        {
+            let mut s = JobStore::open(&path).expect("open");
+            let (id1, new1) = s.accept(spec).expect("accept");
+            let (id2, new2) = s.accept(spec).expect("re-accept");
+            assert_eq!(id1, id2);
+            assert!(new1);
+            assert!(!new2);
+            assert_eq!(s.stats().jobs_total, 1);
+        }
+        let s = JobStore::open(&path).expect("reopen");
+        let (id, _) = (job_id(spec.as_bytes()), ());
+        let e = s.get(&id).expect("recovered");
+        assert_eq!(e.status, JobStatus::Accepted);
+        assert_eq!(e.spec.as_str(), spec);
+        assert_eq!(s.recoverable(), vec![(id, 0)]);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn lifecycle_and_terminal_guard() {
+        let mut s = JobStore::ephemeral();
+        let (id, _) = s.accept("{\"a\": 1}").expect("accept");
+        assert_eq!(s.start(&id).expect("start"), Some(1));
+        assert_eq!(s.start(&id).expect("start"), Some(2));
+        assert!(s.cancel(&id, "nope").expect("cancel"));
+        // Terminal: completion after cancellation is a no-op.
+        assert!(!s.complete(&id, "{}").expect("complete"));
+        assert!(!s.fail(&id, "x", "y").expect("fail"));
+        assert_eq!(s.start(&id).expect("start"), None);
+        let e = s.get(&id).expect("entry");
+        assert_eq!(e.status, JobStatus::Cancelled);
+        assert_eq!(e.attempts, 2);
+        assert!(s.recoverable().is_empty());
+        assert_eq!(s.stats().jobs_cancelled, 1);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_the_valid_prefix() {
+        let path = tmp_path("torn");
+        {
+            let mut s = JobStore::open(&path).expect("open");
+            s.accept("{\"a\": 1}").expect("a");
+            s.accept("{\"b\": 2}").expect("b");
+        }
+        let full = fs::read(&path).expect("read journal");
+        // Chop the last record in half.
+        let cut = full.len() - 5;
+        fs::write(&path, &full[..cut]).expect("write torn");
+        let s = JobStore::open(&path).expect("reopen");
+        assert_eq!(s.stats().jobs_total, 1, "only the intact record survives");
+        let truncated = fs::read(&path).expect("read truncated");
+        assert!(truncated.len() < cut, "file truncated to the valid prefix");
+        let (_, consumed, tail) = replay_frames(&truncated);
+        assert_eq!(consumed, truncated.len());
+        assert!(tail.is_none());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn compaction_preserves_state_and_resets_the_journal() {
+        let path = tmp_path("compact");
+        let ids: Vec<String> = {
+            let mut s = JobStore::open(&path).expect("open");
+            let mut ids = Vec::new();
+            for k in 0..6 {
+                let (id, _) = s.accept(&format!("{{\"k\": {k}}}")).expect("accept");
+                s.start(&id).expect("start");
+                if k < 4 {
+                    s.complete(&id, &format!("{{\"report\": {k}}}"))
+                        .expect("done");
+                } else if k == 4 {
+                    s.fail(&id, "solve_failed", "infeasible").expect("fail");
+                }
+                ids.push(id);
+            }
+            assert!(s.compact().expect("compact"));
+            assert_eq!(s.stats().journal_bytes, 0);
+            assert_eq!(s.stats().compactions, 1);
+            // Post-compaction appends still land in the journal.
+            s.cancel(&ids[5], "late cancel").expect("cancel");
+            assert!(s.stats().journal_bytes > 0);
+            ids
+        };
+        let s = JobStore::open(&path).expect("reopen");
+        assert_eq!(s.stats().jobs_total, 6);
+        assert_eq!(s.stats().jobs_completed, 4);
+        assert_eq!(s.stats().jobs_failed, 1);
+        assert_eq!(s.stats().jobs_cancelled, 1);
+        let first = s.get(&ids[0]).expect("first");
+        assert_eq!(
+            first.report.as_deref().map(String::as_str),
+            Some("{\"report\": 0}")
+        );
+        assert_eq!(first.attempts, 1);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn maybe_compact_waits_for_threshold_and_terminal_majority() {
+        let mut s = JobStore::ephemeral();
+        assert!(!s.maybe_compact().expect("ephemeral never compacts"));
+        let path = tmp_path("maybe");
+        let mut s = JobStore::open(&path).expect("open");
+        s.set_compact_threshold(1);
+        let (id, _) = s.accept("{\"live\": 1}").expect("accept");
+        // One live job, no terminal: must not compact.
+        assert!(!s.maybe_compact().expect("no majority"));
+        s.complete(&id, "{}").expect("complete");
+        assert!(s.maybe_compact().expect("compacts"));
+        cleanup(&path);
+    }
+}

@@ -19,6 +19,23 @@ use std::time::Duration;
 
 pub const SEED: u64 = 20140701;
 
+/// A fresh, collision-free path for a journal file under the system temp
+/// dir. Unique per call (pid + counter) so parallel tests never share.
+pub fn temp_path(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::SeqCst);
+    std::env::temp_dir().join(format!("gc-{tag}-{}-{n}.wal", std::process::id()))
+}
+
+/// Removes a journal and its snapshot sibling, ignoring absence.
+pub fn remove_journal(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+    let mut snap = path.as_os_str().to_os_string();
+    snap.push(".snap");
+    let _ = std::fs::remove_file(std::path::PathBuf::from(snap));
+}
+
 /// Starts a server on a fresh port over the anchors world.
 pub fn start(tweak: impl FnOnce(&mut ServeConfig)) -> (Server, SocketAddr) {
     let engine = Engine::new(WorldCatalog::anchors_only(SEED));

@@ -1,0 +1,228 @@
+//! Satellite: torn-write recovery at the journal layer.
+//!
+//! The crash the write-ahead journal must survive is not a clean
+//! shutdown — it is power loss mid-`write(2)`, which leaves a *prefix*
+//! of the final record on disk. These tests truncate a real journal at
+//! **every byte offset** of its final record and assert that replay
+//! recovers exactly the records before it, then physically truncates the
+//! tail so the next append never splices onto garbage. A separate fixture
+//! flips a byte inside a record (bit rot, not a torn tail) and asserts
+//! the checksum rejects it the same way; snapshot corruption, by
+//! contrast, must be a hard error — a snapshot was written with
+//! fsync+rename, so damage there is not explainable by a crash.
+
+mod common;
+
+use common::{remove_journal, temp_path};
+use greencloud_api::{JobStatus, JobStore, StoreError};
+use std::fs;
+
+/// Builds a journal with three fully-written records (two accepts and a
+/// start) and one final record (a completion), returning the path, the
+/// two job ids, and the byte length of the journal *before* the final
+/// record was appended.
+fn build_fixture(tag: &str) -> (std::path::PathBuf, String, String, u64) {
+    let path = temp_path(tag);
+    remove_journal(&path);
+    let mut store = JobStore::open(&path).expect("open fresh journal");
+    let (id_a, new_a) = store.accept("{\"spec\":\"alpha\"}").expect("accept a");
+    assert!(new_a);
+    let (id_b, new_b) = store.accept("{\"spec\":\"beta\"}").expect("accept b");
+    assert!(new_b);
+    let attempts = store.start(&id_b).expect("start b");
+    assert_eq!(attempts, Some(1));
+    let before_final = fs::metadata(&path).expect("metadata").len();
+    assert!(store.complete(&id_b, "{\"report\":1}").expect("complete b"));
+    drop(store);
+    let full = fs::metadata(&path).expect("metadata").len();
+    assert!(full > before_final, "final record must occupy bytes");
+    (path, id_a, id_b, before_final)
+}
+
+#[test]
+fn torn_final_record_recovers_exact_prefix_at_every_byte_offset() {
+    let (path, id_a, id_b, before_final) = build_fixture("torn");
+    let full_bytes = fs::read(&path).expect("read journal");
+
+    // Every cut length from "none of the final record" up to "all but its
+    // last byte" must replay to the same state: job a accepted, job b
+    // started (the completion is gone), and the file truncated back to
+    // the pre-final length.
+    for cut in before_final as usize..full_bytes.len() {
+        let torn = temp_path("torn-cut");
+        remove_journal(&torn);
+        fs::write(&torn, &full_bytes[..cut]).expect("write torn copy");
+        let store = JobStore::open(&torn).expect("torn journal must still open");
+        let a = store
+            .get(&id_a)
+            .unwrap_or_else(|| panic!("job a lost at cut {cut}"));
+        assert_eq!(a.status, JobStatus::Accepted, "cut {cut}");
+        let b = store
+            .get(&id_b)
+            .unwrap_or_else(|| panic!("job b lost at cut {cut}"));
+        assert_eq!(
+            b.status,
+            JobStatus::Started,
+            "cut {cut}: the torn completion must not apply"
+        );
+        assert_eq!(b.attempts, 1, "cut {cut}");
+        assert!(b.report.is_none(), "cut {cut}");
+        drop(store);
+        assert_eq!(
+            fs::metadata(&torn).expect("metadata").len(),
+            before_final,
+            "cut {cut}: replay must truncate the torn tail"
+        );
+        remove_journal(&torn);
+    }
+
+    // The untouched journal replays the completion.
+    let store = JobStore::open(&path).expect("reopen full journal");
+    let b = store.get(&id_b).expect("job b");
+    assert_eq!(b.status, JobStatus::Completed);
+    assert_eq!(
+        b.report.as_deref().map(String::as_str),
+        Some("{\"report\":1}")
+    );
+    drop(store);
+    remove_journal(&path);
+}
+
+#[test]
+fn appends_after_torn_recovery_survive_the_next_replay() {
+    let (path, _id_a, id_b, before_final) = build_fixture("torn-append");
+    let full_bytes = fs::read(&path).expect("read journal");
+
+    // Tear the completion in half, recover, then write a *new* terminal
+    // record through the recovered store.
+    let cut = before_final as usize + (full_bytes.len() - before_final as usize) / 2;
+    fs::write(&path, &full_bytes[..cut]).expect("write torn journal");
+    let mut store = JobStore::open(&path).expect("open torn journal");
+    assert!(store
+        .fail(&id_b, "crashed", "solver died mid-run")
+        .expect("fail b"));
+    drop(store);
+
+    // The post-recovery append starts at the truncation point, so a
+    // second replay sees a clean journal ending in the failure.
+    let store = JobStore::open(&path).expect("reopen");
+    let b = store.get(&id_b).expect("job b");
+    assert_eq!(b.status, JobStatus::Failed);
+    assert_eq!(b.error_code.as_deref(), Some("crashed"));
+    drop(store);
+    remove_journal(&path);
+}
+
+#[test]
+fn checksum_rejects_a_flipped_byte_and_truncates_from_there() {
+    let path = temp_path("bitrot");
+    remove_journal(&path);
+    let mut store = JobStore::open(&path).expect("open");
+    let (id_a, _) = store.accept("{\"spec\":\"alpha\"}").expect("accept a");
+    let first_len = fs::metadata(&path).expect("metadata").len() as usize;
+    let (id_b, _) = store.accept("{\"spec\":\"beta\"}").expect("accept b");
+    drop(store);
+
+    // Flip one payload byte inside the *second* record (past its 8-byte
+    // frame header, so the length still reads correctly and only the CRC
+    // can catch it).
+    let mut bytes = fs::read(&path).expect("read");
+    let victim = first_len + 12;
+    assert!(victim < bytes.len());
+    bytes[victim] ^= 0x40;
+    fs::write(&path, &bytes).expect("write corrupted");
+
+    let store = JobStore::open(&path).expect("bit rot must not prevent opening");
+    assert!(
+        store.get(&id_a).is_some(),
+        "records before the damage survive"
+    );
+    assert!(
+        store.get(&id_b).is_none(),
+        "the damaged record and everything after it are dropped"
+    );
+    drop(store);
+    assert_eq!(
+        fs::metadata(&path).expect("metadata").len() as usize,
+        first_len,
+        "the journal is truncated to the last valid record"
+    );
+    remove_journal(&path);
+}
+
+#[test]
+fn snapshot_corruption_is_a_hard_error() {
+    let path = temp_path("snapcorrupt");
+    remove_journal(&path);
+    let mut store = JobStore::open(&path).expect("open");
+    for i in 0..8 {
+        let (id, _) = store.accept(&format!("{{\"spec\":{i}}}")).expect("accept");
+        store.start(&id).expect("start");
+        store.complete(&id, "{\"report\":true}").expect("complete");
+    }
+    assert!(store.compact().expect("compact"), "compaction should run");
+    drop(store);
+
+    let mut snap = path.as_os_str().to_os_string();
+    snap.push(".snap");
+    let snap = std::path::PathBuf::from(snap);
+    let mut bytes = fs::read(&snap).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    fs::write(&snap, &bytes).expect("write corrupted snapshot");
+
+    match JobStore::open(&path) {
+        Err(StoreError::Corrupt(msg)) => {
+            assert!(
+                msg.contains("snapshot"),
+                "error should name the snapshot: {msg}"
+            )
+        }
+        other => panic!("corrupt snapshot must refuse to open, got {other:?}"),
+    }
+    remove_journal(&path);
+}
+
+#[test]
+fn compaction_survives_restart_with_identical_state() {
+    let path = temp_path("compactrt");
+    remove_journal(&path);
+    let mut store = JobStore::open(&path).expect("open");
+    let mut ids = Vec::new();
+    for i in 0..6 {
+        let (id, _) = store.accept(&format!("{{\"spec\":{i}}}")).expect("accept");
+        store.start(&id).expect("start");
+        if i % 2 == 0 {
+            store
+                .complete(&id, &format!("{{\"report\":{i}}}"))
+                .expect("complete");
+        }
+        ids.push(id);
+    }
+    let before: Vec<_> = store
+        .entries()
+        .map(|(id, e)| (id.to_string(), e.status, e.attempts, e.report.clone()))
+        .collect();
+    assert!(store.compact().expect("compact"));
+    drop(store);
+
+    let store = JobStore::open(&path).expect("reopen after compaction");
+    let after: Vec<_> = store
+        .entries()
+        .map(|(id, e)| (id.to_string(), e.status, e.attempts, e.report.clone()))
+        .collect();
+    assert_eq!(
+        before, after,
+        "compaction must be a pure representation change"
+    );
+    assert_eq!(
+        store.stats().journal_bytes,
+        0,
+        "journal resets after compaction"
+    );
+    assert!(store.stats().snapshot_bytes > 0);
+    let live: Vec<_> = store.recoverable();
+    assert_eq!(live.len(), 3, "the three unfinished jobs stay recoverable");
+    drop(store);
+    remove_journal(&path);
+}

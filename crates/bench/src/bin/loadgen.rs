@@ -13,12 +13,32 @@
 //! ```text
 //! loadgen --addr 127.0.0.1:7411 --spec examples/quick.spec.json \
 //!         --requests 2000 --concurrency 24 --chaos [--unique] \
-//!         [--no-cache] [--deadline-ms N] [--expect-shed] [--min-ok N]
+//!         [--no-cache] [--deadline-ms N] [--expect-shed] [--min-ok N] \
+//!         [--rate N] [--histogram] \
+//!         [--jobs --jobs-dir DIR [--allow-transport]] \
+//!         [--verify-jobs DIR]
 //! ```
 //!
 //! `--unique` perturbs `experiment.config.start_hour` per request so every
 //! spec is genuinely distinct (defeats the report cache and forces real
 //! solver load); without it, identical specs exercise the cache path.
+//!
+//! `--rate N` switches from the closed-loop worker pool to an *open-loop*
+//! arrival process: one dispatcher thread launches requests at fixed
+//! `1/N`-second intervals regardless of completions (each request gets its
+//! own thread), which is what exposes queueing collapse — a closed loop
+//! self-throttles exactly when the server is drowning. Open-loop runs
+//! print a log₂ latency histogram (also available via `--histogram`).
+//!
+//! `--jobs` submits the normal-traffic slots to the durable job API
+//! (`POST /v1/jobs`, expecting 202) and, with `--jobs-dir`, records each
+//! acknowledged job's spec as `DIR/<job_id>.spec.json`. A later
+//! `loadgen --verify-jobs DIR` run — typically after killing and
+//! restarting the server — polls every recorded job to a terminal state
+//! and, for completed ones, asserts the stored report is byte-identical
+//! (after clock-field normalization) to a fresh synchronous solve of the
+//! same spec. `--allow-transport` additionally tolerates transport errors
+//! (statuses 0/599), for bursts deliberately cut down by `kill -9`.
 
 use greencloud_api::json::Json;
 use greencloud_api::wallclock::Stopwatch;
@@ -45,6 +65,7 @@ struct Sample {
 }
 
 const KIND_NORMAL: &str = "normal";
+const KIND_JOB: &str = "job-submit";
 const KIND_MALFORMED: &str = "malformed";
 const KIND_OVERSIZED: &str = "oversized";
 const KIND_MIDCUT: &str = "mid-disconnect";
@@ -62,6 +83,21 @@ struct Config {
     deadline_ms: u64,
     expect_shed: bool,
     min_ok: usize,
+    /// Open-loop arrival rate in req/s (0 = closed-loop worker pool).
+    rate: f64,
+    /// Print the latency histogram even for closed-loop runs.
+    histogram: bool,
+    /// Submit normal traffic to `POST /v1/jobs` instead of the
+    /// synchronous experiments endpoint.
+    jobs: bool,
+    /// Where `--jobs` records acknowledged specs for later verification.
+    jobs_dir: Option<String>,
+    /// Verify a directory of recorded jobs instead of generating load.
+    verify_jobs: Option<String>,
+    /// Tolerate transport errors (0/599) — for kill -9 bursts.
+    allow_transport: bool,
+    /// Per-job budget for `--verify-jobs` polling, seconds.
+    verify_timeout_s: u64,
 }
 
 impl Default for Config {
@@ -77,6 +113,13 @@ impl Default for Config {
             deadline_ms: 0,
             expect_shed: false,
             min_ok: 0,
+            rate: 0.0,
+            histogram: false,
+            jobs: false,
+            jobs_dir: None,
+            verify_jobs: None,
+            allow_transport: false,
+            verify_timeout_s: 180,
         }
     }
 }
@@ -119,10 +162,32 @@ fn parse_args() -> Config {
                 i += 1;
                 cfg.min_ok = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(0);
             }
+            "--rate" => {
+                i += 1;
+                cfg.rate = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(0.0);
+            }
+            "--jobs-dir" => {
+                i += 1;
+                cfg.jobs_dir = args.get(i).cloned();
+            }
+            "--verify-jobs" => {
+                i += 1;
+                cfg.verify_jobs = args.get(i).cloned();
+            }
+            "--verify-timeout-s" => {
+                i += 1;
+                cfg.verify_timeout_s = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(cfg.verify_timeout_s);
+            }
             "--chaos" => cfg.chaos = true,
             "--unique" => cfg.unique = true,
             "--no-cache" => cfg.no_cache = true,
             "--expect-shed" => cfg.expect_shed = true,
+            "--histogram" => cfg.histogram = true,
+            "--jobs" => cfg.jobs = true,
+            "--allow-transport" => cfg.allow_transport = true,
             other => eprintln!("loadgen: ignoring unknown flag {other}"),
         }
         i += 1;
@@ -168,10 +233,11 @@ fn perturb_start_hour(doc: &mut Json, hour: u64) -> bool {
     true
 }
 
-/// A parsed HTTP response: status, headers (lowercased names), body.
+/// A parsed HTTP response: status, cache marker, body text.
 struct Response {
     status: u16,
     cache_hit: bool,
+    body: String,
 }
 
 /// Sends one request over a fresh connection and reads the response.
@@ -180,6 +246,8 @@ struct Response {
 /// without reading the response (cancels the in-flight solve).
 fn send_request(
     addr: &str,
+    method: &str,
+    path: &str,
     body: &[u8],
     headers: &[(&str, String)],
     cut_after: Option<usize>,
@@ -190,7 +258,7 @@ fn send_request(
     let _ = stream.set_read_timeout(Some(Duration::from_secs(150)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let mut head = format!(
-        "POST /v1/experiments HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
     for (k, v) in headers {
@@ -230,27 +298,33 @@ fn send_request(
             }
         }
     }
-    let text = String::from_utf8_lossy(&raw);
-    let mut lines = text.split("\r\n");
-    let status_line = lines.next().unwrap_or("");
-    let mut status = status_line
+    let text = String::from_utf8_lossy(&raw).to_string();
+    // Skip interim 100 Continue responses before parsing the real one.
+    let resp = match text.strip_prefix("HTTP/1.1 100") {
+        Some(_) => text
+            .split_once("\r\n\r\n")
+            .map(|(_, rest)| rest.to_string())
+            .unwrap_or_default(),
+        None => text,
+    };
+    let status_line = resp.split("\r\n").next().unwrap_or("");
+    let status = status_line
         .split(' ')
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| format!("bad status line {status_line:?}"))?;
-    // Skip interim 100 Continue responses.
-    if status == 100 {
-        let after = text.split("\r\n\r\n").nth(1).unwrap_or("");
-        status = after
-            .split(' ')
-            .nth(1)
-            .and_then(|s| s.parse::<u16>().ok())
-            .ok_or_else(|| format!("no final status after 100 in {after:?}"))?;
-    }
-    let cache_hit = text
+    let (head_text, body_text) = resp
+        .split_once("\r\n\r\n")
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or((resp, String::new()));
+    let cache_hit = head_text
         .lines()
         .any(|l| l.to_ascii_lowercase().starts_with("x-cache:") && l.contains("hit"));
-    Ok(Some(Response { status, cache_hit }))
+    Ok(Some(Response {
+        status,
+        cache_hit,
+        body: body_text,
+    }))
 }
 
 /// One worker request: picks a behavior for request `i` and executes it.
@@ -264,6 +338,8 @@ fn run_one(cfg: &Config, specs: &[String], i: usize) -> Sample {
             KIND_MALFORMED,
             send_request(
                 &cfg.addr,
+                "POST",
+                "/v1/experiments",
                 b"{\"schema\": \"greencloud-spec/1\", ",
                 &[],
                 None,
@@ -275,7 +351,15 @@ fn run_one(cfg: &Config, specs: &[String], i: usize) -> Sample {
             let huge = vec![b' '; 2 * 1024 * 1024];
             (
                 KIND_OVERSIZED,
-                send_request(&cfg.addr, &huge, &[], None, false),
+                send_request(
+                    &cfg.addr,
+                    "POST",
+                    "/v1/experiments",
+                    &huge,
+                    &[],
+                    None,
+                    false,
+                ),
             )
         }
         // 5% mid-request disconnect → no response, server must recover.
@@ -283,6 +367,8 @@ fn run_one(cfg: &Config, specs: &[String], i: usize) -> Sample {
             KIND_MIDCUT,
             send_request(
                 &cfg.addr,
+                "POST",
+                "/v1/experiments",
                 spec_text.as_bytes(),
                 &[],
                 Some(spec_text.len() / 2),
@@ -292,7 +378,15 @@ fn run_one(cfg: &Config, specs: &[String], i: usize) -> Sample {
         // 5% post-request disconnect → in-flight solve is cancelled.
         9 => (
             KIND_POSTCUT,
-            send_request(&cfg.addr, spec_text.as_bytes(), &[], None, true),
+            send_request(
+                &cfg.addr,
+                "POST",
+                "/v1/experiments",
+                spec_text.as_bytes(),
+                &[],
+                None,
+                true,
+            ),
         ),
         // 10% deadline storm: a 1 ms deadline → 408 (or a 200 when the
         // report was already cached / solved inside the window).
@@ -300,13 +394,16 @@ fn run_one(cfg: &Config, specs: &[String], i: usize) -> Sample {
             KIND_STORM,
             send_request(
                 &cfg.addr,
+                "POST",
+                "/v1/experiments",
                 spec_text.as_bytes(),
                 &[("X-Deadline-Ms", "1".to_string())],
                 None,
                 false,
             ),
         ),
-        // The rest: honest traffic.
+        // The rest: honest traffic — synchronous solves, or durable job
+        // submissions under --jobs.
         _ => {
             let mut headers: Vec<(&str, String)> = Vec::new();
             if cfg.no_cache {
@@ -315,10 +412,36 @@ fn run_one(cfg: &Config, specs: &[String], i: usize) -> Sample {
             if cfg.deadline_ms > 0 {
                 headers.push(("X-Deadline-Ms", cfg.deadline_ms.to_string()));
             }
-            (
-                KIND_NORMAL,
-                send_request(&cfg.addr, spec_text.as_bytes(), &headers, None, false),
-            )
+            if cfg.jobs {
+                let out = send_request(
+                    &cfg.addr,
+                    "POST",
+                    "/v1/jobs",
+                    spec_text.as_bytes(),
+                    &headers,
+                    None,
+                    false,
+                );
+                if let (Some(dir), Ok(Some(r))) = (&cfg.jobs_dir, &out) {
+                    if r.status == 202 {
+                        record_job(dir, &r.body, spec_text);
+                    }
+                }
+                (KIND_JOB, out)
+            } else {
+                (
+                    KIND_NORMAL,
+                    send_request(
+                        &cfg.addr,
+                        "POST",
+                        "/v1/experiments",
+                        spec_text.as_bytes(),
+                        &headers,
+                        None,
+                        false,
+                    ),
+                )
+            }
         }
     };
     let ms = sw.elapsed_ms();
@@ -344,12 +467,36 @@ fn run_one(cfg: &Config, specs: &[String], i: usize) -> Sample {
     }
 }
 
+/// Writes an acknowledged job's spec to `DIR/<job_id>.spec.json` so a
+/// later `--verify-jobs` run can check it survived.
+fn record_job(dir: &str, ack_body: &str, spec_text: &str) {
+    let Some(id) = Json::parse(ack_body)
+        .ok()
+        .and_then(|doc| doc.get("job_id").and_then(Json::as_str).map(str::to_string))
+    else {
+        eprintln!("loadgen: 202 ack without a job_id: {ack_body}");
+        return;
+    };
+    let path = format!("{dir}/{id}.spec.json");
+    if let Err(e) = std::fs::write(&path, spec_text) {
+        eprintln!("loadgen: cannot record {path}: {e}");
+    }
+}
+
 /// Statuses each client kind may legitimately receive. Anything else is a
 /// violation (a panic, a hang surfacing as 599, an unmapped error).
-fn allowed(kind: &str, status: u16) -> bool {
+/// `allow_transport` extends every set with 0/599 — a `kill -9` mid-burst
+/// legitimately cuts connections down.
+fn allowed(kind: &str, status: u16, allow_transport: bool) -> bool {
+    if allow_transport && matches!(status, 0 | 599) {
+        return true;
+    }
     match kind {
         // 429/503 are load shedding; 408 a deadline met under load.
         KIND_NORMAL => matches!(status, 200 | 408 | 429 | 503),
+        // Job submissions are acknowledged (202) or shed, never solved
+        // inline.
+        KIND_JOB => matches!(status, 202 | 429 | 503),
         KIND_MALFORMED => matches!(status, 400 | 429 | 503),
         KIND_OVERSIZED => matches!(status, 413 | 429 | 503),
         // No response expected; transport errors are fine too (the server
@@ -368,8 +515,235 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms.get(idx).copied().unwrap_or(0.0)
 }
 
+/// Prints a log₂-bucketed latency histogram: `[1,2) [2,4) … [32768,∞)` ms,
+/// each bucket with a proportional bar — the sustained-run view a single
+/// p50/p99 pair hides (bimodality under load shedding, queueing tails).
+fn print_histogram(ms: &[f64]) {
+    if ms.is_empty() {
+        return;
+    }
+    let mut buckets = [0usize; 17];
+    for &v in ms {
+        let mut b = 0usize;
+        let mut bound = 1.0f64;
+        while v >= bound && b < 16 {
+            bound *= 2.0;
+            b += 1;
+        }
+        buckets[b] += 1;
+    }
+    let tallest = buckets.iter().copied().max().unwrap_or(1).max(1);
+    println!("latency histogram ({} responses):", ms.len());
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    for (b, &count) in buckets.iter().enumerate() {
+        if count > 0 {
+            let bar = "#".repeat((count * 40).div_ceil(tallest));
+            let label = if b == 16 {
+                format!(">= {lo:.0} ms")
+            } else {
+                format!("{lo:.0}-{hi:.0} ms")
+            };
+            println!("  {label:<16} {count:>7}  {bar}");
+        }
+        lo = hi;
+        hi *= 2.0;
+    }
+}
+
+/// Recursively zeroes the clock fields (`wall_ms`, `pricing_ms`) so two
+/// reports of the same deterministic experiment compare byte-identical.
+fn normalize_clocks(doc: &mut Json) {
+    match doc {
+        Json::Object(fields) => {
+            for (k, v) in fields.iter_mut() {
+                if k == "wall_ms" || k == "pricing_ms" {
+                    *v = Json::Number(0.0);
+                } else {
+                    normalize_clocks(v);
+                }
+            }
+        }
+        Json::Array(items) => {
+            for v in items.iter_mut() {
+                normalize_clocks(v);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// `--verify-jobs DIR`: every job recorded by an earlier `--jobs` run must
+/// reach a terminal state, and completed reports must match a fresh
+/// synchronous solve byte-for-byte after clock normalization. Returns the
+/// process exit code.
+fn verify_jobs(cfg: &Config, dir: &str) -> i32 {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("loadgen: cannot read --verify-jobs dir {dir}: {e}");
+            return 2;
+        }
+    };
+    let mut jobs: Vec<(String, String)> = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().to_string();
+        let Some(id) = name.strip_suffix(".spec.json") else {
+            continue;
+        };
+        match std::fs::read_to_string(entry.path()) {
+            Ok(spec) => jobs.push((id.to_string(), spec)),
+            Err(e) => {
+                eprintln!("loadgen: cannot read {name}: {e}");
+                return 2;
+            }
+        }
+    }
+    jobs.sort();
+    if jobs.is_empty() {
+        eprintln!("loadgen: no recorded jobs in {dir}");
+        return 2;
+    }
+    println!(
+        "verifying {} recorded jobs against {}",
+        jobs.len(),
+        cfg.addr
+    );
+    let mut completed = 0usize;
+    let mut other_terminal = 0usize;
+    let mut failures = 0usize;
+    for (id, spec) in &jobs {
+        match verify_one_job(cfg, id, spec) {
+            VerifyOutcome::Completed => completed += 1,
+            VerifyOutcome::Terminal(status) => {
+                other_terminal += 1;
+                println!("  job {id}: terminal ({status})");
+            }
+            VerifyOutcome::Failed(why) => {
+                failures += 1;
+                println!("  job {id}: FAILED — {why}");
+            }
+        }
+    }
+    println!(
+        "verified: {completed} completed (reports byte-identical), \
+         {other_terminal} otherwise terminal, {failures} failures"
+    );
+    if failures > 0 {
+        1
+    } else {
+        println!(
+            "loadgen: all {} acknowledged jobs reached a terminal state",
+            jobs.len()
+        );
+        0
+    }
+}
+
+enum VerifyOutcome {
+    /// Completed with a report matching the synchronous reference.
+    Completed,
+    /// Terminal but not completed (failed/cancelled) — allowed; named.
+    Terminal(String),
+    /// Non-terminal at timeout, unreachable, or a report mismatch.
+    Failed(String),
+}
+
+fn verify_one_job(cfg: &Config, id: &str, spec: &str) -> VerifyOutcome {
+    let budget = Stopwatch::start();
+    let report = loop {
+        if budget.elapsed_ms() / 1e3 > cfg.verify_timeout_s as f64 {
+            return VerifyOutcome::Failed(format!("not terminal within {}s", cfg.verify_timeout_s));
+        }
+        let resp = send_request(
+            &cfg.addr,
+            "GET",
+            &format!("/v1/jobs/{id}"),
+            b"",
+            &[],
+            None,
+            false,
+        );
+        match resp {
+            Ok(Some(r)) if r.status == 200 => {
+                let Ok(doc) = Json::parse(&r.body) else {
+                    return VerifyOutcome::Failed("unparseable job body".to_string());
+                };
+                let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+                if schema != "greencloud-job/1" {
+                    // Not a state document: the finished report itself.
+                    break r.body;
+                }
+                match doc.get("status").and_then(Json::as_str).unwrap_or("") {
+                    "failed" | "cancelled" => {
+                        let code = doc
+                            .get("error_code")
+                            .and_then(Json::as_str)
+                            .or_else(|| doc.get("cancel_reason").and_then(Json::as_str))
+                            .unwrap_or("-");
+                        return VerifyOutcome::Terminal(format!(
+                            "{}: {code}",
+                            doc.get("status").and_then(Json::as_str).unwrap_or("?")
+                        ));
+                    }
+                    // accepted/started: still working; poll again.
+                    _ => {}
+                }
+            }
+            Ok(Some(r)) => {
+                return VerifyOutcome::Failed(format!("GET /v1/jobs/{id} returned {}", r.status))
+            }
+            // Server may still be restarting; keep polling.
+            Ok(None) | Err(_) => {}
+        }
+        thread::sleep(Duration::from_millis(250));
+    };
+    // Reference solve of the same spec, cache bypassed: deterministic
+    // engines must reproduce the recovered report byte-for-byte once
+    // clocks are zeroed.
+    let reference = loop {
+        if budget.elapsed_ms() / 1e3 > 2.0 * cfg.verify_timeout_s as f64 {
+            return VerifyOutcome::Failed("reference solve did not complete in budget".to_string());
+        }
+        match send_request(
+            &cfg.addr,
+            "POST",
+            "/v1/experiments",
+            spec.as_bytes(),
+            &[("Cache-Control", "no-cache".to_string())],
+            None,
+            false,
+        ) {
+            Ok(Some(r)) if r.status == 200 => break r.body,
+            // Shed under recovery load: back off and retry.
+            Ok(Some(r)) if matches!(r.status, 429 | 503) => {
+                thread::sleep(Duration::from_millis(500));
+            }
+            Ok(Some(r)) => {
+                return VerifyOutcome::Failed(format!("reference solve returned {}", r.status))
+            }
+            Ok(None) | Err(_) => thread::sleep(Duration::from_millis(500)),
+        }
+    };
+    let render = |text: &str| -> Option<String> {
+        let mut doc = Json::parse(text).ok()?;
+        normalize_clocks(&mut doc);
+        Some(doc.render())
+    };
+    match (render(&report), render(&reference)) {
+        (Some(a), Some(b)) if a == b => VerifyOutcome::Completed,
+        (Some(_), Some(_)) => {
+            VerifyOutcome::Failed("recovered report differs from reference solve".to_string())
+        }
+        _ => VerifyOutcome::Failed("report is not parseable JSON".to_string()),
+    }
+}
+
 fn main() {
     let cfg = parse_args();
+    if let Some(dir) = cfg.verify_jobs.clone() {
+        std::process::exit(verify_jobs(&cfg, &dir));
+    }
     // Load and pre-render every spec body once; with --unique, each
     // request index gets its own start_hour so no two specs match.
     let mut base_docs: Vec<Json> = Vec::new();
@@ -402,28 +776,58 @@ fn main() {
     } else {
         base_docs.iter().map(Json::render).collect()
     };
+    if let Some(dir) = &cfg.jobs_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("loadgen: cannot create --jobs-dir {dir}: {e}");
+            std::process::exit(2);
+        }
+    }
 
     let cfg = Arc::new(cfg);
     let specs = Arc::new(specs);
-    let next = Arc::new(AtomicUsize::new(0));
     let samples: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::new()));
     let wall = Stopwatch::start();
     let mut workers = Vec::new();
-    for _ in 0..cfg.concurrency {
-        let cfg = Arc::clone(&cfg);
-        let specs = Arc::clone(&specs);
-        let next = Arc::clone(&next);
-        let samples = Arc::clone(&samples);
-        workers.push(thread::spawn(move || loop {
-            let i = next.fetch_add(1, Ordering::SeqCst);
-            if i >= cfg.requests {
-                return;
+    if cfg.rate > 0.0 {
+        // Open loop: dispatch at fixed intervals no matter how slow the
+        // server is — each request gets a short-lived thread, so arrivals
+        // never wait on completions.
+        for i in 0..cfg.requests {
+            let due_ms = i as f64 * 1000.0 / cfg.rate;
+            let wait = due_ms - wall.elapsed_ms();
+            if wait > 0.25 {
+                thread::sleep(Duration::from_micros((wait * 1000.0) as u64));
             }
-            let s = run_one(&cfg, &specs, i);
-            if let Ok(mut guard) = samples.lock() {
-                guard.push(s);
-            }
-        }));
+            let cfg = Arc::clone(&cfg);
+            let specs = Arc::clone(&specs);
+            let samples = Arc::clone(&samples);
+            workers.push(thread::spawn(move || {
+                let s = run_one(&cfg, &specs, i);
+                if let Ok(mut guard) = samples.lock() {
+                    guard.push(s);
+                }
+            }));
+        }
+    } else {
+        // Closed loop: a fixed worker pool, each worker issuing the next
+        // request as soon as its previous one resolves.
+        let next = Arc::new(AtomicUsize::new(0));
+        for _ in 0..cfg.concurrency {
+            let cfg = Arc::clone(&cfg);
+            let specs = Arc::clone(&specs);
+            let next = Arc::clone(&next);
+            let samples = Arc::clone(&samples);
+            workers.push(thread::spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= cfg.requests {
+                    return;
+                }
+                let s = run_one(&cfg, &specs, i);
+                if let Ok(mut guard) = samples.lock() {
+                    guard.push(s);
+                }
+            }));
+        }
     }
     for w in workers {
         let _ = w.join();
@@ -432,7 +836,10 @@ fn main() {
 
     let samples = samples.lock().map(|g| g.clone()).unwrap_or_default();
     let total = samples.len();
-    let ok: Vec<&Sample> = samples.iter().filter(|s| s.status == 200).collect();
+    let ok: Vec<&Sample> = samples
+        .iter()
+        .filter(|s| s.status == 200 || s.status == 202)
+        .collect();
     let shed = samples.iter().filter(|s| s.status == 429).count();
     let deadline = samples.iter().filter(|s| s.status == 408).count();
     let hits = ok.iter().filter(|s| s.cache_hit).count();
@@ -440,18 +847,21 @@ fn main() {
     ok_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let violations: Vec<&Sample> = samples
         .iter()
-        .filter(|s| !allowed(s.kind, s.status))
+        .filter(|s| !allowed(s.kind, s.status, cfg.allow_transport))
         .collect();
 
     println!("==== loadgen report ====");
     println!("requests        {total}");
     println!("wall time       {wall_s:.2} s");
+    if cfg.rate > 0.0 {
+        println!("arrival rate    {:.1} req/s (open loop)", cfg.rate);
+    }
     println!(
         "throughput      {:.1} req/s",
         total as f64 / wall_s.max(1e-9)
     );
     println!(
-        "ok (200)        {} ({hits} cache hits, {:.1}% hit rate)",
+        "ok (200/202)    {} ({hits} cache hits, {:.1}% hit rate)",
         ok.len(),
         if ok.is_empty() {
             0.0
@@ -465,15 +875,16 @@ fn main() {
     );
     println!("deadline (408)  {deadline}");
     println!(
-        "p50 latency     {:.1} ms (over 200s)",
+        "p50 latency     {:.1} ms (over 200s/202s)",
         percentile(&ok_ms, 50.0)
     );
     println!(
-        "p99 latency     {:.1} ms (over 200s)",
+        "p99 latency     {:.1} ms (over 200s/202s)",
         percentile(&ok_ms, 99.0)
     );
     for kind in [
         KIND_NORMAL,
+        KIND_JOB,
         KIND_STORM,
         KIND_MALFORMED,
         KIND_OVERSIZED,
@@ -484,6 +895,9 @@ fn main() {
         if n > 0 {
             println!("  {kind:<16} {n}");
         }
+    }
+    if cfg.rate > 0.0 || cfg.histogram {
+        print_histogram(&ok_ms);
     }
 
     let mut failed = false;
@@ -504,7 +918,7 @@ fn main() {
     if ok.len() < cfg.min_ok {
         failed = true;
         println!(
-            "ASSERTION FAILED: --min-ok {} but only {} requests got 200",
+            "ASSERTION FAILED: --min-ok {} but only {} requests got 200/202",
             cfg.min_ok,
             ok.len()
         );

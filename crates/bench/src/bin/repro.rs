@@ -8,6 +8,7 @@
 //! repro all [--locations N] [--fast]
 //! repro run <spec.json> [--json] [--timeout-ms N] [--world anchors|synthetic] [--locations N]
 //! repro serve [--addr A] [--max-inflight N] [--queue-depth N] [--default-deadline-ms N]
+//!             [--journal-path F | --no-persist] [--max-redeliveries N]
 //! repro lint
 //! ```
 //!
@@ -30,7 +31,11 @@
 //!
 //! `repro serve` runs the overload-safe experiment service
 //! ([`greencloud_api::serve`]) until SIGTERM/SIGINT, then drains
-//! gracefully and exits 0 with the run's counters.
+//! gracefully and exits 0 with the run's counters. Jobs submitted via
+//! `POST /v1/jobs` are journaled to `repro-jobs.wal` (override with
+//! `--journal-path`, disable with `--no-persist`) so acknowledged work
+//! survives a crash: on restart the journal is replayed and unfinished
+//! jobs re-run, at most `--max-redeliveries` times each.
 
 use greencloud_api::report::ReportBody;
 use greencloud_api::{
@@ -58,6 +63,8 @@ fn main() {
     let mut world_kind = String::from("anchors");
     let mut timeout_ms = 0u64; // 0 = no deadline
     let mut serve_cfg = greencloud_api::ServeConfig::default();
+    let mut journal_path: Option<String> = None;
+    let mut no_persist = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -116,6 +123,18 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or(serve_cfg.cache_capacity);
             }
+            "--journal-path" => {
+                i += 1;
+                journal_path = args.get(i).cloned();
+            }
+            "--no-persist" => no_persist = true,
+            "--max-redeliveries" => {
+                i += 1;
+                serve_cfg.max_redeliveries = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(serve_cfg.max_redeliveries);
+            }
             "--fast" => fast = true,
             "--json" => as_json = true,
             "--quick" => experiment = "quick".to_string(),
@@ -136,6 +155,13 @@ fn main() {
     }
 
     if experiment == "serve" {
+        // Durable by default: the journal's whole point is surviving an
+        // unplanned restart, so opting *out* is the explicit flag.
+        serve_cfg.journal_path = if no_persist {
+            None
+        } else {
+            journal_path.or_else(|| Some("repro-jobs.wal".to_string()))
+        };
         std::process::exit(run_serve(serve_cfg, &world_kind, locations, threads));
     }
 

@@ -13,7 +13,7 @@
 //! | `hash-iter` | `crates/{nebula,core,api}/src` | iterating a `HashMap`/`HashSet` binding |
 //! | `wall-clock` | all crate `src/` except `wallclock.rs` | `Instant::now` / `SystemTime::now` |
 //! | `unseeded-rng` | all crate `src/` | `thread_rng` / `from_entropy` / `rand::random` |
-//! | `panic-path` | `crates/lp/src`, `crates/nebula/src`, `core/src/formulation.rs`, `api/src/serve.rs` | `.unwrap()` / `.expect(` / `panic!` / `todo!` / `unimplemented!` |
+//! | `panic-path` | `crates/lp/src`, `crates/nebula/src`, `core/src/formulation.rs`, `api/src/{serve,store}.rs` | `.unwrap()` / `.expect(` / `panic!` / `todo!` / `unimplemented!` |
 //! | `index-literal` | same as `panic-path` | postfix indexing by an integer literal |
 //! | `float-eq` | `crates/lp/src` | `==`/`!=` against a non-zero float literal or NAN |
 //! | `unsafe-safety` | everywhere scanned | `unsafe` without a `// SAFETY:` comment within 3 lines |
@@ -79,6 +79,7 @@ fn panic_scope(p: &str) -> bool {
         || p.starts_with("crates/nebula/src/")
         || p == "crates/core/src/formulation.rs"
         || p == "crates/api/src/serve.rs"
+        || p == "crates/api/src/store.rs"
 }
 
 fn lp_scope(p: &str) -> bool {
@@ -524,6 +525,8 @@ mod tests {
     fn serve_is_in_the_panic_scope() {
         let src = "fn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
         let d = diag("crates/api/src/serve.rs", src);
+        assert!(d.iter().any(|d| d.rule == "panic-path"), "{d:?}");
+        let d = diag("crates/api/src/store.rs", src);
         assert!(d.iter().any(|d| d.rule == "panic-path"), "{d:?}");
         // ...but the rest of the api crate is not.
         assert!(diag("crates/api/src/engine.rs", src).is_empty());
