@@ -30,7 +30,7 @@ use greencloud_cost::params::CostParams;
 use greencloud_lp::{PricingMode, SimplexOptions};
 use greencloud_nebula::emulation::{self, EmulationConfig};
 use greencloud_nebula::scheduler::{RollingScheduler, Scheduler, SchedulerConfig};
-use greencloud_nebula::sweep::run_sweep_with_cancel;
+use greencloud_nebula::sweep::run_sweep_observed;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -39,6 +39,49 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::wallclock::{self, Stopwatch};
+
+/// A progress event from a running experiment. Events carry loop counters
+/// only — never solver state — so observing a run cannot perturb its
+/// report. The serve layer renders these as `greencloud-progress/1`
+/// frames on streamed responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Progress {
+    /// Annual emulation: `done` of `total` emulated hours.
+    Hours {
+        /// Hours emulated so far.
+        done: usize,
+        /// Hours the run will emulate in total.
+        total: usize,
+    },
+    /// Sweep: `done` of `total` scenarios complete.
+    Scenarios {
+        /// Scenarios finished so far (completion order).
+        done: usize,
+        /// Scenarios in the sweep.
+        total: usize,
+    },
+}
+
+impl Progress {
+    /// The counters, kind-erased: `(done, total)`.
+    pub fn counts(&self) -> (usize, usize) {
+        match *self {
+            Progress::Hours { done, total } | Progress::Scenarios { done, total } => (done, total),
+        }
+    }
+
+    /// The frame kind label used in `greencloud-progress/1` documents.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Progress::Hours { .. } => "hours",
+            Progress::Scenarios { .. } => "scenarios",
+        }
+    }
+}
+
+/// A shared progress sink: sweeps report from several worker threads at
+/// once, so sinks must be `Sync`.
+pub type ProgressSink<'a> = &'a (dyn Fn(Progress) + Sync);
 
 /// Renders a captured panic payload for an [`ApiError::Engine`] message.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -194,7 +237,7 @@ impl Engine {
     /// engine's catalog cannot serve.
     pub fn run(&self, spec: &ExperimentSpec) -> Result<Report, ApiError> {
         let cancel = AtomicBool::new(false);
-        self.run_cancellable(spec, &cancel)
+        self.run_cancellable(spec, &cancel, None)
     }
 
     /// Runs one experiment with a per-spec deadline: the long-running
@@ -224,7 +267,31 @@ impl Engine {
         spec: &ExperimentSpec,
         cancel: &AtomicBool,
     ) -> Result<Report, ApiError> {
-        catch_unwind(AssertUnwindSafe(|| self.run_cancellable(spec, cancel))).unwrap_or_else(|p| {
+        catch_unwind(AssertUnwindSafe(|| {
+            self.run_cancellable(spec, cancel, None)
+        }))
+        .unwrap_or_else(|p| {
+            Err(ApiError::Engine(format!(
+                "experiment panicked: {}",
+                panic_message(p.as_ref())
+            )))
+        })
+    }
+
+    /// [`Engine::run_with_cancel`] with a progress sink: the long-running
+    /// experiment kinds (annual emulations, sweeps) report loop counters
+    /// through `progress` as they advance — hourly for annual runs,
+    /// per-scenario for sweeps. Short kinds complete without reporting.
+    pub fn run_with_progress(
+        &self,
+        spec: &ExperimentSpec,
+        cancel: &AtomicBool,
+        progress: ProgressSink<'_>,
+    ) -> Result<Report, ApiError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            self.run_cancellable(spec, cancel, Some(progress))
+        }))
+        .unwrap_or_else(|p| {
             Err(ApiError::Engine(format!(
                 "experiment panicked: {}",
                 panic_message(p.as_ref())
@@ -258,13 +325,14 @@ impl Engine {
         &self,
         spec: &ExperimentSpec,
         cancel: &AtomicBool,
+        progress: Option<ProgressSink<'_>>,
     ) -> Result<Report, ApiError> {
         let t0 = Stopwatch::start();
         let body = match spec {
             ExperimentSpec::Siting(s) => self.run_siting(s)?,
             ExperimentSpec::ExactSiting(s) => self.run_exact(s)?,
-            ExperimentSpec::Annual(s) => self.run_annual(s, cancel)?,
-            ExperimentSpec::Sweep(s) => self.run_sweep(s, cancel)?,
+            ExperimentSpec::Annual(s) => self.run_annual(s, cancel, progress)?,
+            ExperimentSpec::Sweep(s) => self.run_sweep(s, cancel, progress)?,
             ExperimentSpec::Timing(s) => self.run_timing(s)?,
         };
         Ok(Report {
@@ -305,7 +373,7 @@ impl Engine {
             return specs
                 .iter()
                 .map(|s| {
-                    catch_unwind(AssertUnwindSafe(|| self.run_cancellable(s, &cancel)))
+                    catch_unwind(AssertUnwindSafe(|| self.run_cancellable(s, &cancel, None)))
                         .unwrap_or_else(|p| {
                             Err(ApiError::Engine(format!(
                                 "experiment panicked: {}",
@@ -358,7 +426,7 @@ impl Engine {
                         }
                         *started[k].lock() = Some(wallclock::now());
                         let out = catch_unwind(AssertUnwindSafe(|| {
-                            self.run_cancellable(&specs[k], &tokens[k])
+                            self.run_cancellable(&specs[k], &tokens[k], None)
                         }))
                         .unwrap_or_else(|p| {
                             Err(ApiError::Engine(format!(
@@ -425,8 +493,19 @@ impl Engine {
         Ok(ReportBody::Siting(SitingReport::from_solution(&sol)))
     }
 
-    fn run_annual(&self, spec: &AnnualSpec, cancel: &AtomicBool) -> Result<ReportBody, ApiError> {
-        let r = emulation::run_with_cancel(&self.catalog, &spec.config, cancel)?;
+    fn run_annual(
+        &self,
+        spec: &AnnualSpec,
+        cancel: &AtomicBool,
+        progress: Option<ProgressSink<'_>>,
+    ) -> Result<ReportBody, ApiError> {
+        let r = match progress {
+            Some(sink) => {
+                let observe = |done: usize, total: usize| sink(Progress::Hours { done, total });
+                emulation::run_observed(&self.catalog, &spec.config, cancel, Some(&observe))?
+            }
+            None => emulation::run_with_cancel(&self.catalog, &spec.config, cancel)?,
+        };
         Ok(ReportBody::Annual(AnnualReport::from_emulation(
             spec.config.hours,
             &r,
@@ -434,9 +513,26 @@ impl Engine {
         )))
     }
 
-    fn run_sweep(&self, spec: &SweepSpec, cancel: &AtomicBool) -> Result<ReportBody, ApiError> {
+    fn run_sweep(
+        &self,
+        spec: &SweepSpec,
+        cancel: &AtomicBool,
+        progress: Option<ProgressSink<'_>>,
+    ) -> Result<ReportBody, ApiError> {
         let scenarios = spec.scenarios();
-        let results = run_sweep_with_cancel(&self.catalog, &scenarios, self.threads, cancel)?;
+        let results = match progress {
+            Some(sink) => {
+                let observe = |done: usize, total: usize| sink(Progress::Scenarios { done, total });
+                run_sweep_observed(
+                    &self.catalog,
+                    &scenarios,
+                    self.threads,
+                    cancel,
+                    Some(&observe),
+                )?
+            }
+            None => run_sweep_observed(&self.catalog, &scenarios, self.threads, cancel, None)?,
+        };
         Ok(ReportBody::Sweep(SweepReport {
             rows: results.iter().map(SweepRow::from).collect(),
         }))

@@ -45,20 +45,24 @@ pub mod error;
 pub mod harness;
 pub mod json;
 pub mod report;
+pub mod router;
 pub mod serve;
 pub mod spec;
 pub mod store;
 pub mod wallclock;
 
-pub use engine::{CancelRegistry, Engine};
+pub use engine::{CancelRegistry, Engine, Progress};
 pub use error::{ApiError, SpecError, ERROR_SCHEMA};
 pub use report::{
     AnnualReport, Report, ReportBody, SitingReport, SolverRollup, SweepReport, SweepRow,
     TimingRecord, TimingReport, WarmVsCold, REPORT_SCHEMA, RESILIENCE_SCHEMA,
 };
-pub use serve::{ServeConfig, ServeHandle, ServeSummary, Server};
+pub use router::{Router, RouterConfig, RouterHandle, RouterSummary, ROUTER_STATS_SCHEMA};
+pub use serve::{ServeConfig, ServeHandle, ServeSummary, Server, PROGRESS_SCHEMA};
 pub use spec::{
     AnnualSpec, ExactSitingSpec, ExperimentSpec, SearchSpec, SitingSpec, SweepAxes, SweepMode,
     SweepSpec, TimingSpec, SPEC_SCHEMA,
 };
-pub use store::{job_id, JobStatus, JobStore, StoreError, StoreStats, JOB_SCHEMA};
+pub use store::{
+    job_id, ring_key, ring_key_of_job_id, JobStatus, JobStore, StoreError, StoreStats, JOB_SCHEMA,
+};

@@ -1,0 +1,1308 @@
+//! `repro router` — a sharding, streaming front-end over N `repro serve`
+//! backends.
+//!
+//! A hand-rolled HTTP/1.1 reverse proxy in the workspace's no-deps style
+//! (cf. [`crate::serve`]): `std::net`, a thread per client connection, and
+//! zero buffering of response bodies. One `repro serve` process already
+//! degrades instead of dying; the router scales that envelope past one
+//! process:
+//!
+//! * **Consistent-hash sharding.** Requests are placed on a ring of
+//!   virtual nodes keyed by [`crate::store::ring_key`] — the first 64 bits
+//!   of the SHA-256 over *normalized* spec bytes, exactly the prefix of
+//!   the content-derived job ids from [`crate::store::job_id`]. Identical
+//!   specs (however formatted) land on the same backend, so its report
+//!   LRU stays hot, and `GET /v1/jobs/:id` recovers the same ring point
+//!   from the id's hex prefix without reparsing anything. Adding a
+//!   backend moves only ~1/N of the key space (see the ring tests).
+//! * **Health and failover.** A prober hits every backend's `/v1/readyz`
+//!   on an interval; relay failures mark a backend down passively. A
+//!   request whose backend refuses connections or answers 5xx fails over
+//!   to the next distinct ring node — safe because job submission is
+//!   idempotent (content-derived ids) and experiment POSTs are pure
+//!   computations. `429`/`Retry-After` pass through untouched: shedding
+//!   is the *backend's* verdict and retrying elsewhere would defeat
+//!   admission control. Only when every backend has failed does the
+//!   router answer `503` itself.
+//! * **Streaming relay.** Chunked responses (the `X-Progress: stream`
+//!   progress frames of [`crate::serve`]) are relayed chunk by chunk as
+//!   they arrive, flushed after every chunk, with the framing parsed only
+//!   far enough to know where the response ends — the router never holds
+//!   a full body in memory.
+//! * **Fleet stats and drain.** `GET /v1/stats` fans out to every backend
+//!   and returns a `greencloud-router-stats/1` document with per-backend
+//!   snapshots plus a summed fleet view. SIGTERM (via
+//!   [`RouterHandle::trigger_shutdown`]) stops the acceptor, lets
+//!   in-flight relays flush within `drain_ms`, and [`Router::join`]
+//!   returns the run's counters for a clean exit 0.
+
+use crate::error::ApiError;
+use crate::json::Json;
+use crate::serve::{
+    error_body, find_head_end, header, lock_ok, read_request, status_reason, write_response,
+    HttpLimits, ReadOut, Request, MAX_HEAD_BYTES,
+};
+use crate::spec::ExperimentSpec;
+use crate::store;
+use crate::wallclock::Stopwatch;
+
+use std::io::{self, Read as _, Write as _};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Schema identifier of the `GET /v1/stats` aggregation document.
+pub const ROUTER_STATS_SCHEMA: &str = "greencloud-router-stats/1";
+
+/// Tuning knobs for [`Router::bind`]. `Default` fronts an empty backend
+/// list (rejected by `bind`) — callers always set `backends`.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Listen address, e.g. `127.0.0.1:7410` (`:0` picks a free port).
+    pub addr: String,
+    /// Backend `host:port` addresses of the `repro serve` fleet.
+    pub backends: Vec<String>,
+    /// Virtual nodes per backend on the hash ring. More nodes smooth the
+    /// key distribution at the cost of a longer sorted-point array.
+    pub virtual_nodes: usize,
+    /// How often the health prober hits each backend's `/v1/readyz`.
+    pub probe_interval_ms: u64,
+    /// Budget for establishing one backend TCP connection.
+    pub connect_timeout_ms: u64,
+    /// Budget for reading a client request head or body (slow-loris
+    /// guard, mirrors [`crate::serve::ServeConfig::read_timeout_ms`]).
+    pub read_timeout_ms: u64,
+    /// Budget for one backend read while relaying. Covers a full
+    /// non-streamed solve, so it must exceed the fleet's deadline cap.
+    pub relay_timeout_ms: u64,
+    /// Socket write timeout toward clients and backends.
+    pub write_timeout_ms: u64,
+    /// Largest accepted client request body (413 beyond).
+    pub max_body_bytes: usize,
+    /// Simultaneous client connections; beyond this, refused with 503.
+    pub max_connections: usize,
+    /// How long [`Router::join`] lets in-flight relays flush.
+    pub drain_ms: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:7410".to_string(),
+            backends: Vec::new(),
+            virtual_nodes: 64,
+            probe_interval_ms: 500,
+            connect_timeout_ms: 1_000,
+            read_timeout_ms: 5_000,
+            relay_timeout_ms: 150_000,
+            write_timeout_ms: 5_000,
+            max_body_bytes: 1024 * 1024,
+            max_connections: 256,
+            drain_ms: 10_000,
+        }
+    }
+}
+
+/// The consistent-hash ring: virtual-node points sorted by hash. A key
+/// routes to the first point at or clockwise-after it; failover walks on
+/// to the next *distinct* backend.
+struct Ring {
+    points: Vec<(u64, usize)>,
+}
+
+impl Ring {
+    /// `virtual_nodes` points per backend, hashed from `"{addr}#{v}"`
+    /// with the same SHA-256 prefix the job ids use — deterministic
+    /// across processes, so every router instance agrees on placement.
+    fn build(backends: &[String], virtual_nodes: usize) -> Ring {
+        let vnodes = virtual_nodes.max(1);
+        let mut points = Vec::with_capacity(backends.len() * vnodes);
+        for (i, name) in backends.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((store::ring_key(format!("{name}#{v}").as_bytes()), i));
+            }
+        }
+        points.sort_unstable();
+        Ring { points }
+    }
+
+    /// Every backend index in clockwise preference order for `key`: the
+    /// owner first, then each failover target as the walk meets it.
+    fn order(&self, key: u64, n_backends: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(n_backends);
+        if self.points.is_empty() {
+            return out;
+        }
+        let mut seen = vec![false; n_backends];
+        let start = self.points.partition_point(|&(h, _)| h < key);
+        for k in 0..self.points.len() {
+            let at = (start + k) % self.points.len();
+            let Some(&(_, b)) = self.points.get(at) else {
+                break;
+            };
+            if let Some(flag) = seen.get_mut(b) {
+                if !*flag {
+                    *flag = true;
+                    out.push(b);
+                }
+            }
+            if out.len() == n_backends {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// One backend of the fleet: its address, health bit, a pool of idle
+/// keep-alive connections, and a relay counter.
+struct Backend {
+    addr: String,
+    /// Set by the prober and by relay successes; cleared by probe or
+    /// relay failures. A down backend is deprioritized, not excluded —
+    /// a stale mark must never make a reachable fleet look dark.
+    up: AtomicBool,
+    /// Idle keep-alive connections, reused LIFO so the warmest socket
+    /// goes first.
+    pool: Mutex<Vec<TcpStream>>,
+    relayed: AtomicU64,
+}
+
+/// Monotonic router counters, snapshotted into [`RouterSummary`].
+#[derive(Default)]
+struct RouterStats {
+    received: AtomicU64,
+    relayed: AtomicU64,
+    failovers: AtomicU64,
+    streamed: AtomicU64,
+    all_dark: AtomicU64,
+    client_errors: AtomicU64,
+    aborted_relays: AtomicU64,
+}
+
+/// What one router run did, returned by [`Router::join`] and rendered by
+/// `repro router` on exit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouterSummary {
+    /// Requests that reached routing (including locally answered ones).
+    pub received: u64,
+    /// Responses relayed from a backend, whatever their status.
+    pub relayed: u64,
+    /// Backend attempts that failed (connect error, unreadable head,
+    /// 5xx), marked the backend down, and moved on along the ring.
+    pub failovers: u64,
+    /// Relayed responses that used chunked (streamed) framing.
+    pub streamed: u64,
+    /// Requests answered 503 because every backend attempt failed.
+    pub all_dark: u64,
+    /// Locally answered 4xx responses (bad specs, bad HTTP).
+    pub client_errors: u64,
+    /// Relays abandoned mid-body (client or backend vanished after the
+    /// head was already on the wire — too late to fail over).
+    pub aborted_relays: u64,
+}
+
+impl RouterSummary {
+    /// Multi-line human-readable rendering, one counter per line.
+    pub fn render_text(&self) -> String {
+        format!(
+            "received        {}\nrelayed         {}\nfailovers       {}\nstreamed        {}\n\
+             all-dark (503)  {}\nclient errors   {}\naborted relays  {}\n",
+            self.received,
+            self.relayed,
+            self.failovers,
+            self.streamed,
+            self.all_dark,
+            self.client_errors,
+            self.aborted_relays,
+        )
+    }
+}
+
+impl RouterStats {
+    fn snapshot(&self) -> RouterSummary {
+        RouterSummary {
+            received: self.received.load(Ordering::SeqCst),
+            relayed: self.relayed.load(Ordering::SeqCst),
+            failovers: self.failovers.load(Ordering::SeqCst),
+            streamed: self.streamed.load(Ordering::SeqCst),
+            all_dark: self.all_dark.load(Ordering::SeqCst),
+            client_errors: self.client_errors.load(Ordering::SeqCst),
+            aborted_relays: self.aborted_relays.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// State shared by the acceptor, connection threads, and prober.
+struct RouterInner {
+    cfg: RouterConfig,
+    ring: Ring,
+    backends: Vec<Backend>,
+    shutdown: AtomicBool,
+    draining: AtomicBool,
+    stop: AtomicBool,
+    live_conns: AtomicUsize,
+    stats: RouterStats,
+}
+
+/// A cloneable remote control for a running [`Router`].
+#[derive(Clone)]
+pub struct RouterHandle {
+    inner: Arc<RouterInner>,
+}
+
+impl RouterHandle {
+    /// Begins graceful shutdown: the acceptor stops, readyz starts
+    /// failing, and [`Router::join`] proceeds to drain.
+    pub fn trigger_shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// True once shutdown has been triggered.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// A running router. Construct with [`Router::bind`], stop with
+/// [`RouterHandle::trigger_shutdown`] + [`Router::join`].
+pub struct Router {
+    inner: Arc<RouterInner>,
+    addr: SocketAddr,
+    acceptor: Option<thread::JoinHandle<()>>,
+    prober: Option<thread::JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds `cfg.addr`, builds the ring, and spawns the acceptor and
+    /// health prober. Fails on an empty backend list — a router with
+    /// nothing behind it can only answer 503.
+    pub fn bind(mut cfg: RouterConfig) -> Result<Router, ApiError> {
+        if cfg.backends.is_empty() {
+            return Err(ApiError::Engine("router needs at least one backend".into()));
+        }
+        cfg.virtual_nodes = cfg.virtual_nodes.max(1);
+        cfg.max_connections = cfg.max_connections.max(1);
+        cfg.probe_interval_ms = cfg.probe_interval_ms.max(50);
+        let ring = Ring::build(&cfg.backends, cfg.virtual_nodes);
+        let backends = cfg
+            .backends
+            .iter()
+            .map(|addr| Backend {
+                addr: addr.clone(),
+                // Optimistic until the first probe: a cold fleet must not
+                // shed its first requests.
+                up: AtomicBool::new(true),
+                pool: Mutex::new(Vec::new()),
+                relayed: AtomicU64::new(0),
+            })
+            .collect();
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(RouterInner {
+            cfg,
+            ring,
+            backends,
+            shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            live_conns: AtomicUsize::new(0),
+            stats: RouterStats::default(),
+        });
+        let p = Arc::clone(&inner);
+        let prober = thread::Builder::new()
+            .name("gc-router-probe".to_string())
+            .spawn(move || probe_loop(&p))?;
+        let acc = Arc::clone(&inner);
+        let acceptor = thread::Builder::new()
+            .name("gc-router-accept".to_string())
+            .spawn(move || acceptor_loop(&listener, &acc))?;
+        Ok(Router {
+            inner,
+            addr,
+            acceptor: Some(acceptor),
+            prober: Some(prober),
+        })
+    }
+
+    /// The bound address (useful with `:0` — the OS-picked port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A cloneable shutdown control for this router.
+    pub fn handle(&self) -> RouterHandle {
+        RouterHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Convenience for [`RouterHandle::trigger_shutdown`].
+    pub fn trigger_shutdown(&self) {
+        self.handle().trigger_shutdown();
+    }
+
+    /// Blocks until shutdown is triggered, then drains: live client
+    /// connections get `drain_ms` to flush their in-flight relays, the
+    /// prober is stopped, and the run's counters come back.
+    pub fn join(mut self) -> RouterSummary {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        self.inner.draining.store(true, Ordering::SeqCst);
+        let drain = Stopwatch::start();
+        while (drain.elapsed_ms() as u64) < self.inner.cfg.drain_ms {
+            if self.inner.live_conns.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(p) = self.prober.take() {
+            let _ = p.join();
+        }
+        self.inner.stats.snapshot()
+    }
+}
+
+/// Resolves `addr` to its first socket address.
+fn resolve(addr: &str) -> Option<SocketAddr> {
+    addr.to_socket_addrs().ok()?.next()
+}
+
+/// Health prober: hits every backend's `/v1/readyz` each interval with
+/// short budgets and flips the `up` bit on the verdict. A draining
+/// backend answers 503, so it goes dark here and stops receiving new
+/// work ahead of its exit.
+fn probe_loop(inner: &RouterInner) {
+    while !inner.stop.load(Ordering::SeqCst) {
+        for b in &inner.backends {
+            let ok = probe_once(&b.addr, &inner.cfg);
+            b.up.store(ok, Ordering::SeqCst);
+            if !ok {
+                // Idle pooled connections to a dark backend are stale.
+                lock_ok(&b.pool).clear();
+            }
+        }
+        let nap = Stopwatch::start();
+        while (nap.elapsed_ms() as u64) < inner.cfg.probe_interval_ms {
+            if inner.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            thread::sleep(Duration::from_millis(25));
+        }
+    }
+}
+
+/// One readiness probe: fresh connection, `GET /v1/readyz`, true iff the
+/// backend answers 200 within the probe budgets.
+fn probe_once(addr: &str, cfg: &RouterConfig) -> bool {
+    let Some(sa) = resolve(addr) else {
+        return false;
+    };
+    let Ok(mut conn) =
+        TcpStream::connect_timeout(&sa, Duration::from_millis(cfg.connect_timeout_ms))
+    else {
+        return false;
+    };
+    let budget = cfg.connect_timeout_ms.max(250);
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(budget)));
+    let _ = conn.set_write_timeout(Some(Duration::from_millis(budget)));
+    let req = format!("GET /v1/readyz HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    if conn.write_all(req.as_bytes()).is_err() {
+        return false;
+    }
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let clock = Stopwatch::start();
+    loop {
+        if find_head_end(&buf).is_some() || buf.len() > MAX_HEAD_BYTES {
+            break;
+        }
+        if clock.elapsed_ms() as u64 > budget {
+            return false;
+        }
+        match conn.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    parse_status_line(&buf).is_some_and(|s| s == 200)
+}
+
+/// The status code from a response head's first line, if parseable.
+fn parse_status_line(buf: &[u8]) -> Option<u16> {
+    let line_end = buf.windows(2).position(|w| w == b"\r\n")?;
+    let line = std::str::from_utf8(buf.get(..line_end)?).ok()?;
+    let mut parts = line.split(' ');
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    parts.next()?.parse::<u16>().ok()
+}
+
+/// Accepts connections until shutdown; each client gets its own thread,
+/// capped at `max_connections` live at once.
+fn acceptor_loop(listener: &TcpListener, inner: &Arc<RouterInner>) {
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if inner.live_conns.load(Ordering::SeqCst) >= inner.cfg.max_connections {
+                    refuse_busy(stream, inner);
+                    continue;
+                }
+                inner.live_conns.fetch_add(1, Ordering::SeqCst);
+                let conn = Arc::clone(inner);
+                let spawned = thread::Builder::new()
+                    .name("gc-router-conn".to_string())
+                    .spawn(move || {
+                        handle_client(stream, &conn);
+                        conn.live_conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    inner.live_conns.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Best-effort 503 for a connection over the `max_connections` cap.
+fn refuse_busy(mut stream: TcpStream, inner: &RouterInner) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(inner.cfg.write_timeout_ms)));
+    let body = error_body("overloaded", "router connection limit reached", Vec::new());
+    let _ = write_response(
+        &mut stream,
+        503,
+        &[("Retry-After", "1".to_string())],
+        &body,
+        true,
+    );
+}
+
+/// Serves one client connection: requests are read with the same
+/// slow-loris envelope as `serve` and routed until the peer hangs up,
+/// sends `Connection: close`, errors, or the router drains.
+fn handle_client(mut stream: TcpStream, inner: &RouterInner) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(inner.cfg.write_timeout_ms)));
+    let limits = HttpLimits {
+        max_body_bytes: inner.cfg.max_body_bytes,
+        read_timeout_ms: inner.cfg.read_timeout_ms,
+        draining: &inner.draining,
+    };
+    loop {
+        match read_request(&mut stream, &limits) {
+            ReadOut::Closed => break,
+            ReadOut::Reject {
+                status,
+                code,
+                message,
+            } => {
+                inner.stats.client_errors.fetch_add(1, Ordering::SeqCst);
+                let body = error_body(code, &message, Vec::new());
+                let _ = write_response(&mut stream, status, &[], &body, true);
+                break;
+            }
+            ReadOut::Request(req) => {
+                let close = req.close || inner.draining.load(Ordering::SeqCst);
+                let keep = route_request(&mut stream, inner, &req, close);
+                if close || !keep {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Dispatch: local endpoints (healthz/readyz/stats) are answered here;
+/// everything keyed by a spec or job id is relayed along the ring.
+fn route_request(stream: &mut TcpStream, inner: &RouterInner, req: &Request, close: bool) -> bool {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/v1/healthz") => {
+            let body =
+                Json::obj([("status", Json::from("ok")), ("role", Json::from("router"))]).render();
+            write_response(stream, 200, &[], &body, close).is_ok()
+        }
+        ("GET", "/v1/readyz") => {
+            let up = backends_up(inner);
+            if inner.draining.load(Ordering::SeqCst) {
+                let body = error_body("draining", "router is draining", Vec::new());
+                let _ = write_response(
+                    stream,
+                    503,
+                    &[("Retry-After", "1".to_string())],
+                    &body,
+                    true,
+                );
+                false
+            } else if up == 0 {
+                let body = error_body("no_backends", "every backend is dark", Vec::new());
+                let _ = write_response(
+                    stream,
+                    503,
+                    &[("Retry-After", "1".to_string())],
+                    &body,
+                    true,
+                );
+                false
+            } else {
+                let body = Json::obj([
+                    ("status", Json::from("ready")),
+                    ("backends_up", Json::from(up as u64)),
+                ])
+                .render();
+                write_response(stream, 200, &[], &body, close).is_ok()
+            }
+        }
+        ("GET", "/v1/stats") => {
+            let body = aggregate_stats(inner);
+            write_response(stream, 200, &[], &body, close).is_ok()
+        }
+        ("POST", "/v1/experiments" | "/v1/jobs") => {
+            inner.stats.received.fetch_add(1, Ordering::SeqCst);
+            if inner.draining.load(Ordering::SeqCst) {
+                let body = error_body(
+                    "draining",
+                    "router is draining; not accepting work",
+                    Vec::new(),
+                );
+                let _ = write_response(
+                    stream,
+                    503,
+                    &[("Retry-After", "1".to_string())],
+                    &body,
+                    true,
+                );
+                return false;
+            }
+            let key = match spec_ring_key(&req.body) {
+                Ok(k) => k,
+                Err((status, body)) => {
+                    // The router parses with the same crate the backends
+                    // use, so a spec it rejects would be rejected there
+                    // too — answer at the edge without burning a relay.
+                    inner.stats.client_errors.fetch_add(1, Ordering::SeqCst);
+                    return write_response(stream, status, &[], &body, close).is_ok();
+                }
+            };
+            relay_keyed(stream, inner, req, close, key)
+        }
+        (_, p) if p.starts_with("/v1/jobs/") => {
+            inner.stats.received.fetch_add(1, Ordering::SeqCst);
+            let id = p.trim_start_matches("/v1/jobs/");
+            // A content-derived id carries its ring key in its hex
+            // prefix; anything else hashes as raw bytes so the (future)
+            // 404 at least always comes from the same backend.
+            let key =
+                store::ring_key_of_job_id(id).unwrap_or_else(|| store::ring_key(id.as_bytes()));
+            relay_keyed(stream, inner, req, close, key)
+        }
+        (_, "/v1/healthz" | "/v1/readyz" | "/v1/stats" | "/v1/experiments" | "/v1/jobs") => {
+            inner.stats.client_errors.fetch_add(1, Ordering::SeqCst);
+            let allow = if req.path == "/v1/experiments" || req.path == "/v1/jobs" {
+                "POST"
+            } else {
+                "GET"
+            };
+            let body = error_body(
+                "method_not_allowed",
+                &format!("{} is not supported on {}", req.method, req.path),
+                Vec::new(),
+            );
+            write_response(stream, 405, &[("Allow", allow.to_string())], &body, close).is_ok()
+        }
+        _ => {
+            inner.stats.client_errors.fetch_add(1, Ordering::SeqCst);
+            let body = error_body("not_found", &format!("no route {}", req.path), Vec::new());
+            write_response(stream, 404, &[], &body, close).is_ok()
+        }
+    }
+}
+
+fn backends_up(inner: &RouterInner) -> usize {
+    inner
+        .backends
+        .iter()
+        .filter(|b| b.up.load(Ordering::SeqCst))
+        .count()
+}
+
+/// The ring key for a `POST` body: parse, normalize, hash — the same
+/// normalization the backend's cache and job ids use, so formatting
+/// differences cannot split a spec across backends.
+fn spec_ring_key(body: &[u8]) -> Result<u64, (u16, String)> {
+    let text = std::str::from_utf8(body).map_err(|_| {
+        (
+            400,
+            error_body("bad_request", "body is not valid UTF-8", Vec::new()),
+        )
+    })?;
+    let spec = ExperimentSpec::from_json_str(text).map_err(|e| {
+        let err = ApiError::from(e);
+        (err.http_status(), err.to_error_json())
+    })?;
+    Ok(store::ring_key(spec.to_json_string().as_bytes()))
+}
+
+/// How one relay attempt ended.
+enum RelayErr {
+    /// The backend never produced a usable response head (connect/write
+    /// failure, unreadable head, or 5xx) — safe to try the next backend.
+    Backend,
+    /// The response head was already on the wire toward the client when
+    /// the relay died — the connection is poisoned, hang up.
+    Abort,
+    /// A job lookup answered 404 (only raised under `retry_not_found`):
+    /// a job accepted during a failover window lives on a non-owner
+    /// backend, so the next ring node may hold it. The backend is
+    /// healthy — nothing is marked down.
+    NotFound,
+}
+
+/// Relays `req` to the backends in ring-preference order for `key`,
+/// failing over on backend errors until one answers or all have failed.
+/// Up backends are tried before down ones (a stale down-mark must not
+/// black-hole a key), and every failure re-marks the backend down.
+fn relay_keyed(
+    stream: &mut TcpStream,
+    inner: &RouterInner,
+    req: &Request,
+    close: bool,
+    key: u64,
+) -> bool {
+    let order = inner.ring.order(key, inner.backends.len());
+    let mut plan: Vec<usize> = Vec::with_capacity(order.len());
+    for &b in &order {
+        if inner
+            .backends
+            .get(b)
+            .is_some_and(|be| be.up.load(Ordering::SeqCst))
+        {
+            plan.push(b);
+        }
+    }
+    for &b in &order {
+        if !plan.contains(&b) {
+            plan.push(b);
+        }
+    }
+    // Job lookups retry 404s across the ring: a job accepted while its
+    // owner was dark lives on the failover target instead.
+    let retry_not_found = req.path.starts_with("/v1/jobs/");
+    let mut not_found = 0usize;
+    let mut backend_failures = 0usize;
+    for &b in &plan {
+        let Some(backend) = inner.backends.get(b) else {
+            continue;
+        };
+        match relay_once(stream, inner, req, close, backend, retry_not_found) {
+            Ok(keep) => {
+                backend.up.store(true, Ordering::SeqCst);
+                backend.relayed.fetch_add(1, Ordering::SeqCst);
+                inner.stats.relayed.fetch_add(1, Ordering::SeqCst);
+                return keep;
+            }
+            Err(RelayErr::NotFound) => not_found += 1,
+            Err(RelayErr::Backend) => {
+                backend_failures += 1;
+                inner.stats.failovers.fetch_add(1, Ordering::SeqCst);
+                backend.up.store(false, Ordering::SeqCst);
+                lock_ok(&backend.pool).clear();
+            }
+            Err(RelayErr::Abort) => {
+                inner.stats.aborted_relays.fetch_add(1, Ordering::SeqCst);
+                return false;
+            }
+        }
+    }
+    if not_found > 0 && backend_failures == 0 {
+        // Every live backend answered definitively: the job truly does
+        // not exist anywhere in the fleet.
+        inner.stats.client_errors.fetch_add(1, Ordering::SeqCst);
+        let body = error_body("job_not_found", "no backend holds this job", Vec::new());
+        return write_response(stream, 404, &[], &body, close).is_ok() && !close;
+    }
+    inner.stats.all_dark.fetch_add(1, Ordering::SeqCst);
+    let body = error_body(
+        "no_backends",
+        &format!("all {} backends failed for this request", plan.len()),
+        Vec::new(),
+    );
+    let _ = write_response(
+        stream,
+        503,
+        &[("Retry-After", "1".to_string())],
+        &body,
+        true,
+    );
+    false
+}
+
+/// One relay attempt against one backend: send the request (reusing a
+/// pooled keep-alive connection when one exists, with a single fresh
+/// retry if the pooled socket turns out stale), read the response head,
+/// then stream the body through without buffering it.
+fn relay_once(
+    stream: &mut TcpStream,
+    inner: &RouterInner,
+    req: &Request,
+    close: bool,
+    backend: &Backend,
+    retry_not_found: bool,
+) -> Result<bool, RelayErr> {
+    let pooled = lock_ok(&backend.pool).pop();
+    let had_pooled = pooled.is_some();
+    let conn = match pooled {
+        Some(c) => c,
+        None => fresh_conn(backend, &inner.cfg).ok_or(RelayErr::Backend)?,
+    };
+    match relay_on_conn(stream, inner, req, close, backend, conn, retry_not_found) {
+        Ok(keep) => Ok(keep),
+        // A stale pooled socket fails before any response bytes exist;
+        // one fresh connection gets the verdict instead.
+        Err(RelayErr::Backend) if had_pooled => {
+            let conn = fresh_conn(backend, &inner.cfg).ok_or(RelayErr::Backend)?;
+            relay_on_conn(stream, inner, req, close, backend, conn, retry_not_found)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Connects to `backend` within the configured budgets.
+fn fresh_conn(backend: &Backend, cfg: &RouterConfig) -> Option<TcpStream> {
+    let sa = resolve(&backend.addr)?;
+    let conn =
+        TcpStream::connect_timeout(&sa, Duration::from_millis(cfg.connect_timeout_ms)).ok()?;
+    let _ = conn.set_nodelay(true);
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(cfg.relay_timeout_ms)));
+    let _ = conn.set_write_timeout(Some(Duration::from_millis(cfg.write_timeout_ms)));
+    Some(conn)
+}
+
+/// The relay proper, on an established backend connection.
+fn relay_on_conn(
+    stream: &mut TcpStream,
+    inner: &RouterInner,
+    req: &Request,
+    close: bool,
+    backend: &Backend,
+    mut conn: TcpStream,
+    retry_not_found: bool,
+) -> Result<bool, RelayErr> {
+    // Rebuild the request head: hop-by-hop headers are the router's
+    // business (`connection`), `expect` must not trigger an interim 100
+    // (the body is already fully read), and length framing is restated
+    // from the bytes actually held.
+    let mut head = format!("{} {} HTTP/1.1\r\n", req.method, req.path);
+    for (k, v) in &req.headers {
+        if matches!(
+            k.as_str(),
+            "connection" | "content-length" | "host" | "expect"
+        ) {
+            continue;
+        }
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str(&format!("Host: {}\r\n", backend.addr));
+    if req.method == "POST" || req.method == "PUT" || !req.body.is_empty() {
+        head.push_str(&format!("Content-Length: {}\r\n", req.body.len()));
+    }
+    head.push_str("Connection: keep-alive\r\n\r\n");
+    if conn.write_all(head.as_bytes()).is_err()
+        || conn.write_all(&req.body).is_err()
+        || conn.flush().is_err()
+    {
+        return Err(RelayErr::Backend);
+    }
+
+    // Read the backend's response head.
+    let (status, resp_headers, leftover) =
+        read_backend_head(&mut conn, inner.cfg.relay_timeout_ms).ok_or(RelayErr::Backend)?;
+    if status >= 500 {
+        // The backend is misbehaving: drop the connection (no draining of
+        // the body — it may be arbitrarily large) and let the next ring
+        // node serve the request. 4xx including 429 passes through: that
+        // verdict is about the *request*, not the backend.
+        return Err(RelayErr::Backend);
+    }
+    if retry_not_found && status == 404 {
+        // The job may live on the next ring node; consume the small error
+        // body so the connection stays reusable, then move on.
+        let len = header(&resp_headers, "content-length").and_then(|v| v.parse::<u64>().ok());
+        let backend_close =
+            header(&resp_headers, "connection").is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        if let Some(len) = len.filter(|&l| l <= 64 * 1024) {
+            if drain_exact(&mut conn, leftover, len).is_ok() && !backend_close {
+                lock_ok(&backend.pool).push(conn);
+            }
+        }
+        return Err(RelayErr::NotFound);
+    }
+
+    // Forward the head to the client.
+    let mut out = format!("HTTP/1.1 {status} {}\r\n", status_reason(status));
+    for (k, v) in &resp_headers {
+        if k == "connection" {
+            continue;
+        }
+        out.push_str(&format!("{k}: {v}\r\n"));
+    }
+    out.push_str(if close {
+        "Connection: close\r\n\r\n"
+    } else {
+        "Connection: keep-alive\r\n\r\n"
+    });
+    if stream.write_all(out.as_bytes()).is_err() {
+        return Err(RelayErr::Abort);
+    }
+
+    let chunked = header(&resp_headers, "transfer-encoding")
+        .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"));
+    let content_length =
+        header(&resp_headers, "content-length").and_then(|v| v.parse::<u64>().ok());
+    let backend_close =
+        header(&resp_headers, "connection").is_some_and(|v| v.eq_ignore_ascii_case("close"));
+
+    let reusable = if chunked {
+        inner.stats.streamed.fetch_add(1, Ordering::SeqCst);
+        relay_chunked(&mut conn, stream, leftover).map_err(|_| RelayErr::Abort)?
+    } else if let Some(len) = content_length {
+        relay_exact(&mut conn, stream, leftover, len).map_err(|_| RelayErr::Abort)?
+    } else {
+        // No framing: copy until EOF; the connection cannot be reused.
+        relay_to_eof(&mut conn, stream, leftover).map_err(|_| RelayErr::Abort)?;
+        false
+    };
+    if stream.flush().is_err() {
+        return Err(RelayErr::Abort);
+    }
+    if reusable && !backend_close {
+        lock_ok(&backend.pool).push(conn);
+    }
+    Ok(!close)
+}
+
+/// Reads a backend response head under a time budget. Returns the status,
+/// headers, and any body bytes read past the head.
+#[allow(clippy::type_complexity)]
+fn read_backend_head(
+    conn: &mut TcpStream,
+    budget_ms: u64,
+) -> Option<(u16, Vec<(String, String)>, Vec<u8>)> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let clock = Stopwatch::start();
+    let head_end = loop {
+        if let Some(end) = find_head_end(&buf) {
+            break end;
+        }
+        if buf.len() > MAX_HEAD_BYTES || clock.elapsed_ms() as u64 > budget_ms {
+            return None;
+        }
+        match conn.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return None,
+        }
+    };
+    let status = parse_status_line(&buf)?;
+    let head_text = std::str::from_utf8(buf.get(..head_end.saturating_sub(4))?).ok()?;
+    let mut headers = Vec::new();
+    for line in head_text.split("\r\n").skip(1) {
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line.split_once(':')?;
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+    let leftover = buf.split_off(head_end);
+    Some((status, headers, leftover))
+}
+
+/// Streams exactly `len` body bytes from `conn` to `client`, starting
+/// with `leftover`. Returns whether the backend connection is reusable.
+fn relay_exact(
+    conn: &mut TcpStream,
+    client: &mut TcpStream,
+    leftover: Vec<u8>,
+    len: u64,
+) -> io::Result<bool> {
+    let mut remaining = len;
+    let take = leftover.len().min(remaining as usize);
+    if take > 0 {
+        client.write_all(leftover.get(..take).unwrap_or_default())?;
+        remaining -= take as u64;
+    }
+    let mut chunk = [0u8; 8192];
+    while remaining > 0 {
+        let want = chunk.len().min(remaining as usize);
+        let slot = chunk.get_mut(..want).unwrap_or_default();
+        match conn.read(slot) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => {
+                client.write_all(slot.get(..n).unwrap_or_default())?;
+                remaining -= n as u64;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads and discards exactly `len` body bytes (beyond `leftover`).
+fn drain_exact(conn: &mut TcpStream, leftover: Vec<u8>, len: u64) -> io::Result<()> {
+    let mut remaining = len.saturating_sub(leftover.len() as u64);
+    let mut chunk = [0u8; 4096];
+    while remaining > 0 {
+        let want = chunk.len().min(remaining as usize);
+        match conn.read(chunk.get_mut(..want).unwrap_or_default()) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => remaining -= n as u64,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Copies from `conn` to `client` until the backend closes.
+fn relay_to_eof(conn: &mut TcpStream, client: &mut TcpStream, leftover: Vec<u8>) -> io::Result<()> {
+    client.write_all(&leftover)?;
+    let mut chunk = [0u8; 8192];
+    loop {
+        match conn.read(&mut chunk) {
+            Ok(0) => return Ok(()),
+            Ok(n) => client.write_all(chunk.get(..n).unwrap_or_default())?,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Relays a chunked body verbatim, flushing after every chunk so progress
+/// frames reach the client as they are produced, parsing the framing only
+/// to find the terminating zero chunk. Returns whether the backend
+/// connection is reusable (true — chunked framing is self-delimiting).
+fn relay_chunked(
+    conn: &mut TcpStream,
+    client: &mut TcpStream,
+    leftover: Vec<u8>,
+) -> io::Result<bool> {
+    // `buf` holds bytes read from the backend but not yet forwarded.
+    let mut buf = leftover;
+    let mut chunk = [0u8; 8192];
+    loop {
+        // Chunk-size line.
+        let line_end = loop {
+            if let Some(p) = buf.windows(2).position(|w| w == b"\r\n") {
+                break p;
+            }
+            if buf.len() > 128 {
+                return Err(io::ErrorKind::InvalidData.into());
+            }
+            let n = read_some(conn, &mut chunk)?;
+            buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
+        };
+        let line = std::str::from_utf8(buf.get(..line_end).unwrap_or_default())
+            .map_err(|_| io::Error::from(io::ErrorKind::InvalidData))?;
+        let size_text = line.split(';').next().unwrap_or("").trim();
+        let size = u64::from_str_radix(size_text, 16)
+            .map_err(|_| io::Error::from(io::ErrorKind::InvalidData))?;
+        // Forward the size line + payload + trailing CRLF.
+        let mut need = line_end as u64 + 2 + size + 2;
+        loop {
+            let have = (buf.len() as u64).min(need) as usize;
+            if have > 0 {
+                client.write_all(buf.get(..have).unwrap_or_default())?;
+                buf.drain(..have);
+                need -= have as u64;
+            }
+            if need == 0 {
+                break;
+            }
+            let n = read_some(conn, &mut chunk)?;
+            buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
+        }
+        client.flush()?;
+        if size == 0 {
+            // The zero chunk's trailing CRLF was already forwarded above;
+            // `serve` sends no trailers, and any unread trailer bytes
+            // would poison the pooled connection — so only an empty
+            // buffer leaves the socket reusable.
+            return Ok(buf.is_empty());
+        }
+    }
+}
+
+/// One blocking read that treats EOF as an error (chunked bodies end with
+/// the zero chunk, never the socket).
+fn read_some(conn: &mut TcpStream, chunk: &mut [u8; 8192]) -> io::Result<usize> {
+    loop {
+        match conn.read(chunk) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => return Ok(n),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// `GET /v1/stats`: fetches every backend's stats document, sums the
+/// numeric top-level fields into a fleet view, and wraps it all in a
+/// `greencloud-router-stats/1` document with the router's own counters.
+fn aggregate_stats(inner: &RouterInner) -> String {
+    let mut fleet: Vec<(String, u64)> = Vec::new();
+    let mut backend_docs = Vec::new();
+    for b in &inner.backends {
+        let doc = fetch_backend_stats(b, &inner.cfg).and_then(|text| Json::parse(&text).ok());
+        let mut fields = vec![
+            ("addr".to_string(), Json::from(b.addr.as_str())),
+            ("up".to_string(), Json::from(doc.is_some())),
+            (
+                "relayed".to_string(),
+                Json::from(b.relayed.load(Ordering::SeqCst)),
+            ),
+        ];
+        if let Some(doc) = doc {
+            if let Json::Object(stat_fields) = &doc {
+                for (k, v) in stat_fields {
+                    if let Some(n) = v.as_u64() {
+                        match fleet.iter_mut().find(|(fk, _)| fk == k) {
+                            Some((_, sum)) => *sum = sum.saturating_add(n),
+                            None => fleet.push((k.clone(), n)),
+                        }
+                    }
+                }
+            }
+            fields.push(("stats".to_string(), doc));
+        }
+        backend_docs.push(Json::Object(fields));
+    }
+    let s = inner.stats.snapshot();
+    Json::obj([
+        ("schema", Json::from(ROUTER_STATS_SCHEMA)),
+        ("received", Json::from(s.received)),
+        ("relayed", Json::from(s.relayed)),
+        ("failovers", Json::from(s.failovers)),
+        ("streamed", Json::from(s.streamed)),
+        ("all_dark", Json::from(s.all_dark)),
+        ("client_errors", Json::from(s.client_errors)),
+        ("aborted_relays", Json::from(s.aborted_relays)),
+        ("backends_up", Json::from(backends_up(inner) as u64)),
+        (
+            "draining",
+            Json::from(inner.draining.load(Ordering::SeqCst)),
+        ),
+        ("backends", Json::Array(backend_docs)),
+        (
+            "fleet",
+            Json::Object(fleet.into_iter().map(|(k, v)| (k, Json::from(v))).collect()),
+        ),
+    ])
+    .render()
+}
+
+/// One backend's `/v1/stats` body via a short-budget fresh connection,
+/// `None` when the backend is unreachable or answers anything but 200.
+fn fetch_backend_stats(backend: &Backend, cfg: &RouterConfig) -> Option<String> {
+    let sa = resolve(&backend.addr)?;
+    let mut conn =
+        TcpStream::connect_timeout(&sa, Duration::from_millis(cfg.connect_timeout_ms)).ok()?;
+    let budget = cfg.connect_timeout_ms.max(1_000);
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(budget)));
+    let _ = conn.set_write_timeout(Some(Duration::from_millis(budget)));
+    let req = format!(
+        "GET /v1/stats HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+        backend.addr
+    );
+    conn.write_all(req.as_bytes()).ok()?;
+    let (status, headers, mut body) = read_backend_head(&mut conn, budget)?;
+    if status != 200 {
+        return None;
+    }
+    let len = header(&headers, "content-length").and_then(|v| v.parse::<usize>().ok())?;
+    let clock = Stopwatch::start();
+    let mut chunk = [0u8; 4096];
+    while body.len() < len {
+        if clock.elapsed_ms() as u64 > budget {
+            return None;
+        }
+        match conn.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => body.extend_from_slice(chunk.get(..n).unwrap_or_default()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+    body.truncate(len);
+    String::from_utf8(body).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()
+    }
+
+    #[test]
+    fn ring_key_matches_job_id_prefix() {
+        for spec in [&b"{\"a\":1}"[..], b"hello", b"", b"another spec body"] {
+            let id = store::job_id(spec);
+            assert_eq!(
+                store::ring_key_of_job_id(&id),
+                Some(store::ring_key(spec)),
+                "POSTs and GET /v1/jobs/:id must agree on the ring point"
+            );
+        }
+        assert_eq!(store::ring_key_of_job_id("short"), None);
+        assert_eq!(store::ring_key_of_job_id("zzzzzzzzzzzzzzzz"), None);
+    }
+
+    #[test]
+    fn ring_order_starts_with_owner_and_covers_all_distinct_backends() {
+        let backends = addrs(4);
+        let ring = Ring::build(&backends, 64);
+        for k in [0u64, 1, u64::MAX / 2, u64::MAX] {
+            let order = ring.order(k, backends.len());
+            assert_eq!(order.len(), 4, "every backend appears once");
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "no duplicates in {order:?}");
+        }
+    }
+
+    #[test]
+    fn ring_routing_is_deterministic_across_builds() {
+        let backends = addrs(5);
+        let a = Ring::build(&backends, 32);
+        let b = Ring::build(&backends, 32);
+        for i in 0..512u64 {
+            let key = store::ring_key(format!("spec-{i}").as_bytes());
+            assert_eq!(a.order(key, 5), b.order(key, 5));
+        }
+    }
+
+    #[test]
+    fn adding_a_backend_moves_about_one_in_n_keys() {
+        let old = addrs(4);
+        let mut grown = old.clone();
+        grown.push("127.0.0.1:9100".to_string());
+        let before = Ring::build(&old, 64);
+        let after = Ring::build(&grown, 64);
+        let total = 4_000usize;
+        let mut moved = 0usize;
+        for i in 0..total {
+            let key = store::ring_key(format!("spec-{i}").as_bytes());
+            let was = before.order(key, old.len()).first().copied();
+            let now = after.order(key, grown.len()).first().copied();
+            // Keys that now land on the new backend moved by design;
+            // anything else must stay put.
+            if now == Some(4) {
+                moved += 1;
+            } else {
+                assert_eq!(was, now, "key {i} moved between surviving backends");
+            }
+        }
+        let frac = moved as f64 / total as f64;
+        assert!(
+            frac > 0.08 && frac < 0.40,
+            "expected ~1/5 of keys to move, got {frac:.3}"
+        );
+    }
+
+    #[test]
+    fn ring_spreads_keys_roughly_evenly() {
+        let backends = addrs(3);
+        let ring = Ring::build(&backends, 64);
+        let mut counts = [0usize; 3];
+        let total = 3_000usize;
+        for i in 0..total {
+            let key = store::ring_key(format!("spec-{i}").as_bytes());
+            if let Some(&owner) = ring.order(key, 3).first() {
+                if let Some(c) = counts.get_mut(owner) {
+                    *c += 1;
+                }
+            }
+        }
+        for (b, &c) in counts.iter().enumerate() {
+            let share = c as f64 / total as f64;
+            assert!(
+                share > 0.15 && share < 0.55,
+                "backend {b} owns {share:.3} of the key space"
+            );
+        }
+    }
+
+    #[test]
+    fn status_line_parser_accepts_and_rejects() {
+        assert_eq!(parse_status_line(b"HTTP/1.1 200 OK\r\n"), Some(200));
+        assert_eq!(
+            parse_status_line(b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 3\r\n\r\n"),
+            Some(429)
+        );
+        assert_eq!(parse_status_line(b"SPDY/9 200 OK\r\n"), None);
+        assert_eq!(parse_status_line(b"HTTP/1.1 abc\r\n"), None);
+        assert_eq!(parse_status_line(b"no crlf yet"), None);
+    }
+
+    #[test]
+    fn bind_rejects_empty_backend_list() {
+        let cfg = RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..RouterConfig::default()
+        };
+        assert!(Router::bind(cfg).is_err());
+    }
+
+    #[test]
+    fn summary_renders_every_counter() {
+        let text = RouterSummary {
+            received: 1,
+            relayed: 2,
+            failovers: 3,
+            streamed: 4,
+            all_dark: 5,
+            client_errors: 6,
+            aborted_relays: 7,
+        }
+        .render_text();
+        for label in [
+            "received",
+            "relayed",
+            "failovers",
+            "streamed",
+            "all-dark",
+            "client errors",
+            "aborted relays",
+        ] {
+            assert!(text.contains(label), "missing {label} in {text}");
+        }
+    }
+}

@@ -47,7 +47,7 @@
 //! [`crate::error::ERROR_SCHEMA`]); `GET /v1/healthz`, `/v1/readyz`, and
 //! `/v1/stats` complete the operational surface.
 
-use crate::engine::Engine;
+use crate::engine::{Engine, Progress};
 use crate::error::{ApiError, ERROR_SCHEMA};
 use crate::json::Json;
 use crate::spec::ExperimentSpec;
@@ -63,7 +63,11 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 /// Upper bound on a request head (request line + headers).
-const MAX_HEAD_BYTES: usize = 16 * 1024;
+pub(crate) const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Schema identifier of the progress frames emitted on streamed
+/// responses (`X-Progress: stream` on `POST /v1/experiments`).
+pub const PROGRESS_SCHEMA: &str = "greencloud-progress/1";
 
 /// Cancellation causes, first-cause-wins (see [`JobState::fire`]).
 const REASON_NONE: u8 = 0;
@@ -138,7 +142,7 @@ impl Default for ServeConfig {
 /// Locks a mutex, treating poisoning as survivable: the protected data is
 /// counters/queues whose invariants hold between individual operations,
 /// and a worker panic is already captured at the engine boundary.
-fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -159,8 +163,15 @@ struct JobState {
     enqueued: Instant,
     /// The result slot, filled exactly once by the worker.
     done: Mutex<Option<Result<Arc<String>, ApiError>>>,
-    /// Signals `done` being filled to the waiting connection thread.
+    /// Signals `done` being filled (or progress advancing) to the
+    /// waiting connection thread.
     cv: Condvar,
+    /// Latest progress counters from the solving worker; only the newest
+    /// frame matters, so a single slot replaces a queue.
+    progress: Mutex<Option<Progress>>,
+    /// Bumped on every progress store, so the streaming connection
+    /// thread can tell a fresh frame from one it already wrote.
+    progress_seq: AtomicU64,
 }
 
 impl JobState {
@@ -173,7 +184,27 @@ impl JobState {
             enqueued: wallclock::now(),
             done: Mutex::new(None),
             cv: Condvar::new(),
+            progress: Mutex::new(None),
+            progress_seq: AtomicU64::new(0),
         }
+    }
+
+    /// Publishes the worker's latest progress counters and wakes the
+    /// streaming connection thread. Called from solver threads (sweeps
+    /// report from several at once); last write wins.
+    fn report_progress(&self, p: Progress) {
+        *lock_ok(&self.progress) = Some(p);
+        self.progress_seq.fetch_add(1, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    /// The newest progress frame and its sequence number. The sequence is
+    /// read *before* the slot, so the returned frame is never older than
+    /// the sequence says — at worst a racing update is written twice.
+    fn latest_progress(&self) -> (u64, Option<Progress>) {
+        let seq = self.progress_seq.load(Ordering::SeqCst);
+        let p = *lock_ok(&self.progress);
+        (seq, p)
     }
 
     /// Records `reason` as the cancellation cause if none is set yet and
@@ -218,6 +249,9 @@ struct Job {
     job_id: Option<String>,
     /// Redelivery backoff: workers skip the job until this instant.
     not_before: Option<Instant>,
+    /// The client asked for a streamed response: the worker publishes
+    /// progress counters into [`JobState`] as the solve advances.
+    stream: bool,
 }
 
 /// Monotonic service counters, snapshotted into [`ServeSummary`].
@@ -236,6 +270,9 @@ struct Stats {
     /// Jobs re-enqueued from the journal after at least one earlier
     /// delivery (surfaced via `/v1/stats`, not the exit summary).
     jobs_redelivered: AtomicU64,
+    /// Responses sent with chunked progress streaming (surfaced via
+    /// `/v1/stats`, not the exit summary).
+    streamed: AtomicU64,
 }
 
 impl Stats {
@@ -637,6 +674,7 @@ fn recover_jobs(inner: &Arc<ServerInner>) {
             state,
             job_id: Some(id),
             not_before,
+            stream: false,
         });
     }
 }
@@ -729,7 +767,15 @@ fn run_job(inner: &ServerInner, job: Job) {
         Err(reason_error(job.state.reason_code(), job.state.limit_ms))
     } else {
         let sw = Stopwatch::start();
-        let run = inner.engine.run_with_cancel(&job.spec, &job.state.cancel);
+        let run = if job.stream {
+            let state = Arc::clone(&job.state);
+            let sink = move |p: Progress| state.report_progress(p);
+            inner
+                .engine
+                .run_with_progress(&job.spec, &job.state.cancel, &sink)
+        } else {
+            inner.engine.run_with_cancel(&job.spec, &job.state.cancel)
+        };
         update_ema(inner, (sw.elapsed_ms() as u64).max(1));
         match (job.state.reason_code(), run) {
             (REASON_NONE, Ok(report)) => {
@@ -896,17 +942,18 @@ fn client_gone(stream: &TcpStream) -> bool {
     }
 }
 
-/// One parsed HTTP request.
-struct Request {
-    method: String,
-    path: String,
-    headers: Vec<(String, String)>,
-    body: Vec<u8>,
-    close: bool,
+/// One parsed HTTP request. Shared with the router, which reads client
+/// requests with the same slow-loris envelope before relaying them.
+pub(crate) struct Request {
+    pub(crate) method: String,
+    pub(crate) path: String,
+    pub(crate) headers: Vec<(String, String)>,
+    pub(crate) body: Vec<u8>,
+    pub(crate) close: bool,
 }
 
 /// Outcome of reading one request off a connection.
-enum ReadOut {
+pub(crate) enum ReadOut {
     /// A complete, parseable request.
     Request(Request),
     /// The peer closed (or idled out, or we are draining) — hang up
@@ -921,7 +968,17 @@ enum ReadOut {
     },
 }
 
-fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+/// The read-side budgets [`read_request`] enforces, decoupled from
+/// [`ServeConfig`] so the router can lend its own limits.
+pub(crate) struct HttpLimits<'a> {
+    pub(crate) max_body_bytes: usize,
+    pub(crate) read_timeout_ms: u64,
+    /// Checked while idling for a request's first byte: a draining
+    /// process closes idle keep-alive connections instead of waiting.
+    pub(crate) draining: &'a AtomicBool,
+}
+
+pub(crate) fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
     headers
         .iter()
         .find(|(k, _)| k == name)
@@ -952,7 +1009,7 @@ fn deadline_invalid_body(raw: &str) -> String {
     )
 }
 
-fn find_head_end(buf: &[u8]) -> Option<usize> {
+pub(crate) fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
 }
 
@@ -985,7 +1042,7 @@ fn parse_head(head: &str) -> Result<ParsedHead, String> {
 /// Reads one request under slow-loris budgets: a 250 ms-granularity idle
 /// wait for the first byte (closing on drain or keep-alive idle
 /// expiration), then byte- and time-capped reads for head and body.
-fn read_request(stream: &mut TcpStream, inner: &ServerInner) -> ReadOut {
+pub(crate) fn read_request(stream: &mut TcpStream, limits: &HttpLimits<'_>) -> ReadOut {
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
@@ -1003,10 +1060,10 @@ fn read_request(stream: &mut TcpStream, inner: &ServerInner) -> ReadOut {
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
-                if inner.draining.load(Ordering::SeqCst) {
+                if limits.draining.load(Ordering::SeqCst) {
                     return ReadOut::Closed;
                 }
-                if idle.elapsed_ms() as u64 > inner.cfg.read_timeout_ms {
+                if idle.elapsed_ms() as u64 > limits.read_timeout_ms {
                     return ReadOut::Closed;
                 }
             }
@@ -1026,7 +1083,7 @@ fn read_request(stream: &mut TcpStream, inner: &ServerInner) -> ReadOut {
                 message: format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
             };
         }
-        if head_clock.elapsed_ms() as u64 > inner.cfg.read_timeout_ms {
+        if head_clock.elapsed_ms() as u64 > limits.read_timeout_ms {
             return ReadOut::Reject {
                 status: 408,
                 code: "request_timeout",
@@ -1084,13 +1141,13 @@ fn read_request(stream: &mut TcpStream, inner: &ServerInner) -> ReadOut {
                 message: "POST requires a Content-Length header".to_string(),
             };
         };
-        if len > inner.cfg.max_body_bytes {
+        if len > limits.max_body_bytes {
             return ReadOut::Reject {
                 status: 413,
                 code: "body_too_large",
                 message: format!(
                     "body of {len} bytes exceeds the {} byte cap",
-                    inner.cfg.max_body_bytes
+                    limits.max_body_bytes
                 ),
             };
         }
@@ -1103,7 +1160,7 @@ fn read_request(stream: &mut TcpStream, inner: &ServerInner) -> ReadOut {
         }
         let body_clock = Stopwatch::start();
         while body.len() < len {
-            if body_clock.elapsed_ms() as u64 > inner.cfg.read_timeout_ms {
+            if body_clock.elapsed_ms() as u64 > limits.read_timeout_ms {
                 return ReadOut::Reject {
                     status: 408,
                     code: "request_timeout",
@@ -1134,7 +1191,7 @@ fn read_request(stream: &mut TcpStream, inner: &ServerInner) -> ReadOut {
     })
 }
 
-fn status_reason(status: u16) -> &'static str {
+pub(crate) fn status_reason(status: u16) -> &'static str {
     match status {
         100 => "Continue",
         200 => "OK",
@@ -1158,7 +1215,7 @@ fn status_reason(status: u16) -> &'static str {
 
 /// Renders an [`ERROR_SCHEMA`] body from serve-level (non-`ApiError`)
 /// failures; `extra` appends detail fields.
-fn error_body(code: &str, message: &str, extra: Vec<(&'static str, Json)>) -> String {
+pub(crate) fn error_body(code: &str, message: &str, extra: Vec<(&'static str, Json)>) -> String {
     let mut fields = vec![
         ("schema".to_string(), Json::from(ERROR_SCHEMA)),
         ("code".to_string(), Json::from(code)),
@@ -1170,7 +1227,7 @@ fn error_body(code: &str, message: &str, extra: Vec<(&'static str, Json)>) -> St
     Json::Object(fields).render()
 }
 
-fn write_response(
+pub(crate) fn write_response(
     stream: &mut TcpStream,
     status: u16,
     extra_headers: &[(&str, String)],
@@ -1195,13 +1252,73 @@ fn write_response(
     stream.flush()
 }
 
+/// Writes the head of a chunked (streamed) response. The body follows as
+/// [`write_chunk`] calls ended by [`finish_chunks`] — one JSON document
+/// per chunk; the status commits before the solve finishes, so later
+/// failures must travel in-band as `greencloud-error/1` documents.
+fn write_chunked_head(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    close: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/x-json-stream\r\nTransfer-Encoding: chunked\r\n",
+        status_reason(status),
+    );
+    for (k, v) in extra_headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str(if close {
+        "Connection: close\r\n\r\n"
+    } else {
+        "Connection: keep-alive\r\n\r\n"
+    });
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+/// One HTTP/1.1 chunk: hex length, CRLF, payload, CRLF — flushed so the
+/// client (or a relaying router) sees the frame immediately.
+fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> io::Result<()> {
+    stream.write_all(format!("{:x}\r\n", data.len()).as_bytes())?;
+    stream.write_all(data)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// The terminating zero-length chunk of a streamed response.
+fn finish_chunks(stream: &mut TcpStream) -> io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
+/// Renders one `greencloud-progress/1` frame document (sent as its own
+/// chunk, blank-line separated from the next document for readability).
+fn progress_frame(kind: &str, done: u64, total: u64) -> String {
+    let mut doc = Json::obj([
+        ("schema", Json::from(PROGRESS_SCHEMA)),
+        ("kind", Json::from(kind)),
+        ("done", Json::from(done)),
+        ("total", Json::from(total)),
+    ])
+    .render();
+    doc.push('\n');
+    doc
+}
+
 /// Serves one connection: requests are read and routed until the peer
 /// hangs up, sends `Connection: close`, errors, or the server drains.
 fn handle_connection(mut stream: TcpStream, inner: &ServerInner) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(inner.cfg.write_timeout_ms)));
+    let limits = HttpLimits {
+        max_body_bytes: inner.cfg.max_body_bytes,
+        read_timeout_ms: inner.cfg.read_timeout_ms,
+        draining: &inner.draining,
+    };
     loop {
-        match read_request(&mut stream, inner) {
+        match read_request(&mut stream, &limits) {
             ReadOut::Closed => break,
             ReadOut::Reject {
                 status,
@@ -1330,6 +1447,12 @@ fn handle_experiment(
             return write_response(stream, 400, &[], &body, close).is_ok();
         }
     };
+    // `X-Progress: stream` opts the response into chunked transfer
+    // encoding with `greencloud-progress/1` frames ahead of the body.
+    let want_stream = header(&req.headers, "x-progress").is_some_and(|v| {
+        let v = v.trim();
+        v.eq_ignore_ascii_case("stream") || v == "1" || v.eq_ignore_ascii_case("true")
+    });
     let skip_cache = header(&req.headers, "cache-control")
         .is_some_and(|v| v.to_ascii_lowercase().contains("no-cache"));
     if !skip_cache && inner.cfg.cache_capacity > 0 {
@@ -1337,6 +1460,17 @@ fn handle_experiment(
         if let Some(body) = hit {
             inner.stats.cache_hits.fetch_add(1, Ordering::SeqCst);
             inner.stats.ok.fetch_add(1, Ordering::SeqCst);
+            if want_stream {
+                // Streamed responses stay chunked even on a hit, so a
+                // client never needs both framings: one `cached` frame,
+                // then the body line.
+                inner.stats.streamed.fetch_add(1, Ordering::SeqCst);
+                let ok = write_chunked_head(stream, 200, &[("X-Cache", "hit".to_string())], close)
+                    .and_then(|()| write_chunk(stream, progress_frame("cached", 1, 1).as_bytes()))
+                    .and_then(|()| write_chunk(stream, format!("{body}\n").as_bytes()))
+                    .and_then(|()| finish_chunks(stream));
+                return ok.is_ok();
+            }
             return write_response(stream, 200, &[("X-Cache", "hit".to_string())], &body, close)
                 .is_ok();
         }
@@ -1371,11 +1505,15 @@ fn handle_experiment(
             state: Arc::clone(&state),
             job_id: None,
             not_before: None,
+            stream: want_stream,
         });
         lock_ok(&inner.registry).push(Arc::downgrade(&state));
         state
     };
     inner.queue_cv.notify_one();
+    if want_stream {
+        return stream_experiment(stream, inner, &state, close);
+    }
     let result = loop {
         let mut done = lock_ok(&state.done);
         if let Some(r) = done.take() {
@@ -1451,6 +1589,107 @@ fn handle_experiment(
             }
         },
     }
+}
+
+/// The streamed tail of `POST /v1/experiments` with `X-Progress: stream`:
+/// the 200 head and a `queued` frame commit immediately (guaranteeing at
+/// least one frame before the body), fresh progress frames are relayed as
+/// the worker reports them, and the final chunk is the report — or, since
+/// the status is already on the wire, an in-band `greencloud-error/1`
+/// document when the solve fails.
+fn stream_experiment(
+    stream: &mut TcpStream,
+    inner: &ServerInner,
+    state: &Arc<JobState>,
+    close: bool,
+) -> bool {
+    inner.stats.streamed.fetch_add(1, Ordering::SeqCst);
+    let opened = write_chunked_head(stream, 200, &[("X-Cache", "miss".to_string())], close)
+        .and_then(|()| write_chunk(stream, progress_frame("queued", 0, 0).as_bytes()));
+    if opened.is_err() {
+        state.fire(REASON_DISCONNECT);
+        inner.stats.disconnects.fetch_add(1, Ordering::SeqCst);
+        return false;
+    }
+    let mut last_seq = 0u64;
+    let result = loop {
+        let mut done = lock_ok(&state.done);
+        if let Some(r) = done.take() {
+            break r;
+        }
+        let (mut done, _timed_out) = state
+            .cv
+            .wait_timeout(done, Duration::from_millis(25))
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(r) = done.take() {
+            break r;
+        }
+        drop(done);
+        let (seq, frame) = state.latest_progress();
+        if seq != last_seq {
+            last_seq = seq;
+            if let Some(p) = frame {
+                let (done_n, total) = p.counts();
+                let line = progress_frame(p.kind(), done_n as u64, total as u64);
+                if write_chunk(stream, line.as_bytes()).is_err() {
+                    state.fire(REASON_DISCONNECT);
+                    inner.stats.disconnects.fetch_add(1, Ordering::SeqCst);
+                    return false;
+                }
+            }
+        }
+        if inner.stop_workers.load(Ordering::SeqCst) && !state.finished.load(Ordering::SeqCst) {
+            state.fire(REASON_DRAIN);
+            inner.stats.drain_cancelled.fetch_add(1, Ordering::SeqCst);
+            let line = error_body(
+                "draining",
+                "server stopped before the experiment ran",
+                Vec::new(),
+            );
+            let _ = write_chunk(stream, format!("{line}\n").as_bytes());
+            let _ = finish_chunks(stream);
+            return false;
+        }
+        if client_gone(stream) {
+            state.fire(REASON_DISCONNECT);
+            inner.stats.disconnects.fetch_add(1, Ordering::SeqCst);
+            return false;
+        }
+    };
+    let final_line = match result {
+        Ok(body) => {
+            inner.stats.ok.fetch_add(1, Ordering::SeqCst);
+            format!("{body}\n")
+        }
+        Err(err) => match state.reason_code() {
+            REASON_DISCONNECT => return false,
+            REASON_DRAIN => {
+                inner.stats.drain_cancelled.fetch_add(1, Ordering::SeqCst);
+                format!(
+                    "{}\n",
+                    error_body(
+                        "draining",
+                        "experiment cancelled by server drain",
+                        Vec::new(),
+                    )
+                )
+            }
+            _ => {
+                let status = err.http_status();
+                if status >= 500 {
+                    inner.stats.server_errors.fetch_add(1, Ordering::SeqCst);
+                } else if status == 422 {
+                    inner.stats.solve_errors.fetch_add(1, Ordering::SeqCst);
+                } else if status != 408 {
+                    // 408s are already counted by the watchdog.
+                    inner.stats.client_errors.fetch_add(1, Ordering::SeqCst);
+                }
+                format!("{}\n", err.to_error_json())
+            }
+        },
+    };
+    let wrote = write_chunk(stream, final_line.as_bytes()).and_then(|()| finish_chunks(stream));
+    wrote.is_ok()
 }
 
 /// The `greencloud-job/1` state body for one job.
@@ -1574,6 +1813,7 @@ fn handle_job_submit(
             state,
             job_id: Some(id.clone()),
             not_before: None,
+            stream: false,
         });
         inner.queue_cv.notify_one();
         JobStatus::Accepted
@@ -1763,6 +2003,10 @@ fn stats_json(inner: &ServerInner) -> String {
         (
             "jobs_redelivered",
             Json::from(inner.stats.jobs_redelivered.load(Ordering::SeqCst)),
+        ),
+        (
+            "streamed",
+            Json::from(inner.stats.streamed.load(Ordering::SeqCst)),
         ),
         ("journal_bytes", Json::from(js.journal_bytes)),
         ("snapshot_bytes", Json::from(js.snapshot_bytes)),

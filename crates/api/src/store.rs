@@ -188,6 +188,28 @@ pub fn job_id(spec_bytes: &[u8]) -> String {
     out
 }
 
+/// The consistent-hash ring key for arbitrary bytes: the first 64 bits of
+/// `SHA-256(data)`, big-endian. For normalized spec bytes this equals the
+/// first 16 hex characters of [`job_id`], so the router can place a
+/// `POST` body and a later `GET /v1/jobs/:id` for the job it created on
+/// the same ring point without reparsing the spec.
+pub fn ring_key(data: &[u8]) -> u64 {
+    let digest = sha256(data);
+    let mut key = 0u64;
+    for b in digest.iter().take(8) {
+        key = (key << 8) | u64::from(*b);
+    }
+    key
+}
+
+/// Recovers the ring key embedded in a content-derived job id (its first
+/// 16 hex characters). Returns `None` when `id` is too short or not hex —
+/// such ids name no job anywhere, so any backend may serve the 404.
+pub fn ring_key_of_job_id(id: &str) -> Option<u64> {
+    let prefix = id.get(..16)?;
+    u64::from_str_radix(prefix, 16).ok()
+}
+
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320) — the per-record checksum.
 /// Bitwise, no table: journal records are small and rare relative to
 /// solves, so simplicity wins over throughput here.

@@ -7,7 +7,7 @@
 
 use greencloud_api::json::Json;
 use greencloud_api::spec::{AnnualSpec, ExperimentSpec, SearchSpec, SitingSpec};
-use greencloud_api::{Engine, ServeConfig, Server};
+use greencloud_api::{Engine, Router, RouterConfig, ServeConfig, Server};
 use greencloud_climate::catalog::WorldCatalog;
 use greencloud_climate::profiles::ProfileConfig;
 use greencloud_core::framework::PlacementInput;
@@ -49,11 +49,207 @@ pub fn start(tweak: impl FnOnce(&mut ServeConfig)) -> (Server, SocketAddr) {
     (server, addr)
 }
 
+/// Starts a router on a fresh port over already-running backends. A fast
+/// probe interval keeps failure-detection latency low in tests.
+pub fn start_router(
+    backends: &[SocketAddr],
+    tweak: impl FnOnce(&mut RouterConfig),
+) -> (Router, SocketAddr) {
+    let mut cfg = RouterConfig {
+        addr: "127.0.0.1:0".to_string(),
+        backends: backends.iter().map(|a| a.to_string()).collect(),
+        probe_interval_ms: 100,
+        ..RouterConfig::default()
+    };
+    tweak(&mut cfg);
+    let router = Router::bind(cfg).expect("router bind");
+    let addr = router.local_addr();
+    (router, addr)
+}
+
 /// A parsed response.
 pub struct Resp {
     pub status: u16,
     pub headers: Vec<(String, String)>,
     pub body: String,
+}
+
+/// A persistent keep-alive HTTP/1.1 client: many requests over one
+/// `TcpStream`, each response read by its declared framing
+/// (`Content-Length` or chunked) instead of connection close.
+pub struct Session {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+/// One response off a [`Session`], framing-aware.
+pub struct FramedResp {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    /// Decoded body: for chunked responses, the concatenated chunk
+    /// payloads.
+    pub body: String,
+    /// Per-chunk payloads of a chunked response. The streaming protocol
+    /// writes one JSON document per chunk (progress frames, then the
+    /// final report or error), so these are the protocol messages.
+    pub chunks: Vec<String>,
+    /// True when the response used chunked transfer encoding.
+    pub chunked: bool,
+}
+
+impl FramedResp {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `greencloud-progress/1` frames, parsed — one per chunk.
+    pub fn progress_frames(&self) -> Vec<Json> {
+        self.chunks
+            .iter()
+            .filter_map(|c| Json::parse(c).ok())
+            .filter(|d| {
+                d.get("schema").and_then(Json::as_str) == Some(greencloud_api::PROGRESS_SCHEMA)
+            })
+            .collect()
+    }
+
+    /// The final streamed document (the report or error body), trailing
+    /// whitespace trimmed.
+    pub fn final_document(&self) -> String {
+        self.chunks
+            .last()
+            .map(|c| c.trim_end().to_string())
+            .unwrap_or_default()
+    }
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+impl Session {
+    pub fn connect(addr: SocketAddr) -> Session {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(150)))
+            .expect("read timeout");
+        let _ = stream.set_nodelay(true);
+        Session {
+            stream,
+            carry: Vec::new(),
+        }
+    }
+
+    /// Sends one request (keep-alive) and reads exactly one response.
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: Option<&[u8]>,
+    ) -> FramedResp {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: test\r\n");
+        if let Some(b) = body {
+            head.push_str(&format!("Content-Length: {}\r\n", b.len()));
+        }
+        for (k, v) in headers {
+            head.push_str(&format!("{k}: {v}\r\n"));
+        }
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes()).expect("write head");
+        if let Some(b) = body {
+            self.stream.write_all(b).expect("write body");
+        }
+        self.stream.flush().expect("flush");
+        self.read_framed()
+    }
+
+    fn fill(&mut self) {
+        let mut chunk = [0u8; 8192];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => panic!("connection closed mid-response"),
+            Ok(n) => self.carry.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!("session read: {e}"),
+        }
+    }
+
+    fn read_framed(&mut self) -> FramedResp {
+        let head_end = loop {
+            if let Some(p) = find_subslice(&self.carry, b"\r\n\r\n") {
+                break p + 4;
+            }
+            self.fill();
+        };
+        let head_bytes: Vec<u8> = self.carry.drain(..head_end).collect();
+        let head = String::from_utf8_lossy(&head_bytes).to_string();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|l| l.split_once(':'))
+            .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+            .collect();
+        let get = |name: &str| {
+            headers
+                .iter()
+                .find(|(k, _)| k.eq_ignore_ascii_case(name))
+                .map(|(_, v)| v.as_str())
+        };
+        let chunked =
+            get("transfer-encoding").is_some_and(|v| v.to_ascii_lowercase().contains("chunked"));
+        let mut chunks: Vec<String> = Vec::new();
+        let body = if chunked {
+            let mut payload = Vec::new();
+            loop {
+                let line_end = loop {
+                    if let Some(p) = find_subslice(&self.carry, b"\r\n") {
+                        break p;
+                    }
+                    self.fill();
+                };
+                let size_text = String::from_utf8_lossy(&self.carry[..line_end]).to_string();
+                let size =
+                    usize::from_str_radix(size_text.split(';').next().unwrap_or("").trim(), 16)
+                        .unwrap_or_else(|_| panic!("bad chunk size line {size_text:?}"));
+                self.carry.drain(..line_end + 2);
+                while self.carry.len() < size + 2 {
+                    self.fill();
+                }
+                if size > 0 {
+                    chunks.push(String::from_utf8_lossy(&self.carry[..size]).to_string());
+                }
+                payload.extend_from_slice(&self.carry[..size]);
+                self.carry.drain(..size + 2);
+                if size == 0 {
+                    break;
+                }
+            }
+            String::from_utf8_lossy(&payload).to_string()
+        } else {
+            let len = get("content-length")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(0);
+            while self.carry.len() < len {
+                self.fill();
+            }
+            let body_bytes: Vec<u8> = self.carry.drain(..len).collect();
+            String::from_utf8_lossy(&body_bytes).to_string()
+        };
+        FramedResp {
+            status,
+            headers,
+            body,
+            chunks,
+            chunked,
+        }
+    }
 }
 
 impl Resp {

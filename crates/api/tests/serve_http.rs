@@ -4,6 +4,7 @@
 mod common;
 
 use common::{annual_spec, http, http_raw, siting_spec, start};
+use greencloud_api::json::Json;
 use std::thread;
 
 #[test]
@@ -223,6 +224,94 @@ fn repeated_spec_hits_the_report_cache() {
     server.trigger_shutdown();
     let summary = server.join();
     assert!(summary.cache_hits >= 2);
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let (server, addr) = start(|_| {});
+    let mut session = common::Session::connect(addr);
+
+    // Mixed traffic over a single TcpStream: health checks, a solve, a
+    // cache hit, and a typed 404 — each response framed by Content-Length,
+    // none closing the connection.
+    let health = session.send("GET", "/v1/healthz", &[], None);
+    assert_eq!(health.status, 200);
+    assert_eq!(health.header("Connection"), Some("keep-alive"));
+
+    let body = siting_spec().to_json_string().into_bytes();
+    let first = session.send("POST", "/v1/experiments", &[], Some(&body));
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("X-Cache"), Some("miss"));
+    let second = session.send("POST", "/v1/experiments", &[], Some(&body));
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("X-Cache"), Some("hit"));
+    assert_eq!(first.body, second.body);
+
+    let missing = session.send("GET", "/v1/nope", &[], None);
+    assert_eq!(missing.status, 404);
+    let stats = session.send("GET", "/v1/stats", &[], None);
+    assert_eq!(stats.status, 200);
+
+    drop(session);
+    server.trigger_shutdown();
+    let summary = server.join();
+    assert_eq!(summary.server_errors, 0);
+}
+
+#[test]
+fn streamed_solve_sends_progress_frames_then_the_report() {
+    let (server, addr) = start(|_| {});
+    let mut session = common::Session::connect(addr);
+    let body = annual_spec(48, 4, 6_000).to_json_string().into_bytes();
+
+    let resp = session.send(
+        "POST",
+        "/v1/experiments",
+        &[("X-Progress", "stream")],
+        Some(&body),
+    );
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.chunked, "streaming uses chunked transfer encoding");
+    assert_eq!(resp.header("X-Cache"), Some("miss"));
+    let frames = resp.progress_frames();
+    assert!(
+        !frames.is_empty(),
+        "at least one progress frame precedes the body"
+    );
+    for frame in &frames {
+        let done = frame.get("done").and_then(Json::as_u64).expect("done");
+        let total = frame.get("total").and_then(Json::as_u64).expect("total");
+        assert!(done <= total.max(1), "frame out of range: {done}/{total}");
+    }
+    let report = Json::parse(&resp.final_document()).expect("final document parses");
+    assert!(report
+        .get("schema")
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .starts_with("greencloud-report/"));
+
+    // The identical spec over the same connection: a streamed cache hit —
+    // one `cached` frame, then the byte-identical report.
+    let resp = session.send(
+        "POST",
+        "/v1/experiments",
+        &[("X-Progress", "stream")],
+        Some(&body),
+    );
+    assert_eq!(resp.status, 200);
+    assert!(resp.chunked);
+    assert_eq!(resp.header("X-Cache"), Some("hit"));
+    assert_eq!(
+        resp.progress_frames()
+            .first()
+            .and_then(|f| f.get("kind").and_then(Json::as_str).map(str::to_string)),
+        Some("cached".to_string())
+    );
+    assert_eq!(resp.final_document(), report.render().trim_end());
+
+    drop(session);
+    server.trigger_shutdown();
+    server.join();
 }
 
 #[test]

@@ -14,10 +14,22 @@
 //! loadgen --addr 127.0.0.1:7411 --spec examples/quick.spec.json \
 //!         --requests 2000 --concurrency 24 --chaos [--unique] \
 //!         [--no-cache] [--deadline-ms N] [--expect-shed] [--min-ok N] \
-//!         [--rate N] [--histogram] \
+//!         [--rate N] [--histogram] [--min-hit-rate P] \
+//!         [--backends a:p,b:p,...] \
 //!         [--jobs --jobs-dir DIR [--allow-transport]] \
 //!         [--verify-jobs DIR]
 //! ```
+//!
+//! `--backends a,b,c` names the `repro serve` fleet behind a router at
+//! `--addr`. After the burst, loadgen fetches each backend's `/v1/stats`
+//! for a per-backend cache view and asserts *hit-rate parity*: on a
+//! duplicate-spec burst, a single backend would miss each distinct spec
+//! once, so a correctly sharding router (same spec → same backend) must
+//! land within 5 points of that ideal — a round-robin front-end would
+//! miss once per backend instead and fail the assertion. Concurrent
+//! duplicate misses race the first cache fill, so the ideal allows
+//! `concurrency` extra misses. `--min-hit-rate P` independently asserts
+//! the observed client-side hit rate is at least `P` percent.
 //!
 //! `--unique` perturbs `experiment.config.start_hour` per request so every
 //! spec is genuinely distinct (defeats the report cache and forces real
@@ -98,6 +110,11 @@ struct Config {
     allow_transport: bool,
     /// Per-job budget for `--verify-jobs` polling, seconds.
     verify_timeout_s: u64,
+    /// Backend addresses behind a router at `--addr`: enables the
+    /// per-backend stats report and the hit-rate parity assertion.
+    backends: Vec<String>,
+    /// Minimum acceptable cache hit rate in percent (negative = off).
+    min_hit_rate: f64,
 }
 
 impl Default for Config {
@@ -120,6 +137,8 @@ impl Default for Config {
             verify_jobs: None,
             allow_transport: false,
             verify_timeout_s: 180,
+            backends: Vec::new(),
+            min_hit_rate: -1.0,
         }
     }
 }
@@ -180,6 +199,23 @@ fn parse_args() -> Config {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or(cfg.verify_timeout_s);
+            }
+            "--backends" => {
+                i += 1;
+                cfg.backends = args
+                    .get(i)
+                    .map(|s| {
+                        s.split(',')
+                            .map(str::trim)
+                            .filter(|b| !b.is_empty())
+                            .map(str::to_string)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+            }
+            "--min-hit-rate" => {
+                i += 1;
+                cfg.min_hit_rate = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(-1.0);
             }
             "--chaos" => cfg.chaos = true,
             "--unique" => cfg.unique = true,
@@ -465,6 +501,19 @@ fn run_one(cfg: &Config, specs: &[String], i: usize) -> Sample {
             cache_hit: false,
         },
     }
+}
+
+/// One backend's `(received, cache_hits)` counters from `/v1/stats`, or
+/// `None` when the backend is unreachable (e.g. killed mid-burst).
+fn backend_cache_counters(addr: &str) -> Option<(u64, u64)> {
+    let resp = send_request(addr, "GET", "/v1/stats", b"", &[], None, false).ok()??;
+    if resp.status != 200 {
+        return None;
+    }
+    let doc = Json::parse(&resp.body).ok()?;
+    let received = doc.get("received").and_then(Json::as_u64)?;
+    let hits = doc.get("cache_hits").and_then(Json::as_u64)?;
+    Some((received, hits))
 }
 
 /// Writes an acknowledged job's spec to `DIR/<job_id>.spec.json` so a
@@ -843,6 +892,11 @@ fn main() {
     let shed = samples.iter().filter(|s| s.status == 429).count();
     let deadline = samples.iter().filter(|s| s.status == 408).count();
     let hits = ok.iter().filter(|s| s.cache_hit).count();
+    let hit_rate = if ok.is_empty() {
+        0.0
+    } else {
+        100.0 * hits as f64 / ok.len() as f64
+    };
     let mut ok_ms: Vec<f64> = ok.iter().map(|s| s.ms).collect();
     ok_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let violations: Vec<&Sample> = samples
@@ -861,13 +915,8 @@ fn main() {
         total as f64 / wall_s.max(1e-9)
     );
     println!(
-        "ok (200/202)    {} ({hits} cache hits, {:.1}% hit rate)",
+        "ok (200/202)    {} ({hits} cache hits, {hit_rate:.1}% hit rate)",
         ok.len(),
-        if ok.is_empty() {
-            0.0
-        } else {
-            100.0 * hits as f64 / ok.len() as f64
-        }
     );
     println!(
         "shed (429)      {shed} ({:.1}% shed rate)",
@@ -921,6 +970,48 @@ fn main() {
             "ASSERTION FAILED: --min-ok {} but only {} requests got 200/202",
             cfg.min_ok,
             ok.len()
+        );
+    }
+    if !cfg.backends.is_empty() {
+        println!(
+            "==== backend cache parity ({} backends) ====",
+            cfg.backends.len()
+        );
+        for b in &cfg.backends {
+            match backend_cache_counters(b) {
+                Some((received, backend_hits)) => {
+                    println!("  {b:<24} received {received:>7}  cache hits {backend_hits:>7}")
+                }
+                None => println!("  {b:<24} unreachable"),
+            }
+        }
+        // A single backend misses each distinct spec once (plus up to
+        // `concurrency` duplicate misses racing the first fill); a
+        // sharding router must match that, a scattering one cannot.
+        let mut distinct: Vec<&String> = specs.iter().collect();
+        distinct.sort();
+        distinct.dedup();
+        let ideal_misses = distinct.len() + cfg.concurrency;
+        if ok.len() > ideal_misses {
+            let ideal = 100.0 * (ok.len() - ideal_misses) as f64 / ok.len() as f64;
+            println!(
+                "parity: observed hit rate {hit_rate:.1}% vs single-backend ideal {ideal:.1}%"
+            );
+            if hit_rate < ideal - 5.0 {
+                failed = true;
+                println!(
+                    "ASSERTION FAILED: hit rate {hit_rate:.1}% is more than 5 points \
+                     below the single-backend ideal {ideal:.1}% — the router is \
+                     scattering identical specs across backends"
+                );
+            }
+        }
+    }
+    if cfg.min_hit_rate >= 0.0 && hit_rate < cfg.min_hit_rate {
+        failed = true;
+        println!(
+            "ASSERTION FAILED: --min-hit-rate {:.1} but observed {hit_rate:.1}%",
+            cfg.min_hit_rate
         );
     }
     if failed {

@@ -9,6 +9,7 @@
 //! repro run <spec.json> [--json] [--timeout-ms N] [--world anchors|synthetic] [--locations N]
 //! repro serve [--addr A] [--max-inflight N] [--queue-depth N] [--default-deadline-ms N]
 //!             [--journal-path F | --no-persist] [--max-redeliveries N]
+//! repro router --backends a:p,b:p[,...] [--addr A] [--vnodes N] [--probe-ms N] [--drain-ms N]
 //! repro lint
 //! ```
 //!
@@ -36,6 +37,13 @@
 //! `--journal-path`, disable with `--no-persist`) so acknowledged work
 //! survives a crash: on restart the journal is replayed and unfinished
 //! jobs re-run, at most `--max-redeliveries` times each.
+//!
+//! `repro router` fronts a fleet of `repro serve` backends with the
+//! consistent-hash, streaming reverse proxy ([`greencloud_api::router`]):
+//! identical specs route to the same backend (its report cache stays
+//! hot), failed backends are failed over automatically, and chunked
+//! progress streams relay without buffering. Same signal discipline as
+//! `serve`: SIGTERM/SIGINT drains in-flight relays and exits 0.
 
 use greencloud_api::report::ReportBody;
 use greencloud_api::{
@@ -63,6 +71,7 @@ fn main() {
     let mut world_kind = String::from("anchors");
     let mut timeout_ms = 0u64; // 0 = no deadline
     let mut serve_cfg = greencloud_api::ServeConfig::default();
+    let mut router_cfg = greencloud_api::RouterConfig::default();
     let mut journal_path: Option<String> = None;
     let mut no_persist = false;
     let mut i = 0;
@@ -86,7 +95,37 @@ fn main() {
             }
             "--addr" => {
                 i += 1;
-                serve_cfg.addr = args.get(i).cloned().unwrap_or(serve_cfg.addr);
+                if let Some(a) = args.get(i) {
+                    serve_cfg.addr = a.clone();
+                    router_cfg.addr = a.clone();
+                }
+            }
+            "--backends" => {
+                i += 1;
+                router_cfg.backends = args
+                    .get(i)
+                    .map(|s| {
+                        s.split(',')
+                            .map(str::trim)
+                            .filter(|b| !b.is_empty())
+                            .map(str::to_string)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+            }
+            "--vnodes" => {
+                i += 1;
+                router_cfg.virtual_nodes = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(router_cfg.virtual_nodes);
+            }
+            "--probe-ms" => {
+                i += 1;
+                router_cfg.probe_interval_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(router_cfg.probe_interval_ms);
             }
             "--max-inflight" => {
                 i += 1;
@@ -111,10 +150,10 @@ fn main() {
             }
             "--drain-ms" => {
                 i += 1;
-                serve_cfg.drain_ms = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(serve_cfg.drain_ms);
+                if let Some(ms) = args.get(i).and_then(|s| s.parse().ok()) {
+                    serve_cfg.drain_ms = ms;
+                    router_cfg.drain_ms = ms;
+                }
             }
             "--cache-capacity" => {
                 i += 1;
@@ -163,6 +202,10 @@ fn main() {
             journal_path.or_else(|| Some("repro-jobs.wal".to_string()))
         };
         std::process::exit(run_serve(serve_cfg, &world_kind, locations, threads));
+    }
+
+    if experiment == "router" {
+        std::process::exit(run_router(router_cfg));
     }
 
     if experiment == "run" {
@@ -470,6 +513,41 @@ fn run_serve(
     let summary = server.join();
     let _ = poller.join();
     println!("repro serve: drained cleanly");
+    print!("{}", summary.render_text());
+    0
+}
+
+/// `repro router` — binds the sharding front-end over `--backends` and
+/// blocks until SIGTERM/SIGINT, then drains in-flight relays. Returns the
+/// process exit code (0 on a clean drain).
+fn run_router(cfg: greencloud_api::RouterConfig) -> i32 {
+    if cfg.backends.is_empty() {
+        eprintln!("usage: repro router --backends host:port[,host:port...] [--addr A]");
+        return 2;
+    }
+    let router = match greencloud_api::Router::bind(cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("repro router: bind failed: {e}");
+            return 1;
+        }
+    };
+    println!("repro router: listening on http://{}", router.local_addr());
+    sig::install();
+    let handle = router.handle();
+    let poller = std::thread::spawn(move || loop {
+        if sig::triggered() {
+            handle.trigger_shutdown();
+            return;
+        }
+        if handle.is_draining() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+    let summary = router.join();
+    let _ = poller.join();
+    println!("repro router: drained cleanly");
     print!("{}", summary.render_text());
     0
 }

@@ -528,6 +528,24 @@ pub fn run_with_cancel(
     config: &EmulationConfig,
     cancel: &AtomicBool,
 ) -> Result<EmulationReport, NebulaError> {
+    run_observed(catalog, config, cancel, None)
+}
+
+/// Per-hour progress observer: called with `(done_hours, total_hours)`.
+/// `Sync` because sweep workers may share one sink across threads.
+pub type HourObserver<'a> = &'a (dyn Fn(usize, usize) + Sync);
+
+/// [`run_with_cancel`] with an optional per-hour progress observer. The
+/// observer fires once before the first scheduling round (`(0, total)`)
+/// and once after each emulated hour, ending at `(total, total)`; it sees
+/// only loop counters, never solver state, so observation cannot perturb
+/// the report.
+pub fn run_observed(
+    catalog: &WorldCatalog,
+    config: &EmulationConfig,
+    cancel: &AtomicBool,
+    progress: Option<HourObserver<'_>>,
+) -> Result<EmulationReport, NebulaError> {
     let n = config.sites.len();
     if n == 0 {
         return Err(NebulaError::Config("no sites".into()));
@@ -712,6 +730,9 @@ pub fn run_with_cancel(
                 }
             }
         });
+        if let Some(observe) = progress {
+            observe(h, config.hours);
+        }
         if h == config.hours {
             break;
         }

@@ -124,6 +124,23 @@ pub fn run_sweep_with_cancel(
     threads: usize,
     cancel: &std::sync::atomic::AtomicBool,
 ) -> Result<Vec<ScenarioResult>, NebulaError> {
+    run_sweep_observed(catalog, scenarios, threads, cancel, None)
+}
+
+/// Per-scenario progress observer: called with `(done, total)` from
+/// whichever worker finishes a scenario, so it must be `Sync`.
+pub type ScenarioObserver<'a> = &'a (dyn Fn(usize, usize) + Sync);
+
+/// [`run_sweep_with_cancel`] with an optional completion observer: fires
+/// `(0, total)` before any scenario runs, then `(done, total)` as each
+/// scenario finishes (in completion order, not input order).
+pub fn run_sweep_observed(
+    catalog: &WorldCatalog,
+    scenarios: &[Scenario],
+    threads: usize,
+    cancel: &std::sync::atomic::AtomicBool,
+    progress: Option<ScenarioObserver<'_>>,
+) -> Result<Vec<ScenarioResult>, NebulaError> {
     let threads = if threads == 0 {
         // Mirrors `greencloud_core::tool::default_threads` (this crate
         // sits below `core`, so the helper cannot be shared directly).
@@ -137,12 +154,17 @@ pub fn run_sweep_with_cancel(
     let threads = threads.min(scenarios.len().max(1));
     let mut slots: Vec<Option<Result<ScenarioResult, NebulaError>>> =
         (0..scenarios.len()).map(|_| None).collect();
+    if let Some(observe) = progress {
+        observe(0, scenarios.len());
+    }
     {
         let next = std::sync::atomic::AtomicUsize::new(0);
+        let done = std::sync::atomic::AtomicUsize::new(0);
         let slots = Mutex::new(&mut slots);
         let scope_out = crossbeam::thread::scope(|scope| {
             for _ in 0..threads {
                 let next = &next;
+                let done = &done;
                 let slots = &slots;
                 scope.spawn(move |_| loop {
                     let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -161,6 +183,11 @@ pub fn run_sweep_with_cancel(
                     // scenarios must not take this worker's result with it.
                     let mut guard = slots.lock().unwrap_or_else(|p| p.into_inner());
                     guard[k] = Some(out);
+                    drop(guard);
+                    let finished = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                    if let Some(observe) = progress {
+                        observe(finished, scenarios.len());
+                    }
                 });
             }
         });
